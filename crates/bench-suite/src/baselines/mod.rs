@@ -1,0 +1,6 @@
+//! Comparison baselines (§6.5): simplified re-creations of Mitra and
+//! Eirene that preserve the behaviour the paper measures (see DESIGN.md,
+//! substitutions 5 and 6).
+
+pub mod eirene;
+pub mod mitra;

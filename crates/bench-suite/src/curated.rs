@@ -1,0 +1,491 @@
+//! Hand-curated example inputs, one per dataset.
+//!
+//! These play the role of the paper's user-provided examples (Table 3
+//! reports 2.6 input records on average): a few records per record type,
+//! foreign keys resolvable, every join of the golden programs witnessed at
+//! least twice so the intended mapping is identifiable.
+
+use dynamite_instance::{Instance, Record, Value};
+
+use crate::datasets;
+
+fn flat(values: Vec<Value>) -> Record {
+    Record::from_values(values)
+}
+
+fn i(v: i64) -> Value {
+    Value::Int(v)
+}
+
+fn s(v: &str) -> Value {
+    Value::str(v)
+}
+
+/// Curated input for the named dataset.
+///
+/// # Panics
+/// Panics on an unknown dataset name.
+pub fn curated_input(dataset: &str) -> Instance {
+    match dataset {
+        "Yelp" => yelp(),
+        "IMDB" => imdb(),
+        "Mondial" => mondial(),
+        "DBLP" => dblp(),
+        "MLB" => mlb(),
+        "Airbnb" => airbnb(),
+        "Patent" => patent(),
+        "Bike" => bike(),
+        "Tencent" => tencent(),
+        "Retina" => retina(),
+        "Movie" => movie(),
+        "Soccer" => soccer(),
+        other => panic!("unknown dataset `{other}`"),
+    }
+}
+
+fn yelp() -> Instance {
+    let mut inst = Instance::new(datasets::schema(datasets::yelp::SOURCE));
+    for (bid, bname, city, stars, reviews, cats) in [
+        (
+            1i64,
+            "biz_espresso",
+            "city_sf",
+            4i64,
+            vec![(9001i64, 5i64, "user_ana"), (9002, 3, "user_bo")],
+            vec!["cat_cafe"],
+        ),
+        (
+            2,
+            "biz_noodles",
+            "city_la",
+            3,
+            vec![(9003, 4, "user_ana")],
+            vec!["cat_food", "cat_cheap"],
+        ),
+        // No reviews or categories: refutes spurious extra joins.
+        (3, "biz_quiet", "city_sf", 5, vec![], vec![]),
+    ] {
+        inst.insert(
+            "Business",
+            Record::with_fields(vec![
+                i(bid).into(),
+                s(bname).into(),
+                s(city).into(),
+                i(stars).into(),
+                reviews
+                    .iter()
+                    .map(|&(r, st, u)| flat(vec![i(r), i(st), s(u)]))
+                    .collect::<Vec<_>>()
+                    .into(),
+                cats.iter().map(|&c| flat(vec![s(c)])).collect::<Vec<_>>().into(),
+            ]),
+        )
+        .expect("curated yelp");
+    }
+    inst
+}
+
+fn imdb() -> Instance {
+    let mut inst = Instance::new(datasets::schema(datasets::imdb::SOURCE));
+    for (mid, title, year, cast, ratings) in [
+        (
+            1i64,
+            "film_heat",
+            1995i64,
+            vec![("actor_pacino", "role_cop"), ("actor_deniro", "role_thief")],
+            vec![(82i64, 41_000i64)],
+        ),
+        (
+            2,
+            "film_arrival",
+            2016,
+            vec![("actor_adams", "role_linguist")],
+            vec![(79, 30_000)],
+        ),
+        // No cast or ratings: refutes spurious extra joins.
+        (3, "film_lost", 2003, vec![], vec![]),
+    ] {
+        inst.insert(
+            "Movie",
+            Record::with_fields(vec![
+                i(mid).into(),
+                s(title).into(),
+                i(year).into(),
+                cast.iter()
+                    .map(|&(a, r)| flat(vec![s(a), s(r)]))
+                    .collect::<Vec<_>>()
+                    .into(),
+                ratings
+                    .iter()
+                    .map(|&(sc, v)| flat(vec![i(sc), i(v)]))
+                    .collect::<Vec<_>>()
+                    .into(),
+            ]),
+        )
+        .expect("curated imdb");
+    }
+    inst
+}
+
+fn mondial() -> Instance {
+    let mut inst = Instance::new(datasets::schema(datasets::mondial::SOURCE));
+    let province = |name: &str, pop: i64, cities: Vec<(&str, i64)>| {
+        Record::with_fields(vec![
+            s(name).into(),
+            i(pop).into(),
+            cities
+                .iter()
+                .map(|&(cn, cp)| flat(vec![s(cn), i(cp)]))
+                .collect::<Vec<_>>()
+                .into(),
+        ])
+    };
+    inst.insert(
+        "Country",
+        Record::with_fields(vec![
+            i(1).into(),
+            s("country_utopia").into(),
+            i(5_000_000).into(),
+            vec![
+                province("prov_north", 2_000_000, vec![("city_aha", 900_000)]),
+                province(
+                    "prov_south",
+                    1_500_000,
+                    vec![("city_bebe", 400_000), ("city_coco", 350_000)],
+                ),
+            ]
+            .into(),
+            vec![flat(vec![s("lang_utopian"), i(88)])].into(),
+        ]),
+    )
+    .expect("curated mondial");
+    inst.insert(
+        "Country",
+        Record::with_fields(vec![
+            i(2).into(),
+            s("country_arcadia").into(),
+            i(9_000_000).into(),
+            vec![province("prov_east", 3_000_000, vec![("city_dada", 1_200_000)])].into(),
+            vec![
+                flat(vec![s("lang_arcadian"), i(70)]),
+                flat(vec![s("lang_utopian"), i(30)]),
+            ]
+            .into(),
+        ]),
+    )
+    .expect("curated mondial");
+    inst
+}
+
+fn dblp() -> Instance {
+    let mut inst = Instance::new(datasets::schema(datasets::dblp::SOURCE));
+    for (aid, title, year, venue, authors) in [
+        (
+            1101i64,
+            "paper_datalog",
+            2020i64,
+            "venue_vldb",
+            vec![("author_wang", 1i64), ("author_dillig", 2)],
+        ),
+        (1202, "paper_synthesis", 2018, "venue_pldi", vec![("author_feng", 1)]),
+        // No authors: refutes programs that join PubT with Author.
+        (1303, "paper_vision", 2015, "venue_cvpr", vec![]),
+    ] {
+        inst.insert(
+            "Article",
+            Record::with_fields(vec![
+                i(aid).into(),
+                s(title).into(),
+                i(year).into(),
+                s(venue).into(),
+                authors
+                    .iter()
+                    .map(|&(n, p)| flat(vec![s(n), i(p)]))
+                    .collect::<Vec<_>>()
+                    .into(),
+            ]),
+        )
+        .expect("curated dblp");
+    }
+    inst
+}
+
+fn mlb() -> Instance {
+    let mut inst = Instance::new(datasets::schema(datasets::mlb::SOURCE));
+    inst.insert("Teams", flat(vec![i(1), s("team_giants"), s("NL")]))
+        .expect("curated mlb");
+    inst.insert("Teams", flat(vec![i(2), s("team_yankees"), s("AL")]))
+        .expect("curated mlb");
+    // No players: refutes programs joining TeamN/RosterFlat spuriously.
+    inst.insert("Teams", flat(vec![i(3), s("team_expos"), s("NL")]))
+        .expect("curated mlb");
+    inst.insert(
+        "Players",
+        flat(vec![i(1001), i(1), s("player_posey"), i(302)]),
+    )
+    .expect("curated mlb");
+    inst.insert(
+        "Players",
+        flat(vec![i(1002), i(1), s("player_crawford"), i(253)]),
+    )
+    .expect("curated mlb");
+    // Same average as player_posey but on the other team: refutes
+    // grouping rosters by batting average.
+    inst.insert(
+        "Players",
+        flat(vec![i(1003), i(2), s("player_judge"), i(302)]),
+    )
+    .expect("curated mlb");
+    inst.insert("Pitches", flat(vec![i(50_001), i(1001), i(94), s("FF")]))
+        .expect("curated mlb");
+    inst.insert("Pitches", flat(vec![i(50_002), i(1003), i(88), s("SL")]))
+        .expect("curated mlb");
+    inst
+}
+
+fn airbnb() -> Instance {
+    let mut inst = Instance::new(datasets::schema(datasets::airbnb::SOURCE));
+    inst.insert("Hosts", flat(vec![i(1), s("host_mia")])).expect("curated");
+    inst.insert("Hosts", flat(vec![i(2), s("host_lars")])).expect("curated");
+    inst.insert(
+        "Listings",
+        flat(vec![i(2001), i(1), s("flat_mitte"), s("nbhd_mitte"), i(80)]),
+    )
+    .expect("curated");
+    inst.insert(
+        "Listings",
+        flat(vec![
+            i(2002),
+            i(1),
+            s("flat_kreuz"),
+            s("nbhd_kreuzberg"),
+            i(65),
+        ]),
+    )
+    .expect("curated");
+    // Same price as flat_mitte but a different host: refutes grouping
+    // listings by price.
+    inst.insert(
+        "Listings",
+        flat(vec![
+            i(2003),
+            i(2),
+            s("flat_prenz"),
+            s("nbhd_prenzlauer"),
+            i(80),
+        ]),
+    )
+    .expect("curated");
+    // Host with no listings: refutes spurious extra joins.
+    inst.insert("Hosts", flat(vec![i(3), s("host_noor")])).expect("curated");
+    inst.insert("Reviews", flat(vec![i(90_001), i(2001), i(9)]))
+        .expect("curated");
+    inst.insert("Reviews", flat(vec![i(90_002), i(2003), i(7)]))
+        .expect("curated");
+    inst
+}
+
+fn patent() -> Instance {
+    let mut inst = Instance::new(datasets::schema(datasets::patent::SOURCE));
+    inst.insert("Patents", flat(vec![i(1), s("invention_widget"), i(1999)]))
+        .expect("curated");
+    inst.insert("Patents", flat(vec![i(2), s("invention_gadget"), i(2004)]))
+        .expect("curated");
+    inst.insert("Parties", flat(vec![i(5001), s("corp_acme")]))
+        .expect("curated");
+    inst.insert("Parties", flat(vec![i(5002), s("corp_globex")]))
+        .expect("curated");
+    inst.insert("Parties", flat(vec![i(5003), s("corp_initech")]))
+        .expect("curated");
+    // Patent with no cases: refutes joining PatN with Cases.
+    inst.insert("Patents", flat(vec![i(3), s("invention_doodad"), i(2012)]))
+        .expect("curated");
+    // Both cases share a filing year: refutes grouping suits by year.
+    inst.insert(
+        "Cases",
+        flat(vec![i(70_001), i(1), i(5001), i(5002), i(2005)]),
+    )
+    .expect("curated");
+    inst.insert(
+        "Cases",
+        flat(vec![i(70_002), i(2), i(5003), i(5001), i(2005)]),
+    )
+    .expect("curated");
+    inst
+}
+
+fn bike() -> Instance {
+    let mut inst = Instance::new(datasets::schema(datasets::bike::SOURCE));
+    inst.insert(
+        "Stations",
+        flat(vec![i(1), s("station_market"), s("bay_city_sf"), i(25)]),
+    )
+    .expect("curated");
+    inst.insert(
+        "Stations",
+        flat(vec![i(2), s("station_caltrain"), s("bay_city_sf"), i(25)]),
+    )
+    .expect("curated");
+    inst.insert(
+        "Stations",
+        flat(vec![i(3), s("station_univ"), s("bay_city_pa"), i(15)]),
+    )
+    .expect("curated");
+    inst.insert("Trips", flat(vec![i(100_001), i(1), i(2), i(540)]))
+        .expect("curated");
+    inst.insert("Trips", flat(vec![i(100_002), i(2), i(3), i(1_980)]))
+        .expect("curated");
+    // Station 1 is never a destination and station 3 never departs:
+    // refutes programs requiring both roles.
+    inst.insert("Trips", flat(vec![i(100_003), i(1), i(3), i(2_760)]))
+        .expect("curated");
+    inst
+}
+
+fn tencent() -> Instance {
+    let mut inst = Instance::new(datasets::schema(datasets::tencent::SOURCE));
+    inst.insert(
+        "WUser",
+        flat(vec![i(1), s("weibo_ping"), s("region_gd"), i(2010)]),
+    )
+    .expect("curated");
+    inst.insert(
+        "WUser",
+        flat(vec![i(2), s("weibo_hua"), s("region_bj"), i(2011)]),
+    )
+    .expect("curated");
+    inst.insert(
+        "WUser",
+        flat(vec![i(3), s("weibo_lei"), s("region_sh"), i(2012)]),
+    )
+    .expect("curated");
+    // Deliberately acyclic: user 3 follows nobody, so programs demanding
+    // an outgoing edge from the followee are refuted by the example.
+    inst.insert("Follows", flat(vec![i(1), i(2), i(12), s("fan")]))
+        .expect("curated");
+    inst.insert("Follows", flat(vec![i(2), i(3), i(7), s("friend")]))
+        .expect("curated");
+    inst.insert("Follows", flat(vec![i(1), i(3), i(31), s("fan")]))
+        .expect("curated");
+    inst
+}
+
+fn retina() -> Instance {
+    let mut inst = Instance::new(datasets::schema(datasets::retina::SOURCE));
+    inst.insert("Neuron", flat(vec![i(101), s("rod"), i(1), i(4000)]))
+        .expect("curated");
+    inst.insert("Neuron", flat(vec![i(102), s("bipolar"), i(2), i(6000)]))
+        .expect("curated");
+    inst.insert("Neuron", flat(vec![i(103), s("ganglion"), i(4), i(4000)]))
+        .expect("curated");
+    // Isolated neuron: refutes extra joins with Contact in either role.
+    inst.insert("Neuron", flat(vec![i(104), s("amacrine"), i(3), i(6000)]))
+        .expect("curated");
+    // Two contacts from different sources share a weight: refutes
+    // grouping links by weight. Neuron 103 has no outgoing contact.
+    inst.insert("Contact", flat(vec![i(101), i(102), i(14), s("chemical")]))
+        .expect("curated");
+    inst.insert("Contact", flat(vec![i(102), i(103), i(9), s("electrical")]))
+        .expect("curated");
+    inst.insert("Contact", flat(vec![i(102), i(101), i(14), s("ribbon")]))
+        .expect("curated");
+    // Destination 103 is contacted by two different sources: refutes
+    // grouping links by destination.
+    inst.insert("Contact", flat(vec![i(101), i(103), i(21), s("gap")]))
+        .expect("curated");
+    // One source (103) contacts two link-bearing destinations with equal
+    // weights: refutes programs that group a neuron's links under a
+    // "twin" destination reached through an equal-weight pair.
+    inst.insert("Contact", flat(vec![i(103), i(102), i(7), s("gap")]))
+        .expect("curated");
+    inst.insert("Contact", flat(vec![i(103), i(101), i(7), s("gap")]))
+        .expect("curated");
+    inst
+}
+
+fn movie() -> Instance {
+    let mut inst = Instance::new(datasets::schema(datasets::movie::SOURCE));
+    inst.insert("MlMovie", flat(vec![i(1), s("ml_film_alien"), i(1979)]))
+        .expect("curated");
+    inst.insert("MlMovie", flat(vec![i(2), s("ml_film_brazil"), i(1985)]))
+        .expect("curated");
+    inst.insert("MlUser", flat(vec![i(10_001), i(34)])).expect("curated");
+    inst.insert("MlUser", flat(vec![i(10_002), i(27)])).expect("curated");
+    inst.insert("MlMovie", flat(vec![i(3), s("ml_film_cube"), i(1997)]))
+        .expect("curated");
+    // Fully isolated movie: refutes spurious extra joins.
+    inst.insert("MlMovie", flat(vec![i(4), s("ml_film_solaris"), i(1972)]))
+        .expect("curated");
+    // Star value 5 appears on several movies, including twice from the
+    // same user: refutes grouping ratings by stars or by co-rated movie.
+    inst.insert("Rated", flat(vec![i(10_001), i(1), i(5)]))
+        .expect("curated");
+    inst.insert("Rated", flat(vec![i(10_002), i(2), i(5)]))
+        .expect("curated");
+    inst.insert("Rated", flat(vec![i(10_002), i(3), i(5)]))
+        .expect("curated");
+    inst.insert("Rated", flat(vec![i(10_001), i(2), i(4)]))
+        .expect("curated");
+    inst.insert("Genre", flat(vec![i(90_001), s("genre_scifi")]))
+        .expect("curated");
+    inst.insert("Genre", flat(vec![i(90_002), s("genre_satire")]))
+        .expect("curated");
+    inst.insert("HasGenre", flat(vec![i(1), i(90_001)])).expect("curated");
+    inst.insert("HasGenre", flat(vec![i(2), i(90_002)])).expect("curated");
+    inst.insert("HasGenre", flat(vec![i(3), i(90_001)])).expect("curated");
+    inst
+}
+
+fn soccer() -> Instance {
+    let mut inst = Instance::new(datasets::schema(datasets::soccer::SOURCE));
+    inst.insert("SoPlayer", flat(vec![i(1), s("kicker_zito"), s("nation_br")]))
+        .expect("curated");
+    inst.insert("SoPlayer", flat(vec![i(2), s("kicker_koke"), s("nation_es")]))
+        .expect("curated");
+    inst.insert("Club", flat(vec![i(501), s("club_rovers"), s("EPL")]))
+        .expect("curated");
+    inst.insert("Club", flat(vec![i(502), s("club_united"), s("EPL")]))
+        .expect("curated");
+    inst.insert("Club", flat(vec![i(503), s("club_city"), s("LaLiga")]))
+        .expect("curated");
+    // A club with no transfers at all: refutes spurious joins.
+    inst.insert("Club", flat(vec![i(504), s("club_albion"), s("SerieA")]))
+        .expect("curated");
+    // Equal fee and year on both transfers: refutes grouping signings by
+    // fee or year.
+    inst.insert(
+        "TransferE",
+        flat(vec![i(501), i(502), i(1), i(5_000_000), i(2015)]),
+    )
+    .expect("curated");
+    inst.insert(
+        "TransferE",
+        flat(vec![i(502), i(503), i(2), i(5_000_000), i(2015)]),
+    )
+    .expect("curated");
+    // The same player moves again: refutes grouping signings by player.
+    inst.insert(
+        "TransferE",
+        flat(vec![i(503), i(501), i(1), i(7_000_000), i(2016)]),
+    )
+    .expect("curated");
+    inst.insert("ContractE", flat(vec![i(1), i(502), i(80_000)]))
+        .expect("curated");
+    inst.insert("ContractE", flat(vec![i(2), i(503), i(150_000)]))
+        .expect("curated");
+    inst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_curated_inputs_are_valid_and_small() {
+        for ds in crate::datasets::all() {
+            let inst = curated_input(ds.name);
+            assert!(inst.num_records() >= 4, "{} too small", ds.name);
+            assert!(inst.num_records() <= 30, "{} too large", ds.name);
+        }
+    }
+}

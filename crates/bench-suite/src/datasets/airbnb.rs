@@ -1,0 +1,66 @@
+//! Airbnb: hosts, listings, and reviews in Berlin (relational).
+
+use dynamite_instance::{Instance, Value};
+use rand::Rng;
+
+use super::{flat, name, rng, schema, Dataset};
+
+/// Source schema (relational).
+pub const SOURCE: &str = "@relational
+Hosts { host_id: Int, host_name: String }
+Listings { lst_id: Int, lst_host: Int, lst_name: String, lst_nbhd: String, lst_price: Int }
+Reviews { rvw_id: Int, rvw_listing: Int, rvw_score: Int }";
+
+/// The dataset descriptor.
+pub fn dataset() -> Dataset {
+    Dataset {
+        name: "Airbnb",
+        description: "Berlin Airbnb data",
+        source: schema(SOURCE),
+        generate,
+    }
+}
+
+/// Generates an Airbnb-shaped instance: `15 × scale` hosts, 1–3 listings
+/// each, 0–4 reviews per listing.
+pub fn generate(scale: u64, seed: u64) -> Instance {
+    let mut r = rng(seed);
+    let mut inst = Instance::new(schema(SOURCE));
+    let hosts = 15 * scale as i64;
+    let mut lst = 2_000i64;
+    let mut rvw = 90_000i64;
+    for h in 0..hosts {
+        inst.insert(
+            "Hosts",
+            flat(vec![Value::Int(h), Value::str(format!("host_{h}"))]),
+        )
+        .expect("valid host");
+        for _ in 0..r.gen_range(1..=3) {
+            lst += 1;
+            inst.insert(
+                "Listings",
+                flat(vec![
+                    Value::Int(lst),
+                    Value::Int(h),
+                    Value::str(format!("flat_{lst}")),
+                    name(&mut r, "nbhd_", 12),
+                    Value::Int(r.gen_range(20..=400)),
+                ]),
+            )
+            .expect("valid listing");
+            for _ in 0..r.gen_range(0..=4) {
+                rvw += 1;
+                inst.insert(
+                    "Reviews",
+                    flat(vec![
+                        Value::Int(rvw),
+                        Value::Int(lst),
+                        Value::Int(r.gen_range(1..=10)),
+                    ]),
+                )
+                .expect("valid review");
+            }
+        }
+    }
+    inst
+}

@@ -1,0 +1,58 @@
+//! Bay Area bike share: stations and trips (relational).
+
+use dynamite_instance::{Instance, Value};
+use rand::Rng;
+
+use super::{flat, name, rng, schema, Dataset};
+
+/// Source schema (relational). Trips carry two foreign keys into
+/// `Stations` (start and end).
+pub const SOURCE: &str = "@relational
+Stations { sta_id: Int, sta_name: String, sta_city: String, sta_docks: Int }
+Trips { trip_id: Int, trip_start: Int, trip_end: Int, trip_dur: Int }";
+
+/// The dataset descriptor.
+pub fn dataset() -> Dataset {
+    Dataset {
+        name: "Bike",
+        description: "Bike trip data in Bay Area",
+        source: schema(SOURCE),
+        generate,
+    }
+}
+
+/// Generates a Bike-shaped instance: `12 × scale` stations and
+/// `60 × scale` trips between them.
+pub fn generate(scale: u64, seed: u64) -> Instance {
+    let mut r = rng(seed);
+    let mut inst = Instance::new(schema(SOURCE));
+    let stations = 12 * scale as i64;
+    for s in 0..stations {
+        inst.insert(
+            "Stations",
+            flat(vec![
+                Value::Int(s),
+                Value::str(format!("station_{s}")),
+                name(&mut r, "bay_city_", 6),
+                Value::Int(r.gen_range(10..=40)),
+            ]),
+        )
+        .expect("valid station");
+    }
+    let trips = 60 * scale as i64;
+    for t in 0..trips {
+        let a = r.gen_range(0..stations);
+        let b = r.gen_range(0..stations);
+        inst.insert(
+            "Trips",
+            flat(vec![
+                Value::Int(100_000 + t),
+                Value::Int(a),
+                Value::Int(b),
+                Value::Int(r.gen_range(60..7_200)),
+            ]),
+        )
+        .expect("valid trip");
+    }
+    inst
+}

@@ -1,0 +1,53 @@
+//! DBLP: publications with nested author lists (document).
+
+use dynamite_instance::{Instance, Record, Value};
+use rand::Rng;
+
+use super::{flat, name, rng, schema, Dataset};
+
+/// Source schema (document).
+pub const SOURCE: &str = "@document
+Article {
+  art_id: Int, art_title: String, art_year: Int, venue: String,
+  Author { au_name: String, au_pos: Int },
+}";
+
+/// The dataset descriptor.
+pub fn dataset() -> Dataset {
+    Dataset {
+        name: "DBLP",
+        description: "Publication records from DBLP",
+        source: schema(SOURCE),
+        generate,
+    }
+}
+
+/// Generates a DBLP-shaped instance: `50 × scale` articles, 1–4 authors.
+pub fn generate(scale: u64, seed: u64) -> Instance {
+    let mut r = rng(seed);
+    let mut inst = Instance::new(schema(SOURCE));
+    let n = 50 * scale as usize;
+    for aid in 0..n as i64 {
+        let authors: Vec<Record> = (0..r.gen_range(1..=4))
+            .enumerate()
+            .map(|(pos, _)| {
+                flat(vec![
+                    name(&mut r, "author_", 40 * scale as usize),
+                    Value::Int(pos as i64 + 1),
+                ])
+            })
+            .collect();
+        inst.insert(
+            "Article",
+            Record::with_fields(vec![
+                Value::Int(aid).into(),
+                Value::str(format!("paper_{aid}")).into(),
+                Value::Int(r.gen_range(1980..=2019)).into(),
+                name(&mut r, "venue_", 20).into(),
+                authors.into(),
+            ]),
+        )
+        .expect("valid dblp record");
+    }
+    inst
+}

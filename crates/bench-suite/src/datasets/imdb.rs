@@ -1,0 +1,62 @@
+//! IMDB: movies with nested cast and rating summaries (document).
+
+use dynamite_instance::{Instance, Record, Value};
+use rand::Rng;
+
+use super::{flat, name, rng, schema, Dataset};
+
+/// Source schema (document).
+pub const SOURCE: &str = "@document
+Movie {
+  mid: Int, title: String, myear: Int,
+  Cast { actor_name: String, role: String },
+  Rating { score: Int, votes: Int },
+}";
+
+/// The dataset descriptor.
+pub fn dataset() -> Dataset {
+    Dataset {
+        name: "IMDB",
+        description: "Movie and crew info from IMDB",
+        source: schema(SOURCE),
+        generate,
+    }
+}
+
+/// Generates an IMDB-shaped instance: `35 × scale` movies with 1–5 cast
+/// members and 0–2 rating summaries.
+pub fn generate(scale: u64, seed: u64) -> Instance {
+    let mut r = rng(seed);
+    let mut inst = Instance::new(schema(SOURCE));
+    let n = 35 * scale as usize;
+    for mid in 0..n as i64 {
+        let cast: Vec<Record> = (0..r.gen_range(1..=5))
+            .map(|_| {
+                flat(vec![
+                    name(&mut r, "actor_", 25 * scale as usize),
+                    name(&mut r, "role_", 10),
+                ])
+            })
+            .collect();
+        let ratings: Vec<Record> = (0..r.gen_range(0..=2))
+            .map(|_| {
+                flat(vec![
+                    Value::Int(r.gen_range(10..=100)),
+                    Value::Int(r.gen_range(1_000..50_000)),
+                ])
+            })
+            .collect();
+        inst.insert(
+            "Movie",
+            Record::with_fields(vec![
+                Value::Int(mid).into(),
+                Value::str(format!("film_{mid}")).into(),
+                Value::Int(r.gen_range(1950..=2019)).into(),
+                cast.into(),
+                ratings.into(),
+            ]),
+        )
+        .expect("valid imdb record");
+    }
+    inst
+}

@@ -1,0 +1,74 @@
+//! MLB: teams, players, and pitch-level events (relational).
+
+use dynamite_instance::{Instance, Value};
+use rand::Rng;
+
+use super::{flat, rng, schema, Dataset};
+
+/// Source schema (relational).
+pub const SOURCE: &str = "@relational
+Teams { team_id: Int, team_name: String, league: String }
+Players { player_id: Int, p_team: Int, p_name: String, p_avg: Int }
+Pitches { pitch_id: Int, pi_pitcher: Int, pi_speed: Int, pi_kind: String }";
+
+/// The dataset descriptor.
+pub fn dataset() -> Dataset {
+    Dataset {
+        name: "MLB",
+        description: "Pitch data of Major League Baseball",
+        source: schema(SOURCE),
+        generate,
+    }
+}
+
+/// Generates an MLB-shaped instance: `6 × scale` teams, ~8 players per
+/// team, ~6 pitches per player.
+pub fn generate(scale: u64, seed: u64) -> Instance {
+    let mut r = rng(seed);
+    let mut inst = Instance::new(schema(SOURCE));
+    let teams = 6 * scale as i64;
+    let leagues = ["AL", "NL"];
+    for t in 0..teams {
+        inst.insert(
+            "Teams",
+            flat(vec![
+                Value::Int(t),
+                Value::str(format!("team_{t}")),
+                Value::str(leagues[(t % 2) as usize]),
+            ]),
+        )
+        .expect("valid team");
+    }
+    let mut pid = 1_000i64;
+    let mut pitch = 50_000i64;
+    let kinds = ["FF", "SL", "CH", "CU"];
+    for t in 0..teams {
+        for _ in 0..r.gen_range(6..=9) {
+            pid += 1;
+            inst.insert(
+                "Players",
+                flat(vec![
+                    Value::Int(pid),
+                    Value::Int(t),
+                    Value::str(format!("player_{pid}")),
+                    Value::Int(r.gen_range(150..=350)),
+                ]),
+            )
+            .expect("valid player");
+            for _ in 0..r.gen_range(3..=6) {
+                pitch += 1;
+                inst.insert(
+                    "Pitches",
+                    flat(vec![
+                        Value::Int(pitch),
+                        Value::Int(pid),
+                        Value::Int(r.gen_range(70..=103)),
+                        Value::str(kinds[r.gen_range(0..kinds.len())]),
+                    ]),
+                )
+                .expect("valid pitch");
+            }
+        }
+    }
+    inst
+}

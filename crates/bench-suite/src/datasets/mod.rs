@@ -1,0 +1,124 @@
+//! Synthetic stand-ins for the paper's twelve datasets (Table 1).
+//!
+//! The real dumps (Yelp 4.7 GB, IMDB 6.3 GB, …) are proprietary or
+//! impractically large; each module here generates a deterministic
+//! instance with the same *shape* — record types, nesting, foreign-key
+//! relationships, and realistic value distributions — at a configurable
+//! scale factor (see DESIGN.md, substitution 1).
+//!
+//! Generator conventions:
+//! - `generate(scale, seed)` returns a foreign-key-consistent instance
+//!   whose top-level record count grows linearly with `scale`
+//!   (`scale = 1` ≈ tens of records; the Table 1 binary reports sizes);
+//! - value ranges are attribute-distinctive (ids, years, scores live in
+//!   separate ranges) so that small curated examples induce the same
+//!   attribute mapping a domain expert would intend — mirroring the
+//!   paper's "representative examples".
+
+pub mod airbnb;
+pub mod bike;
+pub mod dblp;
+pub mod imdb;
+pub mod mlb;
+pub mod mondial;
+pub mod movie;
+pub mod patent;
+pub mod retina;
+pub mod soccer;
+pub mod tencent;
+pub mod yelp;
+
+use std::sync::Arc;
+
+use dynamite_instance::{Instance, Record, Value};
+use dynamite_schema::Schema;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic RNG for generators.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Parses a schema, panicking on error (generator schemas are static).
+pub fn schema(dsl: &str) -> Arc<Schema> {
+    Arc::new(Schema::parse(dsl).expect("dataset schema is valid"))
+}
+
+/// Builds a flat record from values.
+pub fn flat(values: Vec<Value>) -> Record {
+    Record::from_values(values)
+}
+
+/// Picks `format!("{stem}{n}")` style names with dataset-specific stems.
+pub fn name(rng: &mut StdRng, stem: &str, pool: usize) -> Value {
+    Value::str(format!("{stem}{}", rng.gen_range(0..pool)))
+}
+
+/// A dataset descriptor: name, description, source schema, and generator.
+pub struct Dataset {
+    /// Table 1 name (e.g. "Yelp").
+    pub name: &'static str,
+    /// Table 1 description.
+    pub description: &'static str,
+    /// The source schema shared by this dataset's benchmarks.
+    pub source: Arc<Schema>,
+    /// Full-instance generator.
+    pub generate: fn(scale: u64, seed: u64) -> Instance,
+}
+
+/// All twelve datasets in Table 1 order.
+pub fn all() -> Vec<Dataset> {
+    vec![
+        yelp::dataset(),
+        imdb::dataset(),
+        mondial::dataset(),
+        dblp::dataset(),
+        mlb::dataset(),
+        airbnb::dataset(),
+        patent::dataset(),
+        bike::dataset(),
+        tencent::dataset(),
+        retina::dataset(),
+        movie::dataset(),
+        soccer::dataset(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_generators_produce_consistent_instances() {
+        for ds in all() {
+            let inst = (ds.generate)(1, 7);
+            assert!(
+                inst.num_records() > 0,
+                "{} generated an empty instance",
+                ds.name
+            );
+            // Same seed → same instance; different seed → (almost surely)
+            // different instance.
+            let again = (ds.generate)(1, 7);
+            assert!(
+                inst.canon_eq(&again),
+                "{} generator is not deterministic",
+                ds.name
+            );
+        }
+    }
+
+    #[test]
+    fn scale_grows_instances() {
+        for ds in all() {
+            let small = (ds.generate)(1, 3).num_records();
+            let large = (ds.generate)(4, 3).num_records();
+            assert!(
+                large > small,
+                "{}: scale 4 ({large}) not larger than scale 1 ({small})",
+                ds.name
+            );
+        }
+    }
+}

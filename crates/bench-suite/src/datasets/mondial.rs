@@ -1,0 +1,77 @@
+//! Mondial: countries → provinces → cities, plus languages (document,
+//! three levels of nesting).
+
+use dynamite_instance::{Instance, Record, Value};
+use rand::Rng;
+
+use super::{flat, name, rng, schema, Dataset};
+
+/// Source schema (document), with depth-3 nesting.
+pub const SOURCE: &str = "@document
+Country {
+  co_id: Int, co_name: String, co_pop: Int,
+  Province {
+    pr_name: String, pr_pop: Int,
+    City { ci_name: String, ci_pop: Int },
+  },
+  Language { la_name: String, la_pct: Int },
+}";
+
+/// The dataset descriptor.
+pub fn dataset() -> Dataset {
+    Dataset {
+        name: "Mondial",
+        description: "Geography information",
+        source: schema(SOURCE),
+        generate,
+    }
+}
+
+/// Generates a Mondial-shaped instance: `12 × scale` countries with 1–3
+/// provinces of 1–3 cities each, and 1–3 languages.
+pub fn generate(scale: u64, seed: u64) -> Instance {
+    let mut r = rng(seed);
+    let mut inst = Instance::new(schema(SOURCE));
+    let n = 12 * scale as usize;
+    let mut pr = 0usize;
+    for cid in 0..n as i64 {
+        let provinces: Vec<Record> = (0..r.gen_range(1..=3))
+            .map(|_| {
+                pr += 1;
+                let cities: Vec<Record> = (0..r.gen_range(1..=3))
+                    .map(|k| {
+                        flat(vec![
+                            Value::str(format!("city_{pr}_{k}")),
+                            Value::Int(r.gen_range(10_000..5_000_000)),
+                        ])
+                    })
+                    .collect();
+                Record::with_fields(vec![
+                    Value::str(format!("prov_{pr}")).into(),
+                    Value::Int(r.gen_range(100_000..20_000_000)).into(),
+                    cities.into(),
+                ])
+            })
+            .collect();
+        let langs: Vec<Record> = (0..r.gen_range(1..=3))
+            .map(|_| {
+                flat(vec![
+                    name(&mut r, "lang_", 18),
+                    Value::Int(r.gen_range(1..=100)),
+                ])
+            })
+            .collect();
+        inst.insert(
+            "Country",
+            Record::with_fields(vec![
+                Value::Int(cid).into(),
+                Value::str(format!("country_{cid}")).into(),
+                Value::Int(r.gen_range(100_000..90_000_000)).into(),
+                provinces.into(),
+                langs.into(),
+            ]),
+        )
+        .expect("valid mondial record");
+    }
+    inst
+}

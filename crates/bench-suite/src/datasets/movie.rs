@@ -1,0 +1,84 @@
+//! MovieLens: movies, users, ratings, genres (graph).
+
+use dynamite_instance::{Instance, Value};
+use rand::Rng;
+
+use super::{flat, rng, schema, Dataset};
+
+/// Source schema (graph): two node tables, one edge table with a rating
+/// property, plus genre nodes and membership edges.
+pub const SOURCE: &str = "@graph
+MlMovie { mv_id: Int, mv_title: String, mv_year: Int }
+MlUser { us_id: Int, us_age: Int }
+Rated { ra_src: Int, ra_dst: Int, ra_stars: Int }
+Genre { ge_id: Int, ge_name: String }
+HasGenre { hg_src: Int, hg_dst: Int }";
+
+/// The dataset descriptor.
+pub fn dataset() -> Dataset {
+    Dataset {
+        name: "Movie",
+        description: "Movie ratings from MovieLens",
+        source: schema(SOURCE),
+        generate,
+    }
+}
+
+/// Generates a MovieLens-shaped instance: `20 × scale` movies,
+/// `15 × scale` users, ratings and genre links.
+pub fn generate(scale: u64, seed: u64) -> Instance {
+    let mut r = rng(seed);
+    let mut inst = Instance::new(schema(SOURCE));
+    let movies = 20 * scale as i64;
+    let users = 15 * scale as i64;
+    let genres = 8i64;
+    for m in 0..movies {
+        inst.insert(
+            "MlMovie",
+            flat(vec![
+                Value::Int(m),
+                Value::str(format!("ml_film_{m}")),
+                Value::Int(r.gen_range(1960..=2018)),
+            ]),
+        )
+        .expect("valid movie");
+    }
+    for u in 0..users {
+        inst.insert(
+            "MlUser",
+            flat(vec![Value::Int(10_000 + u), Value::Int(r.gen_range(16..=80))]),
+        )
+        .expect("valid user");
+    }
+    for g in 0..genres {
+        inst.insert(
+            "Genre",
+            flat(vec![
+                Value::Int(90_000 + g),
+                Value::str(format!("genre_{g}")),
+            ]),
+        )
+        .expect("valid genre");
+    }
+    for _ in 0..60 * scale {
+        inst.insert(
+            "Rated",
+            flat(vec![
+                Value::Int(10_000 + r.gen_range(0..users)),
+                Value::Int(r.gen_range(0..movies)),
+                Value::Int(r.gen_range(1..=5)),
+            ]),
+        )
+        .expect("valid rating");
+    }
+    for m in 0..movies {
+        for _ in 0..r.gen_range(1..=2) {
+            inst.insert(
+                "HasGenre",
+                flat(vec![Value::Int(m), Value::Int(90_000 + r.gen_range(0..genres))]),
+            )
+            .expect("valid genre edge");
+        }
+    }
+    inst
+}

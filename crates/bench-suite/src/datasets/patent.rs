@@ -1,0 +1,74 @@
+//! Patent litigation 1963–2015: patents, parties, and cases (relational).
+
+use dynamite_instance::{Instance, Value};
+use rand::Rng;
+
+use super::{flat, rng, schema, Dataset};
+
+/// Source schema (relational). A case links one patent with a plaintiff
+/// and a defendant party (two foreign keys into the same table — the
+/// self-join shape the paper's relational benchmarks exercise).
+pub const SOURCE: &str = "@relational
+Patents { pat_id: Int, pat_title: String, pat_year: Int }
+Parties { party_id: Int, party_name: String }
+Cases { case_id: Int, case_patent: Int, case_plaintiff: Int, case_defendant: Int, case_year: Int }";
+
+/// The dataset descriptor.
+pub fn dataset() -> Dataset {
+    Dataset {
+        name: "Patent",
+        description: "Patent Litigation Data 1963-2015",
+        source: schema(SOURCE),
+        generate,
+    }
+}
+
+/// Generates a Patent-shaped instance: `20 × scale` patents, `10 × scale`
+/// parties, ~1.5 cases per patent.
+pub fn generate(scale: u64, seed: u64) -> Instance {
+    let mut r = rng(seed);
+    let mut inst = Instance::new(schema(SOURCE));
+    let patents = 20 * scale as i64;
+    let parties = 10 * scale as i64;
+    for p in 0..patents {
+        inst.insert(
+            "Patents",
+            flat(vec![
+                Value::Int(p),
+                Value::str(format!("invention_{p}")),
+                Value::Int(r.gen_range(1963..=2015)),
+            ]),
+        )
+        .expect("valid patent");
+    }
+    for q in 0..parties {
+        inst.insert(
+            "Parties",
+            flat(vec![Value::Int(5_000 + q), Value::str(format!("corp_{q}"))]),
+        )
+        .expect("valid party");
+    }
+    let mut case = 70_000i64;
+    for p in 0..patents {
+        for _ in 0..r.gen_range(0..=3) {
+            case += 1;
+            let pl = 5_000 + r.gen_range(0..parties);
+            let mut df = 5_000 + r.gen_range(0..parties);
+            if df == pl {
+                df = 5_000 + (df - 5_000 + 1) % parties;
+            }
+            inst.insert(
+                "Cases",
+                flat(vec![
+                    Value::Int(case),
+                    Value::Int(p),
+                    Value::Int(pl),
+                    Value::Int(df),
+                    Value::Int(r.gen_range(1963..=2015)),
+                ]),
+            )
+            .expect("valid case");
+        }
+    }
+    inst
+}

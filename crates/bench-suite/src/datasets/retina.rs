@@ -1,0 +1,64 @@
+//! Mouse retina connectome: neurons and contacts (graph).
+
+use dynamite_instance::{Instance, Value};
+use rand::Rng;
+
+use super::{flat, rng, schema, Dataset};
+
+/// Source schema (graph).
+pub const SOURCE: &str = "@graph
+Neuron { ne_id: Int, ne_type: String, ne_layer: Int, ne_size: Int }
+Contact { cn_src: Int, cn_dst: Int, cn_weight: Int, cn_kind: String }";
+
+/// The dataset descriptor.
+pub fn dataset() -> Dataset {
+    Dataset {
+        name: "Retina",
+        description: "Biological info of mouse retina",
+        source: schema(SOURCE),
+        generate,
+    }
+}
+
+/// Generates a Retina-shaped instance: `25 × scale` neurons and
+/// `70 × scale` contacts.
+pub fn generate(scale: u64, seed: u64) -> Instance {
+    let mut r = rng(seed);
+    let mut inst = Instance::new(schema(SOURCE));
+    let neurons = 25 * scale as i64;
+    let types = ["rod", "cone", "bipolar", "amacrine", "ganglion"];
+    for n in 0..neurons {
+        inst.insert(
+            "Neuron",
+            flat(vec![
+                Value::Int(100 + n),
+                Value::str(types[r.gen_range(0..types.len())]),
+                Value::Int(r.gen_range(1..=5)),
+                Value::Int(r.gen_range(1..=6) * 1_000),
+            ]),
+        )
+        .expect("valid neuron");
+    }
+    // Weight values collide across contacts (41 values, 70+ contacts),
+    // which is what makes wrong "group links by weight" programs
+    // refutable; the range is disjoint from layers to avoid junk aliases.
+    let kinds = ["chemical", "electrical"];
+    for _ in 0..70 * scale {
+        let a = r.gen_range(0..neurons);
+        let mut b = r.gen_range(0..neurons);
+        if a == b {
+            b = (b + 1) % neurons;
+        }
+        inst.insert(
+            "Contact",
+            flat(vec![
+                Value::Int(100 + a),
+                Value::Int(100 + b),
+                Value::Int(r.gen_range(10..=50)),
+                Value::str(kinds[r.gen_range(0..kinds.len())]),
+            ]),
+        )
+        .expect("valid contact");
+    }
+    inst
+}

@@ -1,0 +1,85 @@
+//! Soccer transfers: players, clubs, transfer and contract edges (graph).
+
+use dynamite_instance::{Instance, Value};
+use rand::Rng;
+
+use super::{flat, rng, schema, Dataset};
+
+/// Source schema (graph).
+pub const SOURCE: &str = "@graph
+SoPlayer { so_pid: Int, so_pname: String, so_country: String }
+Club { cl_id: Int, cl_name: String, cl_league: String }
+TransferE { tr_from: Int, tr_to: Int, tr_player: Int, tr_fee: Int, tr_year: Int }
+ContractE { ct_player: Int, ct_club: Int, ct_wage: Int }";
+
+/// The dataset descriptor.
+pub fn dataset() -> Dataset {
+    Dataset {
+        name: "Soccer",
+        description: "Transfer info of soccer players",
+        source: schema(SOURCE),
+        generate,
+    }
+}
+
+/// Generates a Soccer-shaped instance: `10 × scale` clubs, `40 × scale`
+/// players, transfers between clubs and contracts.
+pub fn generate(scale: u64, seed: u64) -> Instance {
+    let mut r = rng(seed);
+    let mut inst = Instance::new(schema(SOURCE));
+    let clubs = 10 * scale as i64;
+    let players = 40 * scale as i64;
+    let leagues = ["EPL", "LaLiga", "SerieA", "Bundesliga"];
+    for c in 0..clubs {
+        inst.insert(
+            "Club",
+            flat(vec![
+                Value::Int(500 + c),
+                Value::str(format!("club_{c}")),
+                Value::str(leagues[r.gen_range(0..leagues.len())]),
+            ]),
+        )
+        .expect("valid club");
+    }
+    for p in 0..players {
+        inst.insert(
+            "SoPlayer",
+            flat(vec![
+                Value::Int(p),
+                Value::str(format!("kicker_{p}")),
+                Value::str(format!("nation_{}", r.gen_range(0..12))),
+            ]),
+        )
+        .expect("valid player");
+    }
+    for _ in 0..30 * scale {
+        let from = 500 + r.gen_range(0..clubs);
+        let mut to = 500 + r.gen_range(0..clubs);
+        if to == from {
+            to = 500 + (to - 500 + 1) % clubs;
+        }
+        inst.insert(
+            "TransferE",
+            flat(vec![
+                Value::Int(from),
+                Value::Int(to),
+                Value::Int(r.gen_range(0..players)),
+                Value::Int(r.gen_range(1..=200) * 100_000),
+                Value::Int(r.gen_range(2000..=2019)),
+            ]),
+        )
+        .expect("valid transfer");
+    }
+    for p in 0..players {
+        inst.insert(
+            "ContractE",
+            flat(vec![
+                Value::Int(p),
+                Value::Int(500 + r.gen_range(0..clubs)),
+                Value::Int(r.gen_range(10..=500) * 1_000),
+            ]),
+        )
+        .expect("valid contract");
+    }
+    inst
+}

@@ -1,0 +1,60 @@
+//! Tencent Weibo: users and follow edges (graph).
+
+use dynamite_instance::{Instance, Value};
+use rand::Rng;
+
+use super::{flat, rng, schema, Dataset};
+
+/// Source schema (graph): one node table, one edge table.
+pub const SOURCE: &str = "@graph
+WUser { wu_id: Int, wu_name: String, wu_region: String, wu_year: Int }
+Follows { fo_src: Int, fo_dst: Int, fo_weight: Int, fo_kind: String }";
+
+/// The dataset descriptor.
+pub fn dataset() -> Dataset {
+    Dataset {
+        name: "Tencent",
+        description: "User followers in Tencent Weibo",
+        source: schema(SOURCE),
+        generate,
+    }
+}
+
+/// Generates a Tencent-shaped instance: `30 × scale` users and
+/// `90 × scale` follow edges.
+pub fn generate(scale: u64, seed: u64) -> Instance {
+    let mut r = rng(seed);
+    let mut inst = Instance::new(schema(SOURCE));
+    let users = 30 * scale as i64;
+    for u in 0..users {
+        inst.insert(
+            "WUser",
+            flat(vec![
+                Value::Int(u),
+                Value::str(format!("weibo_{u}")),
+                Value::str(format!("region_{}", r.gen_range(0..8))),
+                Value::Int(r.gen_range(2009..=2014)),
+            ]),
+        )
+        .expect("valid user");
+    }
+    let kinds = ["fan", "friend"];
+    for _ in 0..90 * scale {
+        let a = r.gen_range(0..users);
+        let mut b = r.gen_range(0..users);
+        if a == b {
+            b = (b + 1) % users;
+        }
+        inst.insert(
+            "Follows",
+            flat(vec![
+                Value::Int(a),
+                Value::Int(b),
+                Value::Int(r.gen_range(1..=100)),
+                Value::str(kinds[r.gen_range(0..kinds.len())]),
+            ]),
+        )
+        .expect("valid follow edge");
+    }
+    inst
+}

@@ -1,0 +1,61 @@
+//! Yelp: businesses with nested reviews and categories (document).
+
+use dynamite_instance::{Instance, Record, Value};
+use rand::Rng;
+
+use super::{flat, name, rng, schema, Dataset};
+
+/// Source schema (document).
+pub const SOURCE: &str = "@document
+Business {
+  bid: Int, bname: String, bcity: String, bstars: Int,
+  Review { rev_id: Int, rev_stars: Int, rev_user: String },
+  Category { cat_name: String },
+}";
+
+/// The dataset descriptor.
+pub fn dataset() -> Dataset {
+    Dataset {
+        name: "Yelp",
+        description: "Business and reviews from Yelp",
+        source: schema(SOURCE),
+        generate,
+    }
+}
+
+/// Generates a Yelp-shaped instance: `40 × scale` businesses, 0–4 reviews
+/// and 1–2 categories each.
+pub fn generate(scale: u64, seed: u64) -> Instance {
+    let mut r = rng(seed);
+    let mut inst = Instance::new(schema(SOURCE));
+    let n = 40 * scale as usize;
+    let mut rev_id = 10_000i64;
+    for bid in 0..n as i64 {
+        let reviews: Vec<Record> = (0..r.gen_range(0..=4))
+            .map(|_| {
+                rev_id += 1;
+                flat(vec![
+                    Value::Int(rev_id),
+                    Value::Int(r.gen_range(1..=5)),
+                    name(&mut r, "user_", 30 * scale as usize),
+                ])
+            })
+            .collect();
+        let cats: Vec<Record> = (0..r.gen_range(1..=2))
+            .map(|_| flat(vec![name(&mut r, "cat_", 12)]))
+            .collect();
+        inst.insert(
+            "Business",
+            Record::with_fields(vec![
+                Value::Int(bid).into(),
+                Value::str(format!("biz_{bid}")).into(),
+                name(&mut r, "city_", 15).into(),
+                Value::Int(r.gen_range(1..=5)).into(),
+                reviews.into(),
+                cats.into(),
+            ]),
+        )
+        .expect("valid yelp record");
+    }
+    inst
+}

@@ -1,0 +1,33 @@
+//! Ablation bench: MDP-guided blocking vs plain model blocking on the same
+//! benchmark (the design choice DESIGN.md calls out; aggregate version of
+//! Figure 9a).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dynamite_bench_suite::by_name;
+use dynamite_core::{synthesize, Strategy, SynthesisConfig};
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/blocking");
+    g.sample_size(10);
+    let b = by_name("Tencent-1").expect("benchmark exists");
+    let ex = b.example();
+    for (label, strategy) in [
+        ("mdp_guided", Strategy::MdpGuided),
+        ("enumerative", Strategy::Enumerative),
+    ] {
+        let config = SynthesisConfig {
+            strategy,
+            ..Default::default()
+        };
+        g.bench_function(label, |bench| {
+            bench.iter(|| {
+                synthesize(b.source(), b.target(), std::slice::from_ref(&ex), &config)
+                    .expect("synthesis succeeds")
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion microbenchmarks: Datalog evaluation (join-heavy golden
+//! programs on generated instances, plus recursive closure).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dynamite_bench_suite::by_name;
+use dynamite_datalog::{evaluate, Program};
+use dynamite_instance::{to_facts, Database};
+
+fn bench_golden_eval(c: &mut Criterion) {
+    let mut g = c.benchmark_group("datalog/golden");
+    g.sample_size(20);
+    for name in ["Bike-3", "Soccer-1"] {
+        let b = by_name(name).expect("benchmark exists");
+        let facts = to_facts(&b.generate_source(4, 3));
+        g.bench_function(name, |bench| {
+            bench.iter(|| evaluate(b.golden(), &facts).expect("golden evaluates"))
+        });
+    }
+    g.finish();
+}
+
+fn bench_transitive_closure(c: &mut Criterion) {
+    let program = Program::parse(
+        "Path(x, y) :- Edge(x, y).
+         Path(x, z) :- Path(x, y), Edge(y, z).",
+    )
+    .expect("parses");
+    let mut db = Database::new();
+    // A chain plus periodic shortcuts: 400 nodes.
+    for i in 0..400i64 {
+        db.insert("Edge", vec![i.into(), (i + 1).into()]);
+        if i % 7 == 0 {
+            db.insert("Edge", vec![i.into(), ((i + 13) % 400).into()]);
+        }
+    }
+    let mut g = c.benchmark_group("datalog");
+    g.sample_size(20);
+    g.bench_function("transitive_closure_400", |bench| {
+        bench.iter(|| evaluate(&program, &db).expect("evaluates"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_golden_eval, bench_transitive_closure);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion microbenchmarks: MDP breadth-first search on synthetic
+//! output tables of growing width.
+
+use std::collections::BTreeSet;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dynamite_core::mdp_set;
+use dynamite_instance::{FlatTable, Value};
+
+fn table(cols: usize, rows: usize, twist: bool) -> FlatTable {
+    FlatTable {
+        columns: (0..cols).map(|c| format!("col{c}")).collect(),
+        rows: (0..rows as i64)
+            .map(|r| {
+                (0..cols as i64)
+                    .map(|c| {
+                        // `twist` perturbs the last column of odd rows so
+                        // the tables differ there.
+                        if twist && c == cols as i64 - 1 && r % 2 == 1 {
+                            Value::Int(r * 100 + c + 1)
+                        } else {
+                            Value::Int(r * 100 + c)
+                        }
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect::<BTreeSet<_>>(),
+    }
+}
+
+fn bench_mdp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mdp");
+    g.sample_size(20);
+    for cols in [4usize, 6, 8] {
+        let actual = table(cols, 64, false);
+        let expected = table(cols, 64, true);
+        g.bench_function(format!("bfs_{cols}cols_64rows"), |bench| {
+            bench.iter(|| {
+                let r = mdp_set(&actual, &expected, 20_000);
+                assert!(!r.mdps.is_empty());
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_mdp);
+criterion_main!(benches);

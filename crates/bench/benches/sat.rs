@@ -1,0 +1,60 @@
+//! Criterion microbenchmarks: the CDCL SAT core and the finite-domain
+//! layer under blocking-clause pressure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dynamite_smt::{FdLit, FdSolver, Lit, SatSolver};
+
+#[allow(clippy::needless_range_loop)]
+fn bench_pigeonhole(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sat");
+    g.sample_size(10);
+    g.bench_function("sat/pigeonhole_7_into_6", |bench| {
+        bench.iter(|| {
+            let (p, h) = (7usize, 6usize);
+            let mut s = SatSolver::new();
+            let vars: Vec<Vec<_>> = (0..p)
+                .map(|_| (0..h).map(|_| s.new_var()).collect())
+                .collect();
+            for row in &vars {
+                let c: Vec<Lit> = row.iter().map(|&v| Lit::pos(v)).collect();
+                s.add_clause(&c);
+            }
+            for j in 0..h {
+                for a in 0..p {
+                    for b in (a + 1)..p {
+                        let (x, y) = (vars[a][j], vars[b][j]);
+                        s.add_clause(&[Lit::neg(x), Lit::neg(y)]);
+                    }
+                }
+            }
+            assert!(!s.solve());
+        })
+    });
+    g.finish();
+}
+
+fn bench_fd_model_enumeration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fd");
+    g.sample_size(10);
+    g.bench_function("fd/enumerate_4x6_models", |bench| {
+        bench.iter(|| {
+            let mut s = FdSolver::new();
+            let consts: Vec<_> = (0..6).map(|i| s.constant(&format!("c{i}"))).collect();
+            let vars: Vec<_> = (0..4)
+                .map(|i| s.new_var(&format!("x{i}"), &consts).expect("var"))
+                .collect();
+            let mut n = 0usize;
+            while let Some(m) = s.solve() {
+                n += 1;
+                let block: Vec<FdLit> =
+                    vars.iter().map(|&x| FdLit::Eq(x, m.value(x))).collect();
+                s.block(&block).expect("block");
+            }
+            assert_eq!(n, 6usize.pow(4));
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_pigeonhole, bench_fd_model_enumeration);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion microbenchmarks: end-to-end synthesis on representative
+//! benchmarks of each migration kind.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dynamite_bench_suite::by_name;
+use dynamite_core::{synthesize, SynthesisConfig};
+
+fn bench_synthesis(c: &mut Criterion) {
+    let mut g = c.benchmark_group("synthesis");
+    g.sample_size(10);
+    for name in ["Tencent-1", "Bike-3", "MLB-1", "Movie-1"] {
+        let b = by_name(name).expect("benchmark exists");
+        let ex = b.example();
+        g.bench_function(name, |bench| {
+            bench.iter(|| {
+                synthesize(
+                    b.source(),
+                    b.target(),
+                    std::slice::from_ref(&ex),
+                    &SynthesisConfig::default(),
+                )
+                .expect("synthesis succeeds")
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_synthesis);
+criterion_main!(benches);

@@ -1,0 +1,261 @@
+//! Attribute mapping inference (`InferAttrMapping`, §4.1).
+//!
+//! `Ψ` maps each primitive source attribute `a` to the set of attributes
+//! (source or target) whose example values are a subset of `a`'s values:
+//!
+//! > `a′ ∈ Ψ(a) ⇔ Π_a′(D) ⊆ Π_a(I)` where `D` is `I` for source
+//! > attributes and `O` for target attributes.
+//!
+//! Deviations, both documented in DESIGN.md:
+//! - attributes only alias when their primitive types agree (value equality
+//!   across types is impossible anyway);
+//! - an attribute with no values in any example aliases nothing (otherwise
+//!   the trivial subset would alias it to everything).
+
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+
+use dynamite_instance::{Instance, Value};
+use dynamite_schema::Schema;
+
+use crate::example::Example;
+
+/// The inferred attribute mapping `Ψ`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AttrMapping {
+    map: BTreeMap<String, BTreeSet<String>>,
+}
+
+impl AttrMapping {
+    /// The attributes `a` may correspond to (`Ψ(a)`); empty if none.
+    pub fn get(&self, a: &str) -> impl Iterator<Item = &str> {
+        self.map
+            .get(a)
+            .into_iter()
+            .flat_map(|s| s.iter().map(String::as_str))
+    }
+
+    /// Returns `true` if `b ∈ Ψ(a)`.
+    pub fn maps_to(&self, a: &str, b: &str) -> bool {
+        self.map.get(a).is_some_and(|s| s.contains(b))
+    }
+
+    /// Iterates `(a, Ψ(a))` pairs with nonempty images.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &BTreeSet<String>)> {
+        self.map.iter().map(|(a, s)| (a.as_str(), s))
+    }
+
+    /// Inserts `b` into `Ψ(a)` (exposed for tests and tooling).
+    pub fn insert(&mut self, a: &str, b: &str) {
+        self.map
+            .entry(a.to_string())
+            .or_default()
+            .insert(b.to_string());
+    }
+}
+
+impl std::fmt::Display for AttrMapping {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (a, s) in &self.map {
+            let items: Vec<&str> = s.iter().map(String::as_str).collect();
+            writeln!(f, "{a} -> {{{}}}", items.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+/// Collects the set of values of primitive attribute `attr` anywhere in
+/// `instance` (`Π_attr`).
+fn attribute_values(instance: &Instance, attr: &str) -> HashSet<Value> {
+    let flat = instance.flatten();
+    let mut out = HashSet::new();
+    for (_, table) in flat.iter() {
+        if let Some(c) = table.column_index(attr) {
+            for row in &table.rows {
+                out.insert(row[c].clone());
+            }
+        }
+    }
+    out
+}
+
+/// Infers the attribute mapping `Ψ` from one or more example pairs.
+///
+/// Several examples are treated as one larger example (the paper's
+/// interactive mode *grows* the example): the projections are taken over
+/// the union of all inputs (resp. outputs). Checking the subset condition
+/// per pair instead would wrongly reject join keys whose values happen not
+/// to co-occur within a single small pair.
+pub fn infer_attr_mapping(
+    source: &Schema,
+    target: &Schema,
+    examples: &[Example],
+) -> AttrMapping {
+    let mut psi = AttrMapping::default();
+    let source_attrs = source.prim_attrs();
+    let target_attrs = target.prim_attrs();
+
+    let union_values = |attr: &str, from_output: bool| -> HashSet<Value> {
+        let mut out = HashSet::new();
+        for ex in examples {
+            let inst = if from_output { &ex.output } else { &ex.input };
+            out.extend(attribute_values(inst, attr));
+        }
+        out
+    };
+
+    // Candidate right-hand sides: (attribute, is_target).
+    let candidates: Vec<(&str, bool)> = source_attrs
+        .iter()
+        .map(|a| (*a, false))
+        .chain(target_attrs.iter().map(|a| (*a, true)))
+        .collect();
+
+    for &a in &source_attrs {
+        let a_ty = source.prim_type(a);
+        let va = union_values(a, false);
+        for &(b, b_is_target) in &candidates {
+            if b == a {
+                continue; // Ψ excludes the trivial self-alias
+            }
+            let b_ty = if b_is_target {
+                target.prim_type(b)
+            } else {
+                source.prim_type(b)
+            };
+            if a_ty != b_ty {
+                continue;
+            }
+            let vb = union_values(b, b_is_target);
+            if !vb.is_empty() && vb.is_subset(&va) {
+                psi.insert(a, b);
+            }
+        }
+    }
+    psi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynamite_instance::{Record, Value};
+    use std::sync::Arc;
+
+    fn motivating_example() -> (Arc<Schema>, Arc<Schema>, Example) {
+        let source = Arc::new(
+            Schema::parse(
+                "@document
+                 Univ { id: Int, name: String, Admit { uid: Int, count: Int } }",
+            )
+            .unwrap(),
+        );
+        let target = Arc::new(
+            Schema::parse("@document Admission { grad: String, ug: String, num: Int }").unwrap(),
+        );
+        let mut input = Instance::new(source.clone());
+        for (id, name, admits) in [
+            (1i64, "U1", vec![(1i64, 10i64), (2, 50)]),
+            (2, "U2", vec![(2, 20), (1, 40)]),
+        ] {
+            input
+                .insert(
+                    "Univ",
+                    Record::with_fields(vec![
+                        Value::Int(id).into(),
+                        Value::str(name).into(),
+                        admits
+                            .iter()
+                            .map(|&(u, c)| Record::from_values(vec![u.into(), c.into()]))
+                            .collect::<Vec<_>>()
+                            .into(),
+                    ]),
+                )
+                .unwrap();
+        }
+        let mut output = Instance::new(target.clone());
+        for (g, u, n) in [
+            ("U1", "U1", 10i64),
+            ("U1", "U2", 50),
+            ("U2", "U2", 20),
+            ("U2", "U1", 40),
+        ] {
+            output
+                .insert(
+                    "Admission",
+                    Record::from_values(vec![g.into(), u.into(), n.into()]),
+                )
+                .unwrap();
+        }
+        (source, target, Example::new(input, output))
+    }
+
+    #[test]
+    fn motivating_example_mapping() {
+        // §2: id → {uid}, name → {grad, ug}, uid → {id}, count → {num}.
+        let (source, target, ex) = motivating_example();
+        let psi = infer_attr_mapping(&source, &target, std::slice::from_ref(&ex));
+        assert!(psi.maps_to("id", "uid"));
+        assert!(psi.maps_to("uid", "id"));
+        assert!(psi.maps_to("name", "grad"));
+        assert!(psi.maps_to("name", "ug"));
+        assert!(psi.maps_to("count", "num"));
+        // count ⊇ {10,50,20,40} but id values are {1,2}: no cross alias.
+        assert!(!psi.maps_to("count", "uid"));
+        assert!(!psi.maps_to("id", "num"));
+        // No self aliases.
+        assert!(!psi.maps_to("id", "id"));
+    }
+
+    #[test]
+    fn type_mismatch_never_aliases() {
+        let (source, target, ex) = motivating_example();
+        let psi = infer_attr_mapping(&source, &target, &[ex]);
+        assert!(!psi.maps_to("name", "num"));
+        assert!(!psi.maps_to("id", "grad"));
+    }
+
+    #[test]
+    fn subset_not_equality() {
+        // uid values {1,2} ⊆ id values {1,2}; count values {10,50,20,40}
+        // are NOT a subset of id values, so count ∉ Ψ(id).
+        let (source, target, ex) = motivating_example();
+        let psi = infer_attr_mapping(&source, &target, &[ex]);
+        let id_img: Vec<&str> = psi.get("id").collect();
+        assert_eq!(id_img, vec!["uid"]);
+    }
+
+    #[test]
+    fn display_formats() {
+        let (source, target, ex) = motivating_example();
+        let psi = infer_attr_mapping(&source, &target, &[ex]);
+        let text = psi.to_string();
+        assert!(text.contains("name -> {grad, ug}"));
+    }
+
+    #[test]
+    fn multiple_examples_union_semantics() {
+        let (source, target, ex) = motivating_example();
+        // A second example adds an output num value (7) that appears in no
+        // input count: count must no longer alias num.
+        let mut input2 = Instance::new(ex.input.schema().clone());
+        input2
+            .insert(
+                "Univ",
+                Record::with_fields(vec![
+                    Value::Int(3).into(),
+                    Value::str("U3").into(),
+                    vec![Record::from_values(vec![3.into(), 99.into()])].into(),
+                ]),
+            )
+            .unwrap();
+        let mut output2 = Instance::new(ex.output.schema().clone());
+        output2
+            .insert(
+                "Admission",
+                Record::from_values(vec!["U3".into(), "U3".into(), 7.into()]),
+            )
+            .unwrap();
+        let ex2 = Example::new(input2, output2);
+        let psi = infer_attr_mapping(&source, &target, &[ex, ex2]);
+        assert!(!psi.maps_to("count", "num"));
+    }
+}

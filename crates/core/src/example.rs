@@ -1,0 +1,36 @@
+//! Input-output examples (the `E = (I, O)` of §4.1).
+
+use dynamite_instance::Instance;
+
+/// One input-output example: an instance of the source schema and the
+/// corresponding desired instance of the target schema.
+///
+/// The paper's "number of examples" (Table 3, Figure 7) counts *records*
+/// inside a single example pair; interactive mode (§5) accumulates several
+/// pairs, so the synthesizer accepts a slice of [`Example`]s and requires
+/// the program to be consistent with every pair.
+#[derive(Debug, Clone)]
+pub struct Example {
+    /// Source-schema instance.
+    pub input: Instance,
+    /// Expected target-schema instance.
+    pub output: Instance,
+}
+
+impl Example {
+    /// Creates an example pair.
+    pub fn new(input: Instance, output: Instance) -> Example {
+        Example { input, output }
+    }
+
+    /// Number of records in the input instance (the paper's example-size
+    /// metric).
+    pub fn input_records(&self) -> usize {
+        self.input.num_records()
+    }
+
+    /// Number of records in the output instance.
+    pub fn output_records(&self) -> usize {
+        self.output.num_records()
+    }
+}

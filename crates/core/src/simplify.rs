@@ -1,0 +1,215 @@
+//! Basic program simplification (§2's "after some basic simplification").
+//!
+//! Accepted candidates often carry redundant body atoms — copies of source
+//! predicates whose variables connect to nothing. Simplification:
+//!
+//! 1. drops *detached* body atoms: positive, constant-free atoms whose
+//!    every variable occurs nowhere else in the rule (sound on nonempty
+//!    relations, which is what data migration operates on — the same
+//!    simplification Dynamite reports);
+//! 2. rewrites variables that occur exactly once in the whole rule to
+//!    wildcards;
+//! 3. deduplicates identical body literals;
+//!
+//! iterated to a fixpoint.
+
+use std::collections::HashMap;
+
+use dynamite_datalog::{Literal, Program, Rule, Term};
+
+/// Simplifies every rule of a program. See the module docs.
+pub fn simplify_program(program: &Program) -> Program {
+    Program::new(program.rules.iter().map(simplify_rule).collect())
+}
+
+/// Simplifies one rule. See the module docs.
+pub fn simplify_rule(rule: &Rule) -> Rule {
+    let mut rule = rule.clone();
+    loop {
+        let before = rule.to_string();
+
+        // Occurrence counts across heads and body.
+        let mut counts: HashMap<String, usize> = HashMap::new();
+        for atom in rule.heads.iter().chain(rule.body.iter().map(|l| &l.atom)) {
+            for t in &atom.terms {
+                if let Term::Var(v) = t {
+                    *counts.entry(v.clone()).or_insert(0) += 1;
+                }
+            }
+        }
+
+        // 1. Drop detached atoms (keep at least one body atom).
+        let detached = |l: &Literal| -> bool {
+            if l.negated {
+                return false;
+            }
+            let mut local: HashMap<&str, usize> = HashMap::new();
+            for t in &l.atom.terms {
+                match t {
+                    Term::Const(_) => return false,
+                    Term::Var(v) => *local.entry(v).or_insert(0) += 1,
+                    Term::Wildcard => {}
+                }
+            }
+            local.iter().all(|(v, &n)| counts[*v] == n)
+        };
+        let kept: Vec<Literal> = rule
+            .body
+            .iter()
+            .filter(|l| !detached(l))
+            .cloned()
+            .collect();
+        // Guard: never drop everything (a rule needs a nonempty body).
+        if !kept.is_empty() {
+            rule.body = kept;
+        }
+
+        // 2. Single-occurrence variables in the body become wildcards
+        //    (recount after drops; head variables always occur in heads so
+        //    they are never rewritten).
+        let mut counts: HashMap<String, usize> = HashMap::new();
+        for atom in rule.heads.iter().chain(rule.body.iter().map(|l| &l.atom)) {
+            for t in &atom.terms {
+                if let Term::Var(v) = t {
+                    *counts.entry(v.clone()).or_insert(0) += 1;
+                }
+            }
+        }
+        for l in &mut rule.body {
+            for t in &mut l.atom.terms {
+                if let Term::Var(v) = t {
+                    if counts[v.as_str()] == 1 {
+                        *t = Term::Wildcard;
+                    }
+                }
+            }
+        }
+
+        // 3. Drop subsumed atoms: a positive atom A is redundant if some
+        //    other positive atom B over the same relation agrees with A on
+        //    every non-wildcard position of A (then any match of B is a
+        //    match of A, so A ∧ B ≡ B — sound unconditionally).
+        let subsumed = |i: usize, body: &[Literal]| -> bool {
+            let a = &body[i];
+            if a.negated {
+                return false;
+            }
+            body.iter().enumerate().any(|(j, b)| {
+                j != i
+                    && !b.negated
+                    && b.atom.relation == a.atom.relation
+                    && b.atom.terms.len() == a.atom.terms.len()
+                    && a.atom
+                        .terms
+                        .iter()
+                        .zip(&b.atom.terms)
+                        .all(|(ta, tb)| matches!(ta, Term::Wildcard) || ta == tb)
+                    // Break ties between mutually subsuming (identical)
+                    // atoms by keeping the earlier one.
+                    && (a.atom != b.atom || j < i)
+            })
+        };
+        let body_snapshot = rule.body.clone();
+        let mut idx = 0usize;
+        rule.body.retain(|_| {
+            let keep = !subsumed(idx, &body_snapshot);
+            idx += 1;
+            keep
+        });
+
+        // 4. Deduplicate identical body literals.
+        let mut seen = Vec::new();
+        rule.body.retain(|l| {
+            if seen.contains(l) {
+                false
+            } else {
+                seen.push(l.clone());
+                true
+            }
+        });
+
+        if rule.to_string() == before {
+            return rule;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynamite_datalog::Program;
+
+    fn simplified(src: &str) -> String {
+        let p = Program::parse(src).unwrap();
+        simplify_rule(&p.rules[0]).to_string()
+    }
+
+    #[test]
+    fn drops_detached_atom_from_section2() {
+        // The accepted model of §2 before simplification.
+        let s = simplified(
+            "Admission(grad, ug, num) :- Univ(id1, grad, v1), Admit(v1, id2, num), Univ(id2, ug, _), Univ(id3, name1, _).",
+        );
+        assert_eq!(
+            s,
+            "Admission(grad, ug, num) :- Univ(_, grad, v1), Admit(v1, id2, num), Univ(id2, ug, _)."
+        );
+    }
+
+    #[test]
+    fn drops_subsumed_atoms() {
+        let s = simplified("A(x, y) :- B(x, _), B(x, y).");
+        assert_eq!(s, "A(x, y) :- B(x, y).");
+    }
+
+    #[test]
+    fn subsumption_requires_same_relation() {
+        let s = simplified("A(x, y) :- B(x, y), C(x, y).");
+        assert_eq!(s, "A(x, y) :- B(x, y), C(x, y).");
+    }
+
+    #[test]
+    fn single_occurrence_vars_become_wildcards() {
+        let s = simplified("A(x) :- B(x, lonely).");
+        assert_eq!(s, "A(x) :- B(x, _).");
+    }
+
+    #[test]
+    fn dedupes_identical_atoms() {
+        let s = simplified("A(x) :- B(x, _), B(x, _).");
+        assert_eq!(s, "A(x) :- B(x, _).");
+    }
+
+    #[test]
+    fn wildcarding_then_dedupe_cascades() {
+        // After p and q become wildcards the two C atoms unify.
+        let s = simplified("A(x) :- B(x), C(x, p), C(x, q).");
+        assert_eq!(s, "A(x) :- B(x), C(x, _).");
+    }
+
+    #[test]
+    fn atoms_with_constants_are_kept() {
+        let s = simplified("A(x) :- B(x), C(7, zed).");
+        assert!(s.contains("C(7, _)"));
+    }
+
+    #[test]
+    fn keeps_last_atom() {
+        let s = simplified("A(1) :- B(p, q).");
+        assert_eq!(s, "A(1) :- B(_, _).");
+    }
+
+    #[test]
+    fn join_structure_is_preserved() {
+        let s = simplified("A(x, y) :- B(x, z), C(z, y).");
+        assert_eq!(s, "A(x, y) :- B(x, z), C(z, y).");
+    }
+
+    #[test]
+    fn simplify_program_touches_every_rule() {
+        let p = Program::parse("A(x) :- B(x, u). C(y) :- D(y, w).").unwrap();
+        let s = simplify_program(&p).to_string();
+        assert!(s.contains("B(x, _)"));
+        assert!(s.contains("D(y, _)"));
+    }
+}

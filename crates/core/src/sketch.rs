@@ -1,0 +1,787 @@
+//! Datalog program sketches and sketch generation (§4.2, Algorithm 2).
+//!
+//! A sketch fixes the skeleton of each Datalog rule — one rule per
+//! top-level target record type — and leaves holes (`??`) for the argument
+//! variables of the extensional (source) predicates. Each hole carries a
+//! finite domain of *sketch variables* drawn from the attribute mapping.
+//!
+//! Two departures from the paper's presentation, both recorded in
+//! DESIGN.md:
+//!
+//! - **Connector holes.** For nested *target* records, Figure 5 introduces
+//!   a fresh connector variable linking the parent's record-typed slot and
+//!   the child's parent-id slot, but never says how it gets bound to the
+//!   body. We make the connector a hole whose domain is the body's
+//!   id-carrying variables (source-chain connectors plus integer attribute
+//!   copy variables), with a side constraint that a copy variable chosen by
+//!   a connector must also be chosen by some attribute hole (so the rule
+//!   stays range-restricted).
+//! - **Filtering constants** (§5): when enabled, hole domains additionally
+//!   contain constants harvested from the output example.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use dynamite_datalog::{Atom, Literal, Rule, Term};
+use dynamite_instance::hash::FxHashMap;
+use dynamite_instance::Value;
+use dynamite_schema::{PrimType, Schema};
+
+use crate::attr_map::AttrMapping;
+use crate::example::Example;
+
+/// One element of a hole's domain.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DomainElem {
+    /// A head variable, i.e. a target primitive attribute (its variable is
+    /// named after the attribute, as in the paper's `grad`, `ug`, `num`).
+    HeadVar(String),
+    /// A body pool variable (`id1`, `id2`, `uid1`, …) or a source-chain
+    /// connector (`v1`, …).
+    BodyVar(String),
+    /// A constant (filtering extension, §5).
+    Const(Value),
+}
+
+impl DomainElem {
+    /// The Datalog term this element instantiates to.
+    pub fn to_term(&self) -> Term {
+        match self {
+            DomainElem::HeadVar(v) | DomainElem::BodyVar(v) => Term::Var(v.clone()),
+            DomainElem::Const(c) => Term::Const(c.clone()),
+        }
+    }
+
+    /// A stable interning key.
+    pub fn key(&self) -> String {
+        match self {
+            DomainElem::HeadVar(v) => format!("h:{v}"),
+            DomainElem::BodyVar(v) => format!("b:{v}"),
+            DomainElem::Const(c) => format!("c:{c}"),
+        }
+    }
+}
+
+impl fmt::Display for DomainElem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DomainElem::HeadVar(v) | DomainElem::BodyVar(v) => write!(f, "{v}"),
+            DomainElem::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// What a hole stands for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HoleKind {
+    /// A primitive-attribute slot of a source predicate copy.
+    Attr,
+    /// A connector slot of a nested target record (see module docs).
+    Connector,
+}
+
+/// A sketch hole with its domain.
+#[derive(Debug, Clone)]
+pub struct Hole {
+    /// Display name (`??0`, `??1`, …).
+    pub name: String,
+    /// The source attribute this hole belongs to (attr holes only).
+    pub attr: Option<String>,
+    /// Attribute or connector.
+    pub kind: HoleKind,
+    /// The candidate instantiations.
+    pub domain: Vec<DomainElem>,
+}
+
+/// A head-atom slot: a fixed variable or a (connector) hole.
+#[derive(Debug, Clone)]
+pub enum HeadSlot {
+    /// A target-attribute variable.
+    Var(String),
+    /// Index into the rule's holes.
+    Hole(usize),
+}
+
+/// A body-atom slot.
+#[derive(Debug, Clone)]
+pub enum BodySlot {
+    /// Index into the rule's holes.
+    Hole(usize),
+    /// A fixed variable (source-chain connector).
+    Var(String),
+    /// Don't-care.
+    Wildcard,
+}
+
+/// A head atom of the sketch.
+#[derive(Debug, Clone)]
+pub struct HeadAtom {
+    /// Target record relation.
+    pub relation: String,
+    /// Slots (parent-id slot first for nested records).
+    pub slots: Vec<HeadSlot>,
+}
+
+/// A body atom of the sketch.
+#[derive(Debug, Clone)]
+pub struct BodyAtom {
+    /// Source record relation.
+    pub relation: String,
+    /// Slots (parent-id slot first for nested records).
+    pub slots: Vec<BodySlot>,
+}
+
+/// The sketch of one Datalog rule (one top-level target record type).
+#[derive(Debug, Clone)]
+pub struct RuleSketch {
+    /// The top-level target record this rule populates.
+    pub target_record: String,
+    /// All target record types populated by this rule (`target_record`
+    /// plus its transitively nested records).
+    pub record_types: Vec<String>,
+    /// Head atoms (multi-head rule).
+    pub heads: Vec<HeadAtom>,
+    /// Body atoms.
+    pub body: Vec<BodyAtom>,
+    /// The holes.
+    pub holes: Vec<Hole>,
+}
+
+impl RuleSketch {
+    /// Natural log of the number of completions (product of domain sizes).
+    pub fn ln_completions(&self) -> f64 {
+        self.holes
+            .iter()
+            .map(|h| (h.domain.len().max(1) as f64).ln())
+            .sum()
+    }
+
+    /// Instantiates the sketch under an assignment of one domain element
+    /// per hole, producing a concrete Datalog rule.
+    pub fn instantiate(&self, assignment: &[DomainElem]) -> Rule {
+        assert_eq!(assignment.len(), self.holes.len());
+        let heads = self
+            .heads
+            .iter()
+            .map(|h| Atom {
+                relation: h.relation.clone(),
+                terms: h
+                    .slots
+                    .iter()
+                    .map(|s| match s {
+                        HeadSlot::Var(v) => Term::Var(v.clone()),
+                        HeadSlot::Hole(i) => assignment[*i].to_term(),
+                    })
+                    .collect(),
+            })
+            .collect();
+        let body = self
+            .body
+            .iter()
+            .map(|b| {
+                Literal::pos(Atom {
+                    relation: b.relation.clone(),
+                    terms: b
+                        .slots
+                        .iter()
+                        .map(|s| match s {
+                            BodySlot::Hole(i) => assignment[*i].to_term(),
+                            BodySlot::Var(v) => Term::Var(v.clone()),
+                            BodySlot::Wildcard => Term::Wildcard,
+                        })
+                        .collect(),
+                })
+            })
+            .collect();
+        Rule { heads, body }
+    }
+
+    /// The target attribute variables that must be covered by the body
+    /// (all primitive attributes of the rule's record types).
+    pub fn head_vars(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        for h in &self.heads {
+            for s in &h.slots {
+                if let HeadSlot::Var(v) = s {
+                    out.push(v.as_str());
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for RuleSketch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let head_str: Vec<String> = self
+            .heads
+            .iter()
+            .map(|h| {
+                let slots: Vec<String> = h
+                    .slots
+                    .iter()
+                    .map(|s| match s {
+                        HeadSlot::Var(v) => v.clone(),
+                        HeadSlot::Hole(i) => self.holes[*i].name.clone(),
+                    })
+                    .collect();
+                format!("{}({})", h.relation, slots.join(", "))
+            })
+            .collect();
+        let body_str: Vec<String> = self
+            .body
+            .iter()
+            .map(|b| {
+                let slots: Vec<String> = b
+                    .slots
+                    .iter()
+                    .map(|s| match s {
+                        BodySlot::Hole(i) => self.holes[*i].name.clone(),
+                        BodySlot::Var(v) => v.clone(),
+                        BodySlot::Wildcard => "_".to_string(),
+                    })
+                    .collect();
+                format!("{}({})", b.relation, slots.join(", "))
+            })
+            .collect();
+        writeln!(f, "{} :- {}.", head_str.join(", "), body_str.join(", "))?;
+        for h in &self.holes {
+            let dom: Vec<String> = h.domain.iter().map(|e| e.to_string()).collect();
+            writeln!(f, "  {} ∈ {{{}}}", h.name, dom.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+/// A program sketch: one rule sketch per top-level target record.
+#[derive(Debug, Clone)]
+pub struct Sketch {
+    /// The rule sketches, in target-schema declaration order.
+    pub rules: Vec<RuleSketch>,
+}
+
+impl Sketch {
+    /// Natural log of the total search space size (the paper's "Search
+    /// Space" column is the product over all rules).
+    pub fn ln_search_space(&self) -> f64 {
+        self.rules.iter().map(RuleSketch::ln_completions).sum()
+    }
+}
+
+/// Options controlling sketch generation.
+#[derive(Debug, Clone)]
+pub struct SketchOptions {
+    /// Harvest constants from the output example into attribute-hole
+    /// domains (enables the filtering extension of §5).
+    pub constants: bool,
+    /// Maximum number of constants per hole (keeps domains tractable).
+    pub max_consts_per_hole: usize,
+}
+
+impl Default for SketchOptions {
+    fn default() -> Self {
+        SketchOptions {
+            constants: false,
+            max_consts_per_hole: 8,
+        }
+    }
+}
+
+/// Generates the program sketch (`SketchGen`, Algorithm 2).
+pub fn generate_sketch(
+    psi: &AttrMapping,
+    source: &Schema,
+    target: &Schema,
+    examples: &[Example],
+    options: &SketchOptions,
+) -> Sketch {
+    let rules = target
+        .top_level_records()
+        .map(|n| gen_rule_sketch(psi, source, target, n, examples, options))
+        .collect();
+    Sketch { rules }
+}
+
+/// `GenRuleSketch` (Algorithm 2, lines 7–19).
+fn gen_rule_sketch(
+    psi: &AttrMapping,
+    source: &Schema,
+    target: &Schema,
+    record: &str,
+    examples: &[Example],
+    options: &SketchOptions,
+) -> RuleSketch {
+    let mut holes: Vec<Hole> = Vec::new();
+
+    // --- Heads (GenIntensionalPreds, Figure 5) ---------------------------
+    // Depth-first over the target record and its nested records; nested
+    // records get a connector hole shared between the parent's
+    // record-typed slot and the child's parent-id slot.
+    let record_types: Vec<String> = {
+        let mut v = vec![record.to_string()];
+        let mut stack: Vec<&str> = target
+            .attrs(record)
+            .iter()
+            .rev()
+            .filter(|a| target.is_record(a))
+            .map(String::as_str)
+            .collect();
+        while let Some(r) = stack.pop() {
+            v.push(r.to_string());
+            for a in target.attrs(r).iter().rev() {
+                if target.is_record(a) {
+                    stack.push(a);
+                }
+            }
+        }
+        v
+    };
+    let mut connector_hole: FxHashMap<String, usize> = FxHashMap::default();
+    for r in &record_types {
+        if r != record {
+            let idx = holes.len();
+            holes.push(Hole {
+                name: format!("??{idx}"),
+                attr: None,
+                kind: HoleKind::Connector,
+                domain: Vec::new(), // filled below
+            });
+            connector_hole.insert(r.clone(), idx);
+        }
+    }
+    let heads: Vec<HeadAtom> = record_types
+        .iter()
+        .map(|r| {
+            let mut slots = Vec::new();
+            if r != record {
+                slots.push(HeadSlot::Hole(connector_hole[r]));
+            }
+            for a in target.attrs(r) {
+                if target.is_record(a) {
+                    slots.push(HeadSlot::Hole(connector_hole[a]));
+                } else {
+                    slots.push(HeadSlot::Var(a.clone()));
+                }
+            }
+            HeadAtom {
+                relation: r.clone(),
+                slots,
+            }
+        })
+        .collect();
+
+    // --- Body (GenExtensionalPreds, Figure 6) ----------------------------
+    // For each source attribute a, add as many copies of a's record chain
+    // as there are target attributes of this rule aliased to a.
+    let target_prims: Vec<&str> = target.prim_attrs_of(record);
+    let mut body: Vec<BodyAtom> = Vec::new();
+    let mut copy_count: FxHashMap<&str, usize> = FxHashMap::default();
+    let mut chain_connectors: Vec<String> = Vec::new();
+    let mut conn_counter = 0usize;
+
+    // Slot-level holes are created per copy; their domains are filled after
+    // all copies exist (CopyNum is only known then). Remember (hole, attr).
+    for a in source.prim_attrs() {
+        let copies = target_prims
+            .iter()
+            .filter(|a_t| psi.maps_to(a, a_t))
+            .count();
+        for _ in 0..copies {
+            add_chain(
+                source,
+                source.record_of(a).expect("prim attr has a record"),
+                &mut body,
+                &mut holes,
+                &mut copy_count,
+                &mut chain_connectors,
+                &mut conn_counter,
+            );
+        }
+    }
+
+    // --- Hole domains (Algorithm 2, lines 13–18) --------------------------
+    // Pool variables: attribute a with k copies of its record yields
+    // a1, …, ak.
+    let pool = |a: &str, copy_count: &FxHashMap<&str, usize>| -> Vec<String> {
+        let rec = source.record_of(a).expect("prim attr");
+        let n = copy_count.get(rec).copied().unwrap_or(0);
+        (1..=n).map(|i| format!("{a}{i}")).collect()
+    };
+
+    // Constants harvested from output examples, per primitive type.
+    let consts_by_type: FxHashMap<PrimType, Vec<Value>> = if options.constants {
+        harvest_constants(examples)
+    } else {
+        FxHashMap::default()
+    };
+
+    for h in &mut holes {
+        match h.kind {
+            HoleKind::Attr => {
+                let a = h.attr.clone().expect("attr holes carry their attribute");
+                let mut dom: Vec<DomainElem> = Vec::new();
+                // Head variables: target attributes of this rule in Ψ(a).
+                for a_t in &target_prims {
+                    if psi.maps_to(&a, a_t) {
+                        dom.push(DomainElem::HeadVar((*a_t).to_string()));
+                    }
+                }
+                // Body pools: a itself plus its source aliases.
+                let mut sources: BTreeSet<&str> = BTreeSet::new();
+                sources.insert(a.as_str());
+                for al in psi.get(&a) {
+                    if source.is_prim(al) {
+                        sources.insert(al);
+                    }
+                }
+                for s in sources {
+                    for v in pool(s, &copy_count) {
+                        dom.push(DomainElem::BodyVar(v));
+                    }
+                }
+                // Filtering constants of the attribute's type.
+                if options.constants {
+                    if let Some(ty) = source.prim_type(&a) {
+                        if let Some(cs) = consts_by_type.get(&ty) {
+                            for c in cs.iter().take(options.max_consts_per_hole) {
+                                dom.push(DomainElem::Const(c.clone()));
+                            }
+                        }
+                    }
+                }
+                h.domain = dom;
+            }
+            HoleKind::Connector => {
+                // Id-carrying candidates: source-chain connectors, integer
+                // attribute pools, and integer target attributes of this
+                // rule (a nested record may group by a key the target also
+                // keeps as a primitive attribute, e.g. a retained id).
+                let mut dom: Vec<DomainElem> = chain_connectors
+                    .iter()
+                    .map(|v| DomainElem::BodyVar(v.clone()))
+                    .collect();
+                for a in source.prim_attrs() {
+                    if source.prim_type(a) == Some(PrimType::Int) {
+                        for v in pool(a, &copy_count) {
+                            dom.push(DomainElem::BodyVar(v));
+                        }
+                    }
+                }
+                for a_t in &target_prims {
+                    if target.prim_type(a_t) == Some(PrimType::Int) {
+                        dom.push(DomainElem::HeadVar((*a_t).to_string()));
+                    }
+                }
+                if dom.is_empty() {
+                    // Fall back to every pool variable of any type.
+                    for a in source.prim_attrs() {
+                        for v in pool(a, &copy_count) {
+                            dom.push(DomainElem::BodyVar(v));
+                        }
+                    }
+                }
+                h.domain = dom;
+            }
+        }
+    }
+
+    RuleSketch {
+        target_record: record.to_string(),
+        record_types,
+        heads,
+        body,
+        holes,
+    }
+}
+
+/// Adds one copy of the predicate chain from `rec`'s top-level ancestor
+/// down to `rec` (Figure 6), creating one hole per primitive slot.
+fn add_chain<'s>(
+    source: &'s Schema,
+    rec: &str,
+    body: &mut Vec<BodyAtom>,
+    holes: &mut Vec<Hole>,
+    copy_count: &mut FxHashMap<&'s str, usize>,
+    chain_connectors: &mut Vec<String>,
+    conn_counter: &mut usize,
+) {
+    let chain: Vec<&'s str> = source.chain_to(source.records().find(|r| *r == rec).expect("record in schema"));
+    let mut parent_conn: Option<String> = None;
+    for (i, r) in chain.iter().enumerate() {
+        *copy_count.entry(r).or_insert(0) += 1;
+        let child_on_chain: Option<&str> = chain.get(i + 1).copied();
+        let child_conn = child_on_chain.map(|_| {
+            *conn_counter += 1;
+            let v = format!("v{conn_counter}");
+            chain_connectors.push(v.clone());
+            v
+        });
+        let mut slots: Vec<BodySlot> = Vec::new();
+        if let Some(pc) = &parent_conn {
+            slots.push(BodySlot::Var(pc.clone()));
+        }
+        for a in source.attrs(r) {
+            if source.is_prim(a) {
+                let idx = holes.len();
+                holes.push(Hole {
+                    name: format!("??{idx}"),
+                    attr: Some(a.clone()),
+                    kind: HoleKind::Attr,
+                    domain: Vec::new(),
+                });
+                slots.push(BodySlot::Hole(idx));
+            } else if Some(a.as_str()) == child_on_chain {
+                slots.push(BodySlot::Var(
+                    child_conn.clone().expect("connector for chain child"),
+                ));
+            } else {
+                slots.push(BodySlot::Wildcard);
+            }
+        }
+        body.push(BodyAtom {
+            relation: (*r).to_string(),
+            slots,
+        });
+        parent_conn = child_conn;
+    }
+}
+
+/// Collects distinct primitive values from the output examples, by type,
+/// in deterministic order.
+fn harvest_constants(examples: &[Example]) -> FxHashMap<PrimType, Vec<Value>> {
+    let mut by_type: FxHashMap<PrimType, Vec<Value>> = FxHashMap::default();
+    let mut seen: BTreeSet<Value> = BTreeSet::new();
+    for ex in examples {
+        let flat = ex.output.flatten();
+        for (_, table) in flat.iter() {
+            for row in &table.rows {
+                for v in row {
+                    if let Some(ty) = v.prim_type() {
+                        if seen.insert(v.clone()) {
+                            by_type.entry(ty).or_default().push(v.clone());
+                        }
+                    }
+                }
+            }
+        }
+    }
+    by_type
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr_map::infer_attr_mapping;
+    use crate::test_fixtures::motivating;
+
+    #[test]
+    fn motivating_sketch_shape() {
+        let (source, target, ex) = motivating();
+        let psi = infer_attr_mapping(&source, &target, std::slice::from_ref(&ex));
+        let sketch = generate_sketch(&psi, &source, &target, &[ex], &SketchOptions::default());
+        assert_eq!(sketch.rules.len(), 1);
+        let r = &sketch.rules[0];
+        // §2 sketch (1): body = Univ, Admit (chain for count) + 2 × Univ
+        // (copies for name): 4 atoms, 3 of them Univ.
+        assert_eq!(r.body.len(), 4);
+        let univs = r.body.iter().filter(|b| b.relation == "Univ").count();
+        assert_eq!(univs, 3);
+        let admits = r.body.iter().filter(|b| b.relation == "Admit").count();
+        assert_eq!(admits, 1);
+        // 8 attribute holes (2 per Univ copy + 2 in Admit), no connectors.
+        assert_eq!(r.holes.len(), 8);
+        assert!(r.holes.iter().all(|h| h.kind == HoleKind::Attr));
+    }
+
+    #[test]
+    fn motivating_sketch_domains() {
+        let (source, target, ex) = motivating();
+        let psi = infer_attr_mapping(&source, &target, std::slice::from_ref(&ex));
+        let sketch = generate_sketch(&psi, &source, &target, &[ex], &SketchOptions::default());
+        let r = &sketch.rules[0];
+        // A hole for Univ.id: domain {id1, id2, id3, uid1}.
+        let id_hole = r
+            .holes
+            .iter()
+            .find(|h| h.attr.as_deref() == Some("id"))
+            .unwrap();
+        let dom: BTreeSet<String> = id_hole.domain.iter().map(|e| e.to_string()).collect();
+        assert_eq!(
+            dom,
+            ["id1", "id2", "id3", "uid1"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect()
+        );
+        // A hole for Univ.name: {grad, ug, name1, name2, name3}.
+        let name_hole = r
+            .holes
+            .iter()
+            .find(|h| h.attr.as_deref() == Some("name"))
+            .unwrap();
+        let dom: BTreeSet<String> = name_hole.domain.iter().map(|e| e.to_string()).collect();
+        assert_eq!(
+            dom,
+            ["grad", "ug", "name1", "name2", "name3"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect()
+        );
+        // count hole: {num, count1}.
+        let count_hole = r
+            .holes
+            .iter()
+            .find(|h| h.attr.as_deref() == Some("count"))
+            .unwrap();
+        let dom: BTreeSet<String> = count_hole.domain.iter().map(|e| e.to_string()).collect();
+        assert_eq!(
+            dom,
+            ["num", "count1"].iter().map(|s| s.to_string()).collect()
+        );
+    }
+
+    #[test]
+    fn chain_links_parent_and_child() {
+        let (source, target, ex) = motivating();
+        let psi = infer_attr_mapping(&source, &target, std::slice::from_ref(&ex));
+        let sketch = generate_sketch(&psi, &source, &target, &[ex], &SketchOptions::default());
+        let r = &sketch.rules[0];
+        // The Admit atom's parent slot must be a Var matching the third
+        // slot of exactly one Univ atom.
+        let admit = r.body.iter().find(|b| b.relation == "Admit").unwrap();
+        let conn = match &admit.slots[0] {
+            BodySlot::Var(v) => v.clone(),
+            other => panic!("expected connector var, got {other:?}"),
+        };
+        let linked_univs = r
+            .body
+            .iter()
+            .filter(|b| {
+                b.relation == "Univ"
+                    && matches!(&b.slots[2], BodySlot::Var(v) if *v == conn)
+            })
+            .count();
+        assert_eq!(linked_univs, 1);
+        // The other Univ copies have wildcards in the Admit slot.
+        let wild_univs = r
+            .body
+            .iter()
+            .filter(|b| b.relation == "Univ" && matches!(&b.slots[2], BodySlot::Wildcard))
+            .count();
+        assert_eq!(wild_univs, 2);
+    }
+
+    #[test]
+    fn search_space_size_is_product_of_domains() {
+        let (source, target, ex) = motivating();
+        let psi = infer_attr_mapping(&source, &target, std::slice::from_ref(&ex));
+        let sketch = generate_sketch(&psi, &source, &target, &[ex], &SketchOptions::default());
+        // §2 reports 64,000 completions for this sketch:
+        // 4^4 (id-ish) × 5^3 (name-ish) × 2 (count) = 64,000.
+        let n = sketch.ln_search_space().exp().round() as u64;
+        assert_eq!(n, 64_000);
+    }
+
+    #[test]
+    fn instantiation_produces_the_papers_program() {
+        let (source, target, ex) = motivating();
+        let psi = infer_attr_mapping(&source, &target, std::slice::from_ref(&ex));
+        let sketch = generate_sketch(&psi, &source, &target, &[ex], &SketchOptions::default());
+        let r = &sketch.rules[0];
+        // Build the assignment corresponding to the correct program. Body
+        // order is source-attribute order: two standalone Univ copies (for
+        // `name`), then the Univ–Admit chain (for `count`); each Univ copy
+        // contributes holes (id, name), the Admit copy (uid, count).
+        let pick = |s: &str| {
+            if s == "grad" || s == "ug" || s == "num" {
+                DomainElem::HeadVar(s.to_string())
+            } else {
+                DomainElem::BodyVar(s.to_string())
+            }
+        };
+        let assignment: Vec<DomainElem> = [
+            "id2", "ug", // Univ copy 1
+            "id3", "name1", // Univ copy 2 (redundant)
+            "id1", "grad", // Univ copy 3 (chain head)
+            "id2", "num", // Admit (uid, count)
+        ]
+        .iter()
+        .map(|s| pick(s))
+        .collect();
+        let rule = r.instantiate(&assignment);
+        let got = rule.to_string();
+        assert!(got.starts_with("Admission(grad, ug, num) :- "));
+        assert!(got.contains("Admit(v1, id2, num)"));
+        assert!(got.contains("Univ(id2, ug, _)"));
+    }
+
+    #[test]
+    fn nested_target_gets_connector_holes() {
+        use dynamite_schema::Schema;
+        use std::sync::Arc;
+        let source = Arc::new(
+            Schema::parse(
+                "@relational
+                 Teams { tid: Int, tname: String }
+                 Players { pid: Int, team_id: Int, pname: String, avg: Int }",
+            )
+            .unwrap(),
+        );
+        let target = Arc::new(
+            Schema::parse(
+                "@document
+                 Team { team_name: String, Roster { player_name: String, batting: Int } }",
+            )
+            .unwrap(),
+        );
+        let mut psi = AttrMapping::default();
+        psi.insert("tname", "team_name");
+        psi.insert("pname", "player_name");
+        psi.insert("avg", "batting");
+        psi.insert("tid", "team_id");
+        psi.insert("team_id", "tid");
+        let sketch = generate_sketch(&psi, &source, &target, &[], &SketchOptions::default());
+        let r = &sketch.rules[0];
+        assert_eq!(r.record_types, vec!["Team", "Roster"]);
+        assert_eq!(r.heads.len(), 2);
+        // One connector hole, shared between Team's Roster slot and
+        // Roster's parent slot.
+        let connectors: Vec<usize> = r
+            .holes
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| h.kind == HoleKind::Connector)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(connectors.len(), 1);
+        let c = connectors[0];
+        assert!(matches!(r.heads[0].slots[1], HeadSlot::Hole(i) if i == c));
+        assert!(matches!(r.heads[1].slots[0], HeadSlot::Hole(i) if i == c));
+        // Connector domain: integer pools (tid, pid, team_id, avg copies).
+        let conn_dom: BTreeSet<String> =
+            r.holes[c].domain.iter().map(|e| e.to_string()).collect();
+        assert!(conn_dom.contains("tid1"));
+        assert!(conn_dom.iter().any(|v| v.starts_with("team_id")));
+    }
+
+    #[test]
+    fn constants_harvested_when_enabled() {
+        let (source, target, ex) = motivating();
+        let psi = infer_attr_mapping(&source, &target, std::slice::from_ref(&ex));
+        let opts = SketchOptions {
+            constants: true,
+            ..Default::default()
+        };
+        let sketch = generate_sketch(&psi, &source, &target, &[ex], &opts);
+        let r = &sketch.rules[0];
+        let name_hole = r
+            .holes
+            .iter()
+            .find(|h| h.attr.as_deref() == Some("name"))
+            .unwrap();
+        assert!(name_hole
+            .domain
+            .iter()
+            .any(|e| matches!(e, DomainElem::Const(Value::Str(s)) if s.as_ref() == "U1")));
+    }
+}

@@ -1,0 +1,838 @@
+//! The top-level synthesis algorithm (§4.1, Algorithm 1).
+//!
+//! For each top-level target record the sketch yields one rule sketch;
+//! rules share no holes and their head relations are disjoint, so each is
+//! completed independently by its own [`RuleSolver`]: encode the sketch as
+//! a finite-domain formula, repeatedly sample a model, instantiate and
+//! evaluate the candidate on the example input, and on failure add
+//! blocking clauses — either the MDP-generalized pattern of §4.3
+//! ([`Strategy::MdpGuided`]) or the bare model negation
+//! ([`Strategy::Enumerative`], the paper's Dynamite-Enum baseline).
+
+use std::collections::{BTreeSet, HashSet};
+use std::fmt;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dynamite_datalog::{evaluate, Program, Rule};
+use dynamite_instance::hash::FxHashMap;
+use dynamite_instance::{from_facts, to_facts, Database, Flattened};
+use dynamite_schema::Schema;
+use dynamite_smt::{ConstId, FdLit, FdSolver, FdVar};
+
+use crate::analyze::{generalize, mdp_set, PatternLit};
+use crate::attr_map::{infer_attr_mapping, AttrMapping};
+use crate::example::Example;
+use crate::simplify::simplify_rule;
+use crate::sketch::{
+    generate_sketch, BodySlot, DomainElem, HoleKind, RuleSketch, Sketch, SketchOptions,
+};
+
+/// Sketch-completion strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Strategy {
+    /// Learn from failures via minimal distinguishing projections (§4.3).
+    #[default]
+    MdpGuided,
+    /// Block only the failing model (the paper's Dynamite-Enum baseline,
+    /// §6.4).
+    Enumerative,
+}
+
+/// Synthesis configuration.
+#[derive(Debug, Clone)]
+pub struct SynthesisConfig {
+    /// Completion strategy.
+    pub strategy: Strategy,
+    /// Wall-clock budget for the whole synthesis call.
+    pub timeout: Option<Duration>,
+    /// Cap on candidate programs sampled per rule.
+    pub max_iters_per_rule: usize,
+    /// Sketch-generation options (filtering constants, …).
+    pub sketch: SketchOptions,
+    /// Work budget for each MDP breadth-first search.
+    pub mdp_budget: usize,
+    /// Apply basic simplification to accepted rules (§2).
+    pub simplify: bool,
+}
+
+impl Default for SynthesisConfig {
+    fn default() -> Self {
+        SynthesisConfig {
+            strategy: Strategy::MdpGuided,
+            timeout: None,
+            max_iters_per_rule: 1_000_000,
+            sketch: SketchOptions::default(),
+            mdp_budget: 20_000,
+            simplify: true,
+        }
+    }
+}
+
+/// Why synthesis failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SynthesisError {
+    /// Source and target schemas share names; the Datalog encoding needs
+    /// globally distinct names (rename target attributes, as the paper's
+    /// benchmarks do).
+    SchemaOverlap(Vec<String>),
+    /// The search space contains no program consistent with the examples
+    /// (Algorithm 1's `⊥`).
+    NoProgram { rule: String },
+    /// Timed out while completing `rule`.
+    Timeout { rule: String },
+    /// Iteration cap reached while completing `rule`.
+    IterationLimit { rule: String },
+}
+
+impl fmt::Display for SynthesisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthesisError::SchemaOverlap(ns) => {
+                write!(f, "schemas share names: {}", ns.join(", "))
+            }
+            SynthesisError::NoProgram { rule } => {
+                write!(f, "no Datalog program exists for target record `{rule}`")
+            }
+            SynthesisError::Timeout { rule } => {
+                write!(f, "timed out synthesizing rule for `{rule}`")
+            }
+            SynthesisError::IterationLimit { rule } => {
+                write!(f, "iteration limit synthesizing rule for `{rule}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SynthesisError {}
+
+/// Per-rule synthesis statistics.
+#[derive(Debug, Clone)]
+pub struct RuleStats {
+    /// The top-level target record of the rule.
+    pub target_record: String,
+    /// Candidate programs sampled.
+    pub iterations: usize,
+    /// Blocking clauses added.
+    pub blocking_clauses: usize,
+    /// MDPs computed across all failures.
+    pub mdps_computed: usize,
+    /// Number of holes in the rule sketch.
+    pub holes: usize,
+    /// ln of the rule's completion count.
+    pub ln_space: f64,
+}
+
+/// Whole-synthesis statistics.
+#[derive(Debug, Clone, Default)]
+pub struct SynthStats {
+    /// Per-rule breakdown.
+    pub rules: Vec<RuleStats>,
+    /// Wall-clock time spent.
+    pub elapsed: Duration,
+    /// ln of the total search-space size (Table 3's "Search Space").
+    pub ln_search_space: f64,
+}
+
+impl SynthStats {
+    /// Total candidates sampled.
+    pub fn total_iterations(&self) -> usize {
+        self.rules.iter().map(|r| r.iterations).sum()
+    }
+
+    /// Search-space size formatted like the paper (`5.1 × 10^39`).
+    pub fn search_space_string(&self) -> String {
+        let log10 = self.ln_search_space / std::f64::consts::LN_10;
+        let exp = log10.floor();
+        let mantissa = 10f64.powf(log10 - exp);
+        format!("{mantissa:.1}e{exp:.0}")
+    }
+}
+
+/// The result of successful synthesis.
+#[derive(Debug, Clone)]
+pub struct Synthesis {
+    /// The synthesized migration program.
+    pub program: Program,
+    /// Statistics.
+    pub stats: SynthStats,
+}
+
+/// Synthesizes a Datalog migration program from examples (Algorithm 1).
+pub fn synthesize(
+    source: &Arc<Schema>,
+    target: &Arc<Schema>,
+    examples: &[Example],
+    config: &SynthesisConfig,
+) -> Result<Synthesis, SynthesisError> {
+    Synthesizer::new(source.clone(), target.clone(), examples.to_vec(), config.clone())?
+        .synthesize()
+}
+
+/// A prepared synthesis problem: attribute mapping inferred, sketch
+/// generated, examples preprocessed. Useful when tooling needs access to
+/// the intermediate artifacts (Ψ, the sketch, search-space size) or to the
+/// per-rule solvers (interactive mode).
+pub struct Synthesizer {
+    source: Arc<Schema>,
+    target: Arc<Schema>,
+    examples: Vec<Example>,
+    // (examples retained for introspection via `examples()`)
+    input_facts: Vec<Database>,
+    expected_flats: Vec<Flattened>,
+    psi: AttrMapping,
+    sketch: Sketch,
+    config: SynthesisConfig,
+}
+
+impl Synthesizer {
+    /// Prepares a synthesis problem: checks schema-name disjointness,
+    /// infers `Ψ`, generates the sketch, and preprocesses the examples.
+    pub fn new(
+        source: Arc<Schema>,
+        target: Arc<Schema>,
+        examples: Vec<Example>,
+        config: SynthesisConfig,
+    ) -> Result<Synthesizer, SynthesisError> {
+        let src_names: HashSet<&str> = source
+            .records()
+            .chain(source.prim_attrs())
+            .collect();
+        let overlap: Vec<String> = target
+            .records()
+            .chain(target.prim_attrs())
+            .filter(|n| src_names.contains(n))
+            .map(str::to_string)
+            .collect();
+        if !overlap.is_empty() {
+            return Err(SynthesisError::SchemaOverlap(overlap));
+        }
+        let psi = infer_attr_mapping(&source, &target, &examples);
+        let sketch = generate_sketch(&psi, &source, &target, &examples, &config.sketch);
+        let input_facts = examples.iter().map(|e| to_facts(&e.input)).collect();
+        let expected_flats = examples.iter().map(|e| e.output.flatten()).collect();
+        Ok(Synthesizer {
+            source,
+            target,
+            examples,
+            input_facts,
+            expected_flats,
+            psi,
+            sketch,
+            config,
+        })
+    }
+
+    /// The inferred attribute mapping.
+    pub fn psi(&self) -> &AttrMapping {
+        &self.psi
+    }
+
+    /// The generated program sketch.
+    pub fn sketch(&self) -> &Sketch {
+        &self.sketch
+    }
+
+    /// The source schema.
+    pub fn source(&self) -> &Arc<Schema> {
+        &self.source
+    }
+
+    /// The target schema.
+    pub fn target(&self) -> &Arc<Schema> {
+        &self.target
+    }
+
+    /// The examples this problem was prepared with.
+    pub fn examples(&self) -> &[Example] {
+        &self.examples
+    }
+
+    /// Creates the per-rule solver for rule index `i`.
+    pub fn rule_solver(&self, i: usize) -> Result<RuleSolver<'_>, SynthesisError> {
+        RuleSolver::new(self, &self.sketch.rules[i])
+    }
+
+    /// Runs Algorithm 1: completes every rule sketch and assembles the
+    /// program.
+    pub fn synthesize(&self) -> Result<Synthesis, SynthesisError> {
+        let start = Instant::now();
+        let deadline = self.config.timeout.map(|t| start + t);
+        let mut rules = Vec::new();
+        let mut stats = SynthStats {
+            ln_search_space: self.sketch.ln_search_space(),
+            ..Default::default()
+        };
+        for rs in &self.sketch.rules {
+            let mut solver = RuleSolver::new(self, rs)?;
+            solver.deadline = deadline;
+            match solver.next_consistent()? {
+                Some((rule, _)) => {
+                    let rule = if self.config.simplify {
+                        self.checked_simplify(&rule)
+                    } else {
+                        rule
+                    };
+                    rules.push(rule);
+                    stats.rules.push(solver.stats());
+                }
+                None => {
+                    return Err(SynthesisError::NoProgram {
+                        rule: rs.target_record.clone(),
+                    })
+                }
+            }
+        }
+        stats.elapsed = start.elapsed();
+        Ok(Synthesis {
+            program: Program::new(rules),
+            stats,
+        })
+    }
+
+    /// Simplifies a rule, keeping the simplification only if the
+    /// simplified rule still reproduces the expected output on every
+    /// example (dropping a detached atom is unsound when its relation is
+    /// empty in the example).
+    fn checked_simplify(&self, rule: &Rule) -> Rule {
+        let simplified = simplify_rule(rule);
+        if simplified == *rule {
+            return simplified;
+        }
+        let prog = Program::new(vec![simplified.clone()]);
+        let record_types = &rule_record_types(rule);
+        for (facts, expected) in self.input_facts.iter().zip(&self.expected_flats) {
+            let ok = evaluate(&prog, facts)
+                .ok()
+                .and_then(|out| from_facts(&out, self.target.clone()).ok())
+                .map(|inst| {
+                    let actual = inst.flatten();
+                    record_types
+                        .iter()
+                        .all(|rt| actual.table(rt) == expected.table(rt))
+                })
+                .unwrap_or(false);
+            if !ok {
+                return rule.clone();
+            }
+        }
+        simplified
+    }
+}
+
+fn rule_record_types(rule: &Rule) -> Vec<String> {
+    rule.heads.iter().map(|h| h.relation.clone()).collect()
+}
+
+/// The sketch-completion loop for one rule (lines 4–10 of Algorithm 1).
+pub struct RuleSolver<'a> {
+    synth: &'a Synthesizer,
+    sketch: &'a RuleSketch,
+    fd: FdSolver,
+    hole_vars: Vec<FdVar>,
+    elem_of: FxHashMap<ConstId, DomainElem>,
+    fixed_body_vars: HashSet<String>,
+    iterations: usize,
+    blocking_clauses: usize,
+    mdps_computed: usize,
+    /// Optional wall-clock deadline.
+    pub deadline: Option<Instant>,
+}
+
+impl<'a> RuleSolver<'a> {
+    fn new(synth: &'a Synthesizer, sketch: &'a RuleSketch) -> Result<Self, SynthesisError> {
+        let mut fd = FdSolver::new();
+        let mut elem_of: FxHashMap<ConstId, DomainElem> = FxHashMap::default();
+        let mut hole_vars = Vec::with_capacity(sketch.holes.len());
+        let no_program = || SynthesisError::NoProgram {
+            rule: sketch.target_record.clone(),
+        };
+        for hole in &sketch.holes {
+            let ids: Vec<ConstId> = hole
+                .domain
+                .iter()
+                .map(|e| {
+                    let id = fd.constant(&e.key());
+                    elem_of.insert(id, e.clone());
+                    id
+                })
+                .collect();
+            let v = fd.new_var(&hole.name, &ids).map_err(|_| no_program())?;
+            hole_vars.push(v);
+        }
+
+        // Head coverage: every target attribute variable must be picked by
+        // some *attribute* hole — connector holes sit in head positions and
+        // cannot bind a variable in the body.
+        let head_vars: BTreeSet<&str> = sketch.head_vars().into_iter().collect();
+        for hv in head_vars {
+            let elem = DomainElem::HeadVar(hv.to_string());
+            let key = elem.key();
+            let mut clause = Vec::new();
+            for (i, hole) in sketch.holes.iter().enumerate() {
+                if hole.kind == HoleKind::Attr && hole.domain.contains(&elem) {
+                    let id = fd.constant(&key);
+                    clause.push(FdLit::Eq(hole_vars[i], id));
+                }
+            }
+            if clause.is_empty() {
+                return Err(no_program());
+            }
+            fd.add_clause(&clause).map_err(|_| no_program())?;
+        }
+
+        // Fixed body variables (source-chain connectors).
+        let fixed_body_vars: HashSet<String> = sketch
+            .body
+            .iter()
+            .flat_map(|b| {
+                b.slots.iter().filter_map(|s| match s {
+                    BodySlot::Var(v) => Some(v.clone()),
+                    _ => None,
+                })
+            })
+            .collect();
+
+        // Connector support: a pool variable chosen by a connector hole
+        // must also be chosen by some attribute hole, or the rule would
+        // not be range-restricted.
+        for (c, hole) in sketch.holes.iter().enumerate() {
+            if hole.kind != HoleKind::Connector {
+                continue;
+            }
+            for elem in &hole.domain {
+                let DomainElem::BodyVar(w) = elem else {
+                    continue;
+                };
+                if fixed_body_vars.contains(w) {
+                    continue; // chain connectors already occur in the body
+                }
+                let id = fd.constant(&elem.key());
+                let mut clause = vec![FdLit::Ne(hole_vars[c], id)];
+                for (i, h) in sketch.holes.iter().enumerate() {
+                    if i != c && h.kind == HoleKind::Attr && h.domain.contains(elem) {
+                        clause.push(FdLit::Eq(hole_vars[i], id));
+                    }
+                }
+                fd.add_clause(&clause).map_err(|_| no_program())?;
+            }
+        }
+
+        Ok(RuleSolver {
+            synth,
+            sketch,
+            fd,
+            hole_vars,
+            elem_of,
+            fixed_body_vars,
+            iterations: 0,
+            blocking_clauses: 0,
+            mdps_computed: 0,
+            deadline: None,
+        })
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> RuleStats {
+        RuleStats {
+            target_record: self.sketch.target_record.clone(),
+            iterations: self.iterations,
+            blocking_clauses: self.blocking_clauses,
+            mdps_computed: self.mdps_computed,
+            holes: self.sketch.holes.len(),
+            ln_space: self.sketch.ln_completions(),
+        }
+    }
+
+    fn is_rigid(&self, e: &DomainElem) -> bool {
+        match e {
+            DomainElem::Const(_) => true,
+            DomainElem::BodyVar(w) => self.fixed_body_vars.contains(w),
+            DomainElem::HeadVar(_) => false,
+        }
+    }
+
+    /// Samples sketch completions until one is consistent with every
+    /// example. Returns the rule and its assignment, or `None` when the
+    /// space is exhausted. After returning a rule, its whole renaming-
+    /// equivalence class is blocked, so subsequent calls yield semantically
+    /// distinct programs (used by interactive mode).
+    pub fn next_consistent(
+        &mut self,
+    ) -> Result<Option<(Rule, Vec<DomainElem>)>, SynthesisError> {
+        loop {
+            if let Some(d) = self.deadline {
+                if Instant::now() > d {
+                    return Err(SynthesisError::Timeout {
+                        rule: self.sketch.target_record.clone(),
+                    });
+                }
+            }
+            if self.iterations >= self.synth.config.max_iters_per_rule {
+                return Err(SynthesisError::IterationLimit {
+                    rule: self.sketch.target_record.clone(),
+                });
+            }
+            let Some(model) = self.fd.solve() else {
+                return Ok(None);
+            };
+            self.iterations += 1;
+            let assignment: Vec<DomainElem> = self
+                .hole_vars
+                .iter()
+                .map(|&x| self.elem_of[&model.value(x)].clone())
+                .collect();
+            let rule = self.sketch.instantiate(&assignment);
+
+            match self.check(&rule) {
+                CheckResult::Consistent => {
+                    // Block the equivalence class so another call finds a
+                    // semantically different program.
+                    let all_attrs: BTreeSet<String> =
+                        self.sketch.head_vars().iter().map(|s| s.to_string()).collect();
+                    let psi = self.pattern_clause(&assignment, &all_attrs);
+                    let _ = self.fd.add_clause(&psi);
+                    self.blocking_clauses += 1;
+                    return Ok(Some((rule, assignment)));
+                }
+                CheckResult::Failed { actual } => {
+                    self.block_failure(&assignment, actual.as_ref());
+                }
+            }
+        }
+    }
+
+    /// Evaluates a candidate on every example.
+    fn check(&self, rule: &Rule) -> CheckResult {
+        let prog = Program::new(vec![rule.clone()]);
+        for (facts, expected) in self
+            .synth
+            .input_facts
+            .iter()
+            .zip(&self.synth.expected_flats)
+        {
+            let Ok(out) = evaluate(&prog, facts) else {
+                return CheckResult::Failed { actual: None };
+            };
+            let Ok(inst) = from_facts(&out, self.synth.target.clone()) else {
+                return CheckResult::Failed { actual: None };
+            };
+            let actual = inst.flatten();
+            let differs = self
+                .sketch
+                .record_types
+                .iter()
+                .any(|rt| actual.table(rt) != expected.table(rt));
+            if differs {
+                return CheckResult::Failed {
+                    actual: Some((actual, expected.clone())),
+                };
+            }
+        }
+        CheckResult::Consistent
+    }
+
+    /// Adds blocking clauses for a failed candidate.
+    fn block_failure(
+        &mut self,
+        assignment: &[DomainElem],
+        failure: Option<&(Flattened, Flattened)>,
+    ) {
+        match (self.synth.config.strategy, failure) {
+            (Strategy::MdpGuided, Some((actual, expected))) => {
+                let mut blocked_any = false;
+                for rt in &self.sketch.record_types {
+                    let (Some(at), Some(et)) = (actual.table(rt), expected.table(rt)) else {
+                        continue;
+                    };
+                    if at == et {
+                        continue;
+                    }
+                    let result = mdp_set(at, et, self.synth.config.mdp_budget);
+                    for mdp in &result.mdps {
+                        self.mdps_computed += 1;
+                        let pinned: BTreeSet<String> = mdp
+                            .iter()
+                            .map(|&c| at.columns[c].clone())
+                            .collect();
+                        let clause = self.pattern_clause(assignment, &pinned);
+                        let _ = self.fd.add_clause(&clause);
+                        self.blocking_clauses += 1;
+                        blocked_any = true;
+                    }
+                }
+                if !blocked_any {
+                    self.block_exact(assignment);
+                }
+            }
+            _ => self.block_exact(assignment),
+        }
+    }
+
+    /// Blocks exactly the failing model (Dynamite-Enum behaviour).
+    fn block_exact(&mut self, assignment: &[DomainElem]) {
+        let clause: Vec<FdLit> = assignment
+            .iter()
+            .enumerate()
+            .map(|(i, e)| {
+                let id = self.fd.constant(&e.key());
+                FdLit::Ne(self.hole_vars[i], id)
+            })
+            .collect();
+        let _ = self.fd.add_clause(&clause);
+        self.blocking_clauses += 1;
+    }
+
+    /// Lowers `¬Generalize(σ, ϕ)` to a solver clause.
+    fn pattern_clause(
+        &mut self,
+        assignment: &[DomainElem],
+        pinned_attrs: &BTreeSet<String>,
+    ) -> Vec<FdLit> {
+        let pattern = generalize(
+            assignment,
+            pinned_attrs,
+            |e| self.is_rigid(e),
+            |i| {
+                self.sketch.holes[i]
+                    .domain
+                    .iter()
+                    .filter(|e| self.is_rigid(e))
+                    .cloned()
+                    .collect()
+            },
+        );
+        pattern
+            .into_iter()
+            .map(|lit| match lit {
+                PatternLit::Pin(i) => {
+                    let id = self.fd.constant(&assignment[i].key());
+                    FdLit::Ne(self.hole_vars[i], id)
+                }
+                PatternLit::EqPair(i, j) => FdLit::VarNe(self.hole_vars[i], self.hole_vars[j]),
+                PatternLit::NePair(i, j) => FdLit::VarEq(self.hole_vars[i], self.hole_vars[j]),
+                PatternLit::NotElem(i, e) => {
+                    let id = self.fd.constant(&e.key());
+                    FdLit::Eq(self.hole_vars[i], id)
+                }
+            })
+            .collect()
+    }
+}
+
+enum CheckResult {
+    Consistent,
+    Failed {
+        /// `(actual, expected)` flattenings of the first failing example,
+        /// when the candidate evaluated cleanly.
+        actual: Option<(Flattened, Flattened)>,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_fixtures::{motivating, works_in};
+    use dynamite_datalog::alpha_equivalent;
+
+    #[test]
+    fn synthesizes_the_motivating_example() {
+        let (source, target, ex) = motivating();
+        let result = synthesize(&source, &target, std::slice::from_ref(&ex), &SynthesisConfig::default())
+            .expect("synthesis succeeds");
+        assert_eq!(result.program.rules.len(), 1);
+        // The synthesized program must reproduce the example output.
+        let facts = to_facts(&ex.input);
+        let out = evaluate(&result.program, &facts).unwrap();
+        let inst = from_facts(&out, target.clone()).unwrap();
+        assert!(inst.canon_eq(&ex.output));
+    }
+
+    #[test]
+    fn motivating_example_matches_golden_program() {
+        let (source, target, ex) = motivating();
+        let result =
+            synthesize(&source, &target, &[ex], &SynthesisConfig::default()).unwrap();
+        let golden = Program::parse(
+            "Admission(grad, ug, num) :- Univ(id1, grad, v1), Admit(v1, id2, num), Univ(id2, ug, _).",
+        )
+        .unwrap();
+        assert!(
+            alpha_equivalent(&result.program.rules[0], &golden.rules[0]),
+            "got: {}",
+            result.program
+        );
+    }
+
+    #[test]
+    fn enumerative_strategy_also_synthesizes_correctly() {
+        // Both strategies must converge to a correct program; their
+        // relative iteration counts are an aggregate claim (Figure 9a),
+        // not a per-run invariant.
+        let (source, target, ex) = motivating();
+        let mdp = synthesize(&source, &target, std::slice::from_ref(&ex), &SynthesisConfig::default())
+            .unwrap();
+        let enum_cfg = SynthesisConfig {
+            strategy: Strategy::Enumerative,
+            ..Default::default()
+        };
+        let enu = synthesize(&source, &target, std::slice::from_ref(&ex), &enum_cfg).unwrap();
+        let facts = to_facts(&ex.input);
+        for r in [&mdp, &enu] {
+            let out = evaluate(&r.program, &facts).unwrap();
+            let inst = from_facts(&out, target.clone()).unwrap();
+            assert!(inst.canon_eq(&ex.output));
+        }
+    }
+
+    #[test]
+    fn search_space_matches_section2() {
+        let (source, target, ex) = motivating();
+        let synth = Synthesizer::new(
+            source,
+            target,
+            vec![ex],
+            SynthesisConfig::default(),
+        )
+        .unwrap();
+        let n = synth.sketch().ln_search_space().exp().round() as u64;
+        assert_eq!(n, 64_000);
+    }
+
+    #[test]
+    fn works_in_join_example() {
+        let (source, target, ex) = works_in();
+        let result =
+            synthesize(&source, &target, std::slice::from_ref(&ex), &SynthesisConfig::default()).unwrap();
+        let facts = to_facts(&ex.input);
+        let out = evaluate(&result.program, &facts).unwrap();
+        let inst = from_facts(&out, target.clone()).unwrap();
+        assert!(inst.canon_eq(&ex.output));
+    }
+
+    #[test]
+    fn schema_overlap_is_rejected() {
+        let (source, _, ex) = motivating();
+        let err = synthesize(&source, &source.clone(), &[ex], &SynthesisConfig::default())
+            .unwrap_err();
+        assert!(matches!(err, SynthesisError::SchemaOverlap(_)));
+    }
+
+    #[test]
+    fn impossible_target_returns_no_program() {
+        use dynamite_instance::{Instance, Record};
+        use dynamite_schema::Schema;
+        // Target attribute whose values never appear in the source: no
+        // attribute mapping, empty coverage, ⊥.
+        let (source, _, ex) = motivating();
+        let target = Arc::new(
+            Schema::parse("@relational Mystery { secret: String }").unwrap(),
+        );
+        let mut output = Instance::new(target.clone());
+        output
+            .insert("Mystery", Record::from_values(vec!["nowhere".into()]))
+            .unwrap();
+        let ex2 = Example::new(ex.input, output);
+        let err =
+            synthesize(&source, &target, &[ex2], &SynthesisConfig::default()).unwrap_err();
+        assert!(matches!(err, SynthesisError::NoProgram { .. }));
+    }
+
+    #[test]
+    fn nested_target_synthesis() {
+        use dynamite_instance::{Instance, Record, Value};
+        use dynamite_schema::Schema;
+        let source = Arc::new(
+            Schema::parse(
+                "@relational
+                 Teams { tid: Int, tname: String }
+                 Players { pid: Int, team_id: Int, pname: String, avg: Int }",
+            )
+            .unwrap(),
+        );
+        let target = Arc::new(
+            Schema::parse(
+                "@document
+                 Team { team_name: String, Roster { player_name: String, batting: Int } }",
+            )
+            .unwrap(),
+        );
+        let mut input = Instance::new(source.clone());
+        input
+            .insert("Teams", Record::from_values(vec![1.into(), "Reds".into()]))
+            .unwrap();
+        input
+            .insert("Teams", Record::from_values(vec![2.into(), "Blues".into()]))
+            .unwrap();
+        input
+            .insert(
+                "Players",
+                Record::from_values(vec![10.into(), 1.into(), "Ann".into(), 300.into()]),
+            )
+            .unwrap();
+        input
+            .insert(
+                "Players",
+                Record::from_values(vec![11.into(), 1.into(), "Bob".into(), 250.into()]),
+            )
+            .unwrap();
+        input
+            .insert(
+                "Players",
+                Record::from_values(vec![12.into(), 2.into(), "Cyd".into(), 275.into()]),
+            )
+            .unwrap();
+        let mut output = Instance::new(target.clone());
+        output
+            .insert(
+                "Team",
+                Record::with_fields(vec![
+                    Value::str("Reds").into(),
+                    vec![
+                        Record::from_values(vec!["Ann".into(), 300.into()]),
+                        Record::from_values(vec!["Bob".into(), 250.into()]),
+                    ]
+                    .into(),
+                ]),
+            )
+            .unwrap();
+        output
+            .insert(
+                "Team",
+                Record::with_fields(vec![
+                    Value::str("Blues").into(),
+                    vec![Record::from_values(vec!["Cyd".into(), 275.into()])].into(),
+                ]),
+            )
+            .unwrap();
+        let ex = Example::new(input.clone(), output.clone());
+        let result =
+            synthesize(&source, &target, &[ex], &SynthesisConfig::default()).unwrap();
+        let facts = to_facts(&input);
+        let out = evaluate(&result.program, &facts).unwrap();
+        let inst = from_facts(&out, target.clone()).unwrap();
+        assert!(
+            inst.canon_eq(&output),
+            "program: {}\ngot: {}\nwant: {}",
+            result.program,
+            inst.flatten(),
+            output.flatten()
+        );
+    }
+
+    #[test]
+    fn iteration_limit_reported() {
+        let (source, target, ex) = motivating();
+        let cfg = SynthesisConfig {
+            max_iters_per_rule: 1,
+            strategy: Strategy::Enumerative,
+            ..Default::default()
+        };
+        // One iteration is almost surely not enough for a 64k space.
+        let r = synthesize(&source, &target, &[ex], &cfg);
+        assert!(matches!(
+            r,
+            Err(SynthesisError::IterationLimit { .. }) | Ok(_)
+        ));
+    }
+}

@@ -1,0 +1,103 @@
+//! Shared fixtures: the paper's running example (§2, Figure 2).
+//!
+//! Public because examples, integration tests, and downstream crates reuse
+//! it; not part of the stable API surface.
+
+use std::sync::Arc;
+
+use dynamite_instance::{Instance, Record, Value};
+use dynamite_schema::Schema;
+
+use crate::example::Example;
+
+/// The motivating example of §2: a `Univ`/`Admit` document database being
+/// migrated to a flat `Admission` collection, with the Figure 2 instances.
+pub fn motivating() -> (Arc<Schema>, Arc<Schema>, Example) {
+    let source = Arc::new(
+        Schema::parse(
+            "@document
+             Univ { id: Int, name: String, Admit { uid: Int, count: Int } }",
+        )
+        .expect("valid fixture schema"),
+    );
+    let target = Arc::new(
+        Schema::parse("@document Admission { grad: String, ug: String, num: Int }")
+            .expect("valid fixture schema"),
+    );
+
+    let mut input = Instance::new(source.clone());
+    for (id, name, admits) in [
+        (1i64, "U1", vec![(1i64, 10i64), (2, 50)]),
+        (2, "U2", vec![(2, 20), (1, 40)]),
+    ] {
+        input
+            .insert(
+                "Univ",
+                Record::with_fields(vec![
+                    Value::Int(id).into(),
+                    Value::str(name).into(),
+                    admits
+                        .iter()
+                        .map(|&(u, c)| Record::from_values(vec![u.into(), c.into()]))
+                        .collect::<Vec<_>>()
+                        .into(),
+                ]),
+            )
+            .expect("valid fixture record");
+    }
+
+    let mut output = Instance::new(target.clone());
+    for (g, u, n) in [
+        ("U1", "U1", 10i64),
+        ("U1", "U2", 50),
+        ("U2", "U2", 20),
+        ("U2", "U1", 40),
+    ] {
+        output
+            .insert(
+                "Admission",
+                Record::from_values(vec![g.into(), u.into(), n.into()]),
+            )
+            .expect("valid fixture record");
+    }
+    (source, target, Example::new(input, output))
+}
+
+/// The `Employee`/`Department` → `WorksIn` example of §5 (Example 10),
+/// which admits two consistent programs from a single-record example and
+/// therefore exercises interactive disambiguation.
+pub fn works_in() -> (Arc<Schema>, Arc<Schema>, Example) {
+    let source = Arc::new(
+        Schema::parse(
+            "@relational
+             Employee { ename: String, deptId: Int }
+             Department { did: Int, deptName: String }",
+        )
+        .expect("valid fixture schema"),
+    );
+    let target = Arc::new(
+        Schema::parse("@relational WorksIn { wname: String, wdept: String }")
+            .expect("valid fixture schema"),
+    );
+    let mut input = Instance::new(source.clone());
+    input
+        .insert(
+            "Employee",
+            Record::from_values(vec!["Alice".into(), 11.into()]),
+        )
+        .expect("valid record");
+    input
+        .insert(
+            "Department",
+            Record::from_values(vec![11.into(), "CS".into()]),
+        )
+        .expect("valid record");
+    let mut output = Instance::new(target.clone());
+    output
+        .insert(
+            "WorksIn",
+            Record::from_values(vec!["Alice".into(), "CS".into()]),
+        )
+        .expect("valid record");
+    (source, target, Example::new(input, output))
+}

@@ -1,0 +1,623 @@
+//! Abstract syntax for Datalog programs (paper §3.2, Figure 4).
+//!
+//! Extensions over the paper's core fragment:
+//! - multi-head rules (`H1, …, Hm :- B1, …, Bn.` — the paper's shorthand
+//!   is first-class here because sketch generation produces such rules for
+//!   nested target records);
+//! - constants in body atoms (used by the filtering extension, §5);
+//! - wildcards (`_`) in body atoms;
+//! - negated body literals (`!R(…)`) with stratified semantics — an
+//!   extension beyond the paper, gated by the well-formedness checks.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::fmt;
+
+use dynamite_instance::Value;
+
+/// A term: variable, constant, or wildcard.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    /// A named variable.
+    Var(String),
+    /// A constant value.
+    Const(Value),
+    /// An anonymous variable matching anything (body only).
+    Wildcard,
+}
+
+impl Term {
+    /// Convenience constructor for variables.
+    pub fn var(name: impl Into<String>) -> Term {
+        Term::Var(name.into())
+    }
+
+    /// The variable name, if this term is a variable.
+    pub fn as_var(&self) -> Option<&str> {
+        match self {
+            Term::Var(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Const(c) => write!(f, "{c}"),
+            Term::Wildcard => write!(f, "_"),
+        }
+    }
+}
+
+/// A predicate application `R(t1, …, tn)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Atom {
+    /// Relation name.
+    pub relation: String,
+    /// Argument terms.
+    pub terms: Vec<Term>,
+}
+
+impl Atom {
+    /// Creates an atom.
+    pub fn new(relation: impl Into<String>, terms: Vec<Term>) -> Atom {
+        Atom {
+            relation: relation.into(),
+            terms,
+        }
+    }
+
+    /// Iterates the variables of this atom (with duplicates).
+    pub fn vars(&self) -> impl Iterator<Item = &str> {
+        self.terms.iter().filter_map(Term::as_var)
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.relation)?;
+        for (i, t) in self.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A body literal: an atom, possibly negated.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Literal {
+    /// The underlying atom.
+    pub atom: Atom,
+    /// `true` for `!R(…)`.
+    pub negated: bool,
+}
+
+impl Literal {
+    /// A positive literal.
+    pub fn pos(atom: Atom) -> Literal {
+        Literal {
+            atom,
+            negated: false,
+        }
+    }
+
+    /// A negated literal.
+    pub fn neg(atom: Atom) -> Literal {
+        Literal {
+            atom,
+            negated: true,
+        }
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.negated {
+            write!(f, "!")?;
+        }
+        write!(f, "{}", self.atom)
+    }
+}
+
+/// A rule `H1, …, Hm :- B1, …, Bn.`
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Rule {
+    /// Head atoms (at least one).
+    pub heads: Vec<Atom>,
+    /// Body literals (empty body means the heads are facts; requires
+    /// ground heads).
+    pub body: Vec<Literal>,
+}
+
+impl Rule {
+    /// Creates a single-head rule.
+    pub fn new(head: Atom, body: Vec<Literal>) -> Rule {
+        Rule {
+            heads: vec![head],
+            body,
+        }
+    }
+
+    /// All distinct head variables, in first-occurrence order.
+    pub fn head_vars(&self) -> Vec<&str> {
+        let mut seen = HashSet::new();
+        let mut out = Vec::new();
+        for h in &self.heads {
+            for v in h.vars() {
+                if seen.insert(v) {
+                    out.push(v);
+                }
+            }
+        }
+        out
+    }
+
+    /// All distinct variables occurring in positive body literals.
+    pub fn positive_body_vars(&self) -> HashSet<&str> {
+        self.body
+            .iter()
+            .filter(|l| !l.negated)
+            .flat_map(|l| l.atom.vars())
+            .collect()
+    }
+
+    /// All distinct variables of the rule, in first-occurrence order
+    /// (heads first, then body).
+    pub fn all_vars(&self) -> Vec<&str> {
+        let mut seen = HashSet::new();
+        let mut out = Vec::new();
+        for h in &self.heads {
+            for v in h.vars() {
+                if seen.insert(v) {
+                    out.push(v);
+                }
+            }
+        }
+        for l in &self.body {
+            for v in l.atom.vars() {
+                if seen.insert(v) {
+                    out.push(v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Renames variables to `v0, v1, …` in first-occurrence order,
+    /// producing a canonical form for syntactic comparison.
+    pub fn canonicalize(&self) -> Rule {
+        let mapping: HashMap<&str, String> = self
+            .all_vars()
+            .into_iter()
+            .enumerate()
+            .map(|(i, v)| (v, format!("v{i}")))
+            .collect();
+        self.rename(&mapping)
+    }
+
+    /// Applies a variable renaming (variables absent from the map are kept).
+    pub fn rename(&self, mapping: &HashMap<&str, String>) -> Rule {
+        let ren_term = |t: &Term| match t {
+            Term::Var(v) => Term::Var(
+                mapping
+                    .get(v.as_str())
+                    .cloned()
+                    .unwrap_or_else(|| v.clone()),
+            ),
+            other => other.clone(),
+        };
+        let ren_atom = |a: &Atom| Atom {
+            relation: a.relation.clone(),
+            terms: a.terms.iter().map(ren_term).collect(),
+        };
+        Rule {
+            heads: self.heads.iter().map(ren_atom).collect(),
+            body: self
+                .body
+                .iter()
+                .map(|l| Literal {
+                    atom: ren_atom(&l.atom),
+                    negated: l.negated,
+                })
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, h) in self.heads.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{h}")?;
+        }
+        if !self.body.is_empty() {
+            write!(f, " :- ")?;
+            for (i, l) in self.body.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{l}")?;
+            }
+        }
+        write!(f, ".")
+    }
+}
+
+/// Ill-formedness diagnoses for rules and programs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WellFormedError {
+    /// A head variable does not occur in any positive body literal
+    /// (range restriction; §3.2 "Datalog requires all variables in the head
+    /// to occur in the rule body").
+    UnboundHeadVar { rule: String, var: String },
+    /// A variable of a negated literal does not occur in any positive
+    /// literal (required for safe stratified negation).
+    UnboundNegatedVar { rule: String, var: String },
+    /// A wildcard appears in a rule head.
+    WildcardInHead { rule: String },
+    /// A relation is used with two different arities.
+    ArityMismatch {
+        relation: String,
+        first: usize,
+        second: usize,
+    },
+    /// A rule has no head.
+    NoHead { rule: String },
+}
+
+impl fmt::Display for WellFormedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WellFormedError::UnboundHeadVar { rule, var } => {
+                write!(f, "head variable `{var}` not bound by body in rule `{rule}`")
+            }
+            WellFormedError::UnboundNegatedVar { rule, var } => write!(
+                f,
+                "variable `{var}` of a negated literal not bound by a positive literal in rule `{rule}`"
+            ),
+            WellFormedError::WildcardInHead { rule } => {
+                write!(f, "wildcard in head of rule `{rule}`")
+            }
+            WellFormedError::ArityMismatch {
+                relation,
+                first,
+                second,
+            } => write!(
+                f,
+                "relation `{relation}` used with arities {first} and {second}"
+            ),
+            WellFormedError::NoHead { rule } => write!(f, "rule without head: `{rule}`"),
+        }
+    }
+}
+
+impl std::error::Error for WellFormedError {}
+
+/// A Datalog program: a list of rules.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Program {
+    /// The rules, in source order.
+    pub rules: Vec<Rule>,
+}
+
+impl Program {
+    /// Creates a program from rules.
+    pub fn new(rules: Vec<Rule>) -> Program {
+        Program { rules }
+    }
+
+    /// Parses a program from text (see [`crate::parse_program`]).
+    pub fn parse(input: &str) -> Result<Program, crate::parse::ParseError> {
+        crate::parse::parse_program(input)
+    }
+
+    /// Intensional relations: those appearing in some head.
+    pub fn intensional(&self) -> BTreeSet<&str> {
+        self.rules
+            .iter()
+            .flat_map(|r| r.heads.iter().map(|h| h.relation.as_str()))
+            .collect()
+    }
+
+    /// Extensional relations: those appearing only in bodies.
+    pub fn extensional(&self) -> BTreeSet<&str> {
+        let idb = self.intensional();
+        self.rules
+            .iter()
+            .flat_map(|r| r.body.iter().map(|l| l.atom.relation.as_str()))
+            .filter(|r| !idb.contains(r))
+            .collect()
+    }
+
+    /// Total number of body predicates across all rules.
+    pub fn num_body_preds(&self) -> usize {
+        self.rules.iter().map(|r| r.body.len()).sum()
+    }
+
+    /// Checks range restriction, safe negation, head wildcards, and
+    /// arity consistency.
+    pub fn check_well_formed(&self) -> Result<(), WellFormedError> {
+        let mut arities: HashMap<&str, usize> = HashMap::new();
+        for rule in &self.rules {
+            let rule_str = rule.to_string();
+            if rule.heads.is_empty() {
+                return Err(WellFormedError::NoHead { rule: rule_str });
+            }
+            let positive = rule.positive_body_vars();
+            for h in &rule.heads {
+                for t in &h.terms {
+                    match t {
+                        Term::Wildcard => {
+                            return Err(WellFormedError::WildcardInHead { rule: rule_str })
+                        }
+                        Term::Var(v) if !positive.contains(v.as_str()) => {
+                            return Err(WellFormedError::UnboundHeadVar {
+                                rule: rule_str,
+                                var: v.clone(),
+                            });
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            for l in &rule.body {
+                if l.negated {
+                    for v in l.atom.vars() {
+                        if !positive.contains(v) {
+                            return Err(WellFormedError::UnboundNegatedVar {
+                                rule: rule_str.clone(),
+                                var: v.to_string(),
+                            });
+                        }
+                    }
+                }
+            }
+            for atom in rule.heads.iter().chain(rule.body.iter().map(|l| &l.atom)) {
+                let arity = atom.terms.len();
+                if let Some(&prev) = arities.get(atom.relation.as_str()) {
+                    if prev != arity {
+                        return Err(WellFormedError::ArityMismatch {
+                            relation: atom.relation.clone(),
+                            first: prev,
+                            second: arity,
+                        });
+                    }
+                } else {
+                    arities.insert(atom.relation.as_str(), arity);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in &self.rules {
+            writeln!(f, "{r}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Rewrites body variables that occur exactly once in the whole rule to
+/// wildcards (they are semantically anonymous). Used to compare rules
+/// irrespective of whether a don't-care position is spelled `_` or given a
+/// throwaway name.
+pub fn normalize_singletons(rule: &Rule) -> Rule {
+    let mut counts: HashMap<&str, usize> = HashMap::new();
+    for atom in rule.heads.iter().chain(rule.body.iter().map(|l| &l.atom)) {
+        for v in atom.vars() {
+            *counts.entry(v).or_insert(0) += 1;
+        }
+    }
+    let mut out = rule.clone();
+    for l in &mut out.body {
+        for t in &mut l.atom.terms {
+            if let Term::Var(v) = t {
+                if counts[v.as_str()] == 1 {
+                    *t = Term::Wildcard;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Tests whether two rules are α-equivalent: identical up to a bijective
+/// variable renaming, body-literal reordering, and `_`-vs-singleton-name
+/// spelling. Used by the Table 3 "# Optim Rules" metric (synthesized rule
+/// syntactically identical to the manually written one).
+pub fn alpha_equivalent(a: &Rule, b: &Rule) -> bool {
+    let (a, b) = (&normalize_singletons(a), &normalize_singletons(b));
+    if a.heads.len() != b.heads.len() || a.body.len() != b.body.len() {
+        return false;
+    }
+
+    fn match_terms<'a>(
+        xs: &'a [Term],
+        ys: &'a [Term],
+        fwd: &mut HashMap<&'a str, &'a str>,
+        bwd: &mut HashMap<&'a str, &'a str>,
+    ) -> bool {
+        for (x, y) in xs.iter().zip(ys) {
+            match (x, y) {
+                (Term::Const(c1), Term::Const(c2)) if c1 == c2 => {}
+                (Term::Wildcard, Term::Wildcard) => {}
+                (Term::Var(v1), Term::Var(v2)) => {
+                    let ok_f = match fwd.get(v1.as_str()) {
+                        Some(&m) => m == v2.as_str(),
+                        None => {
+                            fwd.insert(v1, v2);
+                            true
+                        }
+                    };
+                    let ok_b = match bwd.get(v2.as_str()) {
+                        Some(&m) => m == v1.as_str(),
+                        None => {
+                            bwd.insert(v2, v1);
+                            true
+                        }
+                    };
+                    if !ok_f || !ok_b {
+                        return false;
+                    }
+                }
+                _ => return false,
+            }
+        }
+        true
+    }
+
+    fn search<'a>(
+        a: &'a Rule,
+        b: &'a Rule,
+        i: usize,
+        used: &mut Vec<bool>,
+        fwd: &mut HashMap<&'a str, &'a str>,
+        bwd: &mut HashMap<&'a str, &'a str>,
+    ) -> bool {
+        if i == a.body.len() {
+            return true;
+        }
+        let la = &a.body[i];
+        for (j, lb) in b.body.iter().enumerate() {
+            if used[j]
+                || la.negated != lb.negated
+                || la.atom.relation != lb.atom.relation
+                || la.atom.terms.len() != lb.atom.terms.len()
+            {
+                continue;
+            }
+            let (saved_f, saved_b) = (fwd.clone(), bwd.clone());
+            if match_terms(&la.atom.terms, &lb.atom.terms, fwd, bwd) {
+                used[j] = true;
+                if search(a, b, i + 1, used, fwd, bwd) {
+                    return true;
+                }
+                used[j] = false;
+            }
+            *fwd = saved_f;
+            *bwd = saved_b;
+        }
+        false
+    }
+
+    let mut fwd = HashMap::new();
+    let mut bwd = HashMap::new();
+    // Heads must match in order (head order is dictated by the schema).
+    for (ha, hb) in a.heads.iter().zip(&b.heads) {
+        if ha.relation != hb.relation || ha.terms.len() != hb.terms.len() {
+            return false;
+        }
+        if !match_terms(&ha.terms, &hb.terms, &mut fwd, &mut bwd) {
+            return false;
+        }
+    }
+    let mut used = vec![false; b.body.len()];
+    search(a, b, 0, &mut used, &mut fwd, &mut bwd)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rule(s: &str) -> Rule {
+        Program::parse(s).unwrap().rules.remove(0)
+    }
+
+    #[test]
+    fn display_round_trip() {
+        let r = rule("A(x, y) :- B(x, z), C(z, y, _), D(\"k\", 3).");
+        assert_eq!(
+            r.to_string(),
+            "A(x, y) :- B(x, z), C(z, y, _), D(\"k\", 3)."
+        );
+    }
+
+    #[test]
+    fn head_and_body_vars() {
+        let r = rule("A(x, y) :- B(x, z), !C(z).");
+        assert_eq!(r.head_vars(), vec!["x", "y"]);
+        assert!(r.positive_body_vars().contains("z"));
+        assert!(!r.positive_body_vars().contains("y"));
+        assert_eq!(r.all_vars(), vec!["x", "y", "z"]);
+    }
+
+    #[test]
+    fn well_formedness_unbound_head() {
+        let p = Program::parse("A(x, y) :- B(x).").unwrap();
+        assert!(matches!(
+            p.check_well_formed(),
+            Err(WellFormedError::UnboundHeadVar { .. })
+        ));
+    }
+
+    #[test]
+    fn well_formedness_unsafe_negation() {
+        let p = Program::parse("A(x) :- B(x), !C(y).").unwrap();
+        assert!(matches!(
+            p.check_well_formed(),
+            Err(WellFormedError::UnboundNegatedVar { .. })
+        ));
+    }
+
+    #[test]
+    fn well_formedness_arity() {
+        let p = Program::parse("A(x) :- B(x). A(x) :- B(x, x).").unwrap();
+        assert!(matches!(
+            p.check_well_formed(),
+            Err(WellFormedError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn idb_edb_partition() {
+        let p = Program::parse("A(x) :- B(x). C(x) :- A(x), D(x).").unwrap();
+        assert_eq!(p.intensional().into_iter().collect::<Vec<_>>(), ["A", "C"]);
+        assert_eq!(p.extensional().into_iter().collect::<Vec<_>>(), ["B", "D"]);
+    }
+
+    #[test]
+    fn canonicalize_renames_in_order() {
+        let r = rule("A(q, p) :- B(p, q), C(r).");
+        assert_eq!(
+            r.canonicalize().to_string(),
+            "A(v0, v1) :- B(v1, v0), C(v2)."
+        );
+    }
+
+    #[test]
+    fn alpha_equivalence_modulo_renaming_and_reordering() {
+        let a = rule("A(x, y) :- B(x, z), C(z, y).");
+        let b = rule("A(p, q) :- C(r, q), B(p, r).");
+        assert!(alpha_equivalent(&a, &b));
+
+        let c = rule("A(p, q) :- C(q, r), B(p, r).");
+        assert!(!alpha_equivalent(&a, &c));
+    }
+
+    #[test]
+    fn alpha_equivalence_requires_bijection() {
+        // x and z map to the same variable on the right: not injective.
+        let a = rule("A(x) :- B(x, z).");
+        let b = rule("A(p) :- B(p, p).");
+        assert!(!alpha_equivalent(&a, &b));
+        assert!(!alpha_equivalent(&b, &a));
+    }
+
+    #[test]
+    fn alpha_equivalence_constants_and_wildcards() {
+        let a = rule("A(x) :- B(x, 3, _).");
+        let b = rule("A(y) :- B(y, 3, _).");
+        let c = rule("A(y) :- B(y, 4, _).");
+        assert!(alpha_equivalent(&a, &b));
+        assert!(!alpha_equivalent(&a, &c));
+    }
+}

@@ -1,0 +1,748 @@
+//! Stratified semi-naive Datalog evaluation.
+//!
+//! The paper only needs positive non-recursive programs (it delegates to
+//! Soufflé); this engine additionally supports recursion and stratified
+//! negation, so it stands alone as a general Datalog substrate.
+//!
+//! Evaluation pipeline:
+//! 1. well-formedness checks ([`Program::check_well_formed`]);
+//! 2. stratum assignment (iterative fixpoint; negation through a cycle is
+//!    rejected as unstratifiable);
+//! 3. per stratum, semi-naive fixpoint: each rule is recompiled so that one
+//!    occurrence of a same-stratum relation ranges over the delta of the
+//!    previous iteration; joins use hash indexes built on the bound columns
+//!    of each literal.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use dynamite_instance::hash::FxHashMap;
+use dynamite_instance::{Database, Relation, Value};
+
+use crate::ast::{Literal, Program, Rule, Term, WellFormedError};
+
+/// Errors raised by the evaluator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// The program is ill-formed.
+    WellFormed(WellFormedError),
+    /// Negation occurs inside a recursive cycle.
+    Unstratifiable { relation: String },
+    /// An input relation's arity disagrees with the program's usage.
+    InputArity {
+        relation: String,
+        expected: usize,
+        got: usize,
+    },
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::WellFormed(e) => write!(f, "{e}"),
+            EvalError::Unstratifiable { relation } => {
+                write!(f, "program is not stratifiable (negation through `{relation}`)")
+            }
+            EvalError::InputArity {
+                relation,
+                expected,
+                got,
+            } => write!(
+                f,
+                "input relation `{relation}` has arity {got}, program expects {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl From<WellFormedError> for EvalError {
+    fn from(e: WellFormedError) -> EvalError {
+        EvalError::WellFormed(e)
+    }
+}
+
+/// Evaluates `program` on `input`, returning the derived intensional
+/// relations (the least Herbrand model restricted to IDB relations; §3.2).
+///
+/// Extensional relations missing from `input` are treated as empty.
+pub fn evaluate(program: &Program, input: &Database) -> Result<Database, EvalError> {
+    program.check_well_formed()?;
+
+    // Relation arities as used by the program.
+    let mut arities: HashMap<&str, usize> = HashMap::new();
+    for rule in &program.rules {
+        for atom in rule.heads.iter().chain(rule.body.iter().map(|l| &l.atom)) {
+            arities.insert(&atom.relation, atom.terms.len());
+        }
+    }
+    for (name, rel) in input.iter() {
+        if let Some(&expected) = arities.get(name) {
+            if !rel.is_empty() && rel.arity() != expected {
+                return Err(EvalError::InputArity {
+                    relation: name.to_string(),
+                    expected,
+                    got: rel.arity(),
+                });
+            }
+        }
+    }
+
+    let idb: Vec<&str> = program.intensional().into_iter().collect();
+    let strata = stratify(program, &idb)?;
+    let max_stratum = strata.values().copied().max().unwrap_or(0);
+
+    // `total` holds EDB + derived IDB; `out` only IDB.
+    let mut total = input.clone();
+    let mut out = Database::new();
+    for &r in &idb {
+        let arity = arities[r];
+        out.relation_mut(r, arity);
+        total.relation_mut(r, arity);
+    }
+
+    for s in 0..=max_stratum {
+        let rules: Vec<&Rule> = program
+            .rules
+            .iter()
+            .filter(|r| rule_stratum(r, &strata) == s)
+            .collect();
+        if rules.is_empty() {
+            continue;
+        }
+        let in_stratum: Vec<&str> = idb
+            .iter()
+            .copied()
+            .filter(|r| strata.get(*r) == Some(&s))
+            .collect();
+        run_stratum(&rules, &in_stratum, &mut total, &mut out, &arities);
+    }
+    Ok(out)
+}
+
+/// Stratum of a rule: the maximum stratum among its head relations.
+fn rule_stratum(rule: &Rule, strata: &HashMap<String, usize>) -> usize {
+    rule.heads
+        .iter()
+        .filter_map(|h| strata.get(&h.relation))
+        .copied()
+        .max()
+        .unwrap_or(0)
+}
+
+/// Iterative stratification. `stratum[h] ≥ stratum[b]` for positive body
+/// literals and `stratum[h] > stratum[b]` for negated ones; failure to
+/// converge within `|IDB|` rounds means negation occurs in a cycle.
+fn stratify(program: &Program, idb: &[&str]) -> Result<HashMap<String, usize>, EvalError> {
+    let mut strata: HashMap<String, usize> =
+        idb.iter().map(|r| (r.to_string(), 0usize)).collect();
+    let bound = idb.len() + 1;
+    for _ in 0..=bound {
+        let mut changed = false;
+        for rule in &program.rules {
+            for head in &rule.heads {
+                let mut need = strata.get(&head.relation).copied().unwrap_or(0);
+                for l in &rule.body {
+                    if let Some(&bs) = strata.get(&l.atom.relation) {
+                        let req = if l.negated { bs + 1 } else { bs };
+                        need = need.max(req);
+                    }
+                }
+                if need > bound {
+                    return Err(EvalError::Unstratifiable {
+                        relation: head.relation.clone(),
+                    });
+                }
+                if strata.get(&head.relation) != Some(&need) {
+                    strata.insert(head.relation.clone(), need);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            return Ok(strata);
+        }
+    }
+    Err(EvalError::Unstratifiable {
+        relation: idb.first().copied().unwrap_or("?").to_string(),
+    })
+}
+
+/// A rule compiled for evaluation: variables become dense indices and each
+/// positive literal records which columns are bound at its join position.
+struct Compiled<'r> {
+    rule: &'r Rule,
+    nvars: usize,
+    var_index: HashMap<&'r str, usize>,
+    /// Positive literals in join order (delta occurrence first, if any),
+    /// with their original body positions.
+    positives: Vec<(usize, &'r Literal)>,
+    negatives: Vec<&'r Literal>,
+}
+
+enum Slot {
+    Const(Value),
+    Bound(usize),
+    Free(usize),
+    Wild,
+}
+
+impl<'r> Compiled<'r> {
+    fn new(rule: &'r Rule, delta_pos: Option<usize>) -> Compiled<'r> {
+        let mut var_index = HashMap::new();
+        for v in rule.all_vars() {
+            let next = var_index.len();
+            var_index.entry(v).or_insert(next);
+        }
+        let mut positives: Vec<(usize, &Literal)> = rule
+            .body
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| !l.negated)
+            .collect();
+        if let Some(d) = delta_pos {
+            if let Some(i) = positives.iter().position(|(p, _)| *p == d) {
+                let lit = positives.remove(i);
+                positives.insert(0, lit);
+            }
+        }
+        let negatives = rule.body.iter().filter(|l| l.negated).collect();
+        Compiled {
+            rule,
+            nvars: var_index.len(),
+            var_index,
+            positives,
+            negatives,
+        }
+    }
+
+    /// Slot layout of `literal` given the variables bound so far; updates
+    /// `bound` with this literal's new variables.
+    ///
+    /// A variable is `Bound` only if an *earlier* literal binds it; a
+    /// repeat within this literal stays `Free` (the tuple matcher checks
+    /// the environment for within-literal consistency), because index keys
+    /// can only be built from values known before the literal is joined.
+    fn slots(&self, literal: &Literal, bound: &mut [bool]) -> Vec<Slot> {
+        let before = bound.to_vec();
+        literal
+            .atom
+            .terms
+            .iter()
+            .map(|t| match t {
+                Term::Const(c) => Slot::Const(c.clone()),
+                Term::Wildcard => Slot::Wild,
+                Term::Var(v) => {
+                    let i = self.var_index[v.as_str()];
+                    if before[i] {
+                        Slot::Bound(i)
+                    } else {
+                        bound[i] = true;
+                        Slot::Free(i)
+                    }
+                }
+            })
+            .collect()
+    }
+}
+
+/// Runs the semi-naive fixpoint for one stratum.
+fn run_stratum(
+    rules: &[&Rule],
+    in_stratum: &[&str],
+    total: &mut Database,
+    out: &mut Database,
+    arities: &HashMap<&str, usize>,
+) {
+    let empty = Relation::new(0);
+
+    // Initial round: naive evaluation of every rule against `total`.
+    let mut delta: FxHashMap<String, Relation> = FxHashMap::default();
+    for &r in in_stratum {
+        delta.insert(r.to_string(), Relation::new(arities[r]));
+    }
+    for rule in rules {
+        let compiled = Compiled::new(rule, None);
+        let derived = eval_compiled(&compiled, total, None, &empty);
+        absorb(derived, total, out, &mut delta);
+    }
+
+    // Fixpoint rounds: one delta-variant per same-stratum positive literal.
+    loop {
+        let mut new_delta: FxHashMap<String, Relation> = FxHashMap::default();
+        for &r in in_stratum {
+            new_delta.insert(r.to_string(), Relation::new(arities[r]));
+        }
+        let mut any = false;
+        for rule in rules {
+            for (pos, lit) in rule.body.iter().enumerate() {
+                if lit.negated || !in_stratum.contains(&lit.atom.relation.as_str()) {
+                    continue;
+                }
+                let d = delta
+                    .get(lit.atom.relation.as_str())
+                    .unwrap_or(&empty);
+                if d.is_empty() {
+                    continue;
+                }
+                let compiled = Compiled::new(rule, Some(pos));
+                let derived = eval_compiled(&compiled, total, Some(pos), d);
+                if absorb(derived, total, out, &mut new_delta) {
+                    any = true;
+                }
+            }
+        }
+        delta = new_delta;
+        if !any {
+            break;
+        }
+    }
+}
+
+/// Inserts derived facts into `total`, `out`, and the delta map; returns
+/// `true` if anything was new.
+fn absorb(
+    derived: Vec<(String, Vec<Value>)>,
+    total: &mut Database,
+    out: &mut Database,
+    delta: &mut FxHashMap<String, Relation>,
+) -> bool {
+    let mut any = false;
+    for (rel, tuple) in derived {
+        let arity = tuple.len();
+        if total.relation_mut(&rel, arity).insert_values(tuple.clone()) {
+            out.relation_mut(&rel, arity).insert_values(tuple.clone());
+            if let Some(d) = delta.get_mut(&rel) {
+                d.insert_values(tuple);
+            }
+            any = true;
+        }
+    }
+    any
+}
+
+/// Evaluates one compiled rule variant; `delta_pos`/`delta` select the body
+/// occurrence that ranges over the delta relation instead of the full one.
+fn eval_compiled(
+    compiled: &Compiled<'_>,
+    total: &Database,
+    delta_pos: Option<usize>,
+    delta: &Relation,
+) -> Vec<(String, Vec<Value>)> {
+    let empty = Relation::new(0);
+    let mut results = Vec::new();
+    let mut env: Vec<Option<Value>> = vec![None; compiled.nvars];
+
+    // Precompute slot layouts and per-literal indexes.
+    let mut bound = vec![false; compiled.nvars];
+    let mut layouts: Vec<(Vec<Slot>, &Relation)> = Vec::with_capacity(compiled.positives.len());
+    for (pos, lit) in &compiled.positives {
+        let rel: &Relation = if Some(*pos) == delta_pos {
+            delta
+        } else {
+            total.relation(&lit.atom.relation).unwrap_or(&empty)
+        };
+        layouts.push((compiled.slots(lit, &mut bound), rel));
+    }
+    // Indexes on bound+const columns for each literal after the first.
+    let indexes: Vec<Option<dynamite_instance::ColumnIndex>> = layouts
+        .iter()
+        .enumerate()
+        .map(|(i, (slots, rel))| {
+            if i == 0 {
+                return None;
+            }
+            let cols: Vec<usize> = slots
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| matches!(s, Slot::Const(_) | Slot::Bound(_)))
+                .map(|(c, _)| c)
+                .collect();
+            if cols.is_empty() {
+                None
+            } else {
+                Some(dynamite_instance::ColumnIndex::build(rel, &cols))
+            }
+        })
+        .collect();
+
+    fn negation_holds(
+        compiled: &Compiled<'_>,
+        total: &Database,
+        env: &[Option<Value>],
+    ) -> bool {
+        'lits: for lit in &compiled.negatives {
+            let rel = match total.relation(&lit.atom.relation) {
+                Some(r) => r,
+                None => continue,
+            };
+            // Wildcards/unrestricted columns require a scan; negated atoms
+            // are small in practice.
+            't: for t in rel.iter() {
+                for (i, term) in lit.atom.terms.iter().enumerate() {
+                    match term {
+                        Term::Const(c) => {
+                            if &t[i] != c {
+                                continue 't;
+                            }
+                        }
+                        Term::Var(v) => {
+                            let idx = compiled.var_index[v.as_str()];
+                            let val = env[idx].as_ref().expect("negated vars bound");
+                            if &t[i] != val {
+                                continue 't;
+                            }
+                        }
+                        Term::Wildcard => {}
+                    }
+                }
+                return false; // a tuple matches the negated atom
+            }
+            continue 'lits;
+        }
+        true
+    }
+
+    fn emit(
+        compiled: &Compiled<'_>,
+        env: &[Option<Value>],
+        results: &mut Vec<(String, Vec<Value>)>,
+    ) {
+        for head in &compiled.rule.heads {
+            let tuple: Vec<Value> = head
+                .terms
+                .iter()
+                .map(|t| match t {
+                    Term::Const(c) => c.clone(),
+                    Term::Var(v) => env[compiled.var_index[v.as_str()]]
+                        .clone()
+                        .expect("head vars bound (range restriction)"),
+                    Term::Wildcard => unreachable!("no wildcards in heads"),
+                })
+                .collect();
+            results.push((head.relation.clone(), tuple));
+        }
+    }
+
+    fn join(
+        compiled: &Compiled<'_>,
+        layouts: &[(Vec<Slot>, &Relation)],
+        indexes: &[Option<dynamite_instance::ColumnIndex>],
+        total: &Database,
+        depth: usize,
+        env: &mut Vec<Option<Value>>,
+        results: &mut Vec<(String, Vec<Value>)>,
+    ) {
+        if depth == layouts.len() {
+            if negation_holds(compiled, total, env) {
+                emit(compiled, env, results);
+            }
+            return;
+        }
+        let (slots, rel) = &layouts[depth];
+        let try_tuple =
+            |t: &[Value], env: &mut Vec<Option<Value>>| -> Option<Vec<usize>> {
+                let mut newly = Vec::new();
+                for (i, s) in slots.iter().enumerate() {
+                    match s {
+                        Slot::Const(c) => {
+                            if &t[i] != c {
+                                for &n in &newly {
+                                    env[n] = None;
+                                }
+                                return None;
+                            }
+                        }
+                        Slot::Bound(v) => {
+                            if env[*v].as_ref() != Some(&t[i]) {
+                                for &n in &newly {
+                                    env[n] = None;
+                                }
+                                return None;
+                            }
+                        }
+                        Slot::Free(v) => {
+                            // Free slots may repeat within one literal
+                            // (e.g. R(x, x) with x first bound here).
+                            match &env[*v] {
+                                Some(existing) => {
+                                    if existing != &t[i] {
+                                        for &n in &newly {
+                                            env[n] = None;
+                                        }
+                                        return None;
+                                    }
+                                }
+                                None => {
+                                    env[*v] = Some(t[i].clone());
+                                    newly.push(*v);
+                                }
+                            }
+                        }
+                        Slot::Wild => {}
+                    }
+                }
+                Some(newly)
+            };
+
+        match &indexes[depth] {
+            Some(index) => {
+                let key: Vec<Value> = slots
+                    .iter()
+                    .filter_map(|s| match s {
+                        Slot::Const(c) => Some(c.clone()),
+                        Slot::Bound(v) => Some(env[*v].clone().expect("bound")),
+                        _ => None,
+                    })
+                    .collect();
+                for &ti in index.get(&key) {
+                    let t = rel.get(ti).expect("index in range");
+                    if let Some(newly) = try_tuple(t, env) {
+                        join(compiled, layouts, indexes, total, depth + 1, env, results);
+                        for n in newly {
+                            env[n] = None;
+                        }
+                    }
+                }
+            }
+            None => {
+                for t in rel.iter() {
+                    if let Some(newly) = try_tuple(t, env) {
+                        join(compiled, layouts, indexes, total, depth + 1, env, results);
+                        for n in newly {
+                            env[n] = None;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    join(
+        compiled,
+        &layouts,
+        &indexes,
+        total,
+        0,
+        &mut env,
+        &mut results,
+    );
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynamite_instance::Value;
+
+    fn db(facts: &[(&str, &[i64])]) -> Database {
+        let mut d = Database::new();
+        for (rel, vals) in facts {
+            d.insert(rel, vals.iter().map(|&v| Value::Int(v)).collect());
+        }
+        d
+    }
+
+    fn rows(out: &Database, rel: &str) -> Vec<Vec<i64>> {
+        let mut v: Vec<Vec<i64>> = out
+            .relation(rel)
+            .map(|r| {
+                r.iter()
+                    .map(|t| t.iter().map(|x| x.as_int().unwrap()).collect())
+                    .collect()
+            })
+            .unwrap_or_default();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn simple_join_and_projection() {
+        let p = Program::parse("Q(x, z) :- R(x, y), S(y, z).").unwrap();
+        let input = db(&[
+            ("R", &[1, 10]),
+            ("R", &[2, 20]),
+            ("S", &[10, 100]),
+            ("S", &[10, 101]),
+        ]);
+        let out = evaluate(&p, &input).unwrap();
+        assert_eq!(rows(&out, "Q"), vec![vec![1, 100], vec![1, 101]]);
+    }
+
+    #[test]
+    fn constants_filter() {
+        let p = Program::parse("Q(x) :- R(x, 20).").unwrap();
+        let input = db(&[("R", &[1, 10]), ("R", &[2, 20])]);
+        let out = evaluate(&p, &input).unwrap();
+        assert_eq!(rows(&out, "Q"), vec![vec![2]]);
+    }
+
+    #[test]
+    fn wildcards_match_anything() {
+        let p = Program::parse("Q(x) :- R(x, _).").unwrap();
+        let input = db(&[("R", &[1, 10]), ("R", &[1, 11]), ("R", &[2, 20])]);
+        let out = evaluate(&p, &input).unwrap();
+        assert_eq!(rows(&out, "Q"), vec![vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn repeated_variable_within_literal() {
+        let p = Program::parse("Q(x) :- R(x, x).").unwrap();
+        let input = db(&[("R", &[1, 1]), ("R", &[1, 2])]);
+        let out = evaluate(&p, &input).unwrap();
+        assert_eq!(rows(&out, "Q"), vec![vec![1]]);
+    }
+
+    #[test]
+    fn repeated_fresh_variable_in_indexed_literal() {
+        // The R literal is joined second (indexed on y); x repeats within
+        // it and is not bound beforehand.
+        let p = Program::parse("Q(y) :- A(y), R(x, x, y).").unwrap();
+        let input = db(&[
+            ("A", &[7]),
+            ("A", &[8]),
+            ("R", &[1, 1, 7]),
+            ("R", &[1, 2, 8]),
+        ]);
+        let out = evaluate(&p, &input).unwrap();
+        assert_eq!(rows(&out, "Q"), vec![vec![7]]);
+    }
+
+    #[test]
+    fn transitive_closure_recursion() {
+        let p = Program::parse(
+            "Path(x, y) :- Edge(x, y).
+             Path(x, z) :- Path(x, y), Edge(y, z).",
+        )
+        .unwrap();
+        let input = db(&[("Edge", &[1, 2]), ("Edge", &[2, 3]), ("Edge", &[3, 4])]);
+        let out = evaluate(&p, &input).unwrap();
+        assert_eq!(rows(&out, "Path").len(), 6);
+        assert!(rows(&out, "Path").contains(&vec![1, 4]));
+    }
+
+    #[test]
+    fn recursion_with_cycle_terminates() {
+        let p = Program::parse(
+            "Path(x, y) :- Edge(x, y).
+             Path(x, z) :- Path(x, y), Edge(y, z).",
+        )
+        .unwrap();
+        let input = db(&[("Edge", &[1, 2]), ("Edge", &[2, 1])]);
+        let out = evaluate(&p, &input).unwrap();
+        assert_eq!(
+            rows(&out, "Path"),
+            vec![vec![1, 1], vec![1, 2], vec![2, 1], vec![2, 2]]
+        );
+    }
+
+    #[test]
+    fn stratified_negation() {
+        let p = Program::parse(
+            "Reach(x) :- Start(x).
+             Reach(y) :- Reach(x), Edge(x, y).
+             Unreach(x) :- Node(x), !Reach(x).",
+        )
+        .unwrap();
+        let input = {
+            let mut d = db(&[
+                ("Edge", &[1, 2]),
+                ("Node", &[1]),
+                ("Node", &[2]),
+                ("Node", &[3]),
+            ]);
+            d.insert("Start", vec![Value::Int(1)]);
+            d
+        };
+        let out = evaluate(&p, &input).unwrap();
+        assert_eq!(rows(&out, "Reach"), vec![vec![1], vec![2]]);
+        assert_eq!(rows(&out, "Unreach"), vec![vec![3]]);
+    }
+
+    #[test]
+    fn unstratifiable_rejected() {
+        let p = Program::parse("A(x) :- B(x), !A(x).").unwrap();
+        assert!(matches!(
+            evaluate(&p, &db(&[("B", &[1])])),
+            Err(EvalError::Unstratifiable { .. })
+        ));
+    }
+
+    #[test]
+    fn multi_head_rules() {
+        let p = Program::parse("A(x), B(x, y) :- C(x, y).").unwrap();
+        let out = evaluate(&p, &db(&[("C", &[1, 2])])).unwrap();
+        assert_eq!(rows(&out, "A"), vec![vec![1]]);
+        assert_eq!(rows(&out, "B"), vec![vec![1, 2]]);
+    }
+
+    #[test]
+    fn ground_facts_in_program() {
+        let p = Program::parse("A(7). A(x) :- B(x).").unwrap();
+        let out = evaluate(&p, &db(&[("B", &[1])])).unwrap();
+        assert_eq!(rows(&out, "A"), vec![vec![1], vec![7]]);
+    }
+
+    #[test]
+    fn empty_edb_is_empty_result() {
+        let p = Program::parse("Q(x, z) :- R(x, y), S(y, z).").unwrap();
+        let out = evaluate(&p, &Database::new()).unwrap();
+        assert!(out.relation("Q").unwrap().is_empty());
+    }
+
+    #[test]
+    fn idb_used_in_later_rule() {
+        let p = Program::parse(
+            "Mid(x, y) :- R(x, y).
+             Q(x) :- Mid(x, _).",
+        )
+        .unwrap();
+        let out = evaluate(&p, &db(&[("R", &[5, 6])])).unwrap();
+        assert_eq!(rows(&out, "Q"), vec![vec![5]]);
+    }
+
+    #[test]
+    fn motivating_example_program() {
+        // §2: Admission(grad, ug, num) :- Univ(id1, grad, v1),
+        //     Admit(v1, id2, num), Univ(id2, ug, _).
+        let p = Program::parse(
+            "Admission(grad, ug, num) :- Univ(id1, grad, v1), Admit(v1, id2, num), Univ(id2, ug, _).",
+        )
+        .unwrap();
+        let mut input = Database::new();
+        input.insert("Univ", vec![1.into(), "U1".into(), Value::Id(100)]);
+        input.insert("Univ", vec![2.into(), "U2".into(), Value::Id(200)]);
+        input.insert("Admit", vec![Value::Id(100), 1.into(), 10.into()]);
+        input.insert("Admit", vec![Value::Id(100), 2.into(), 50.into()]);
+        input.insert("Admit", vec![Value::Id(200), 2.into(), 20.into()]);
+        input.insert("Admit", vec![Value::Id(200), 1.into(), 40.into()]);
+        let out = evaluate(&p, &input).unwrap();
+        let adm = out.relation("Admission").unwrap();
+        assert_eq!(adm.len(), 4);
+        assert!(adm.contains(&["U1".into(), "U2".into(), 50.into()]));
+        assert!(adm.contains(&["U2".into(), "U1".into(), 40.into()]));
+    }
+
+    #[test]
+    fn incorrect_program_from_figure3() {
+        // The incorrect candidate P from §2 yields only the "diagonal".
+        let p = Program::parse(
+            "Admission(grad, ug, num) :- Univ(id1, grad, v1), Admit(v1, id1, num), Univ(id1, ug, _), Univ(id2, name1, _).",
+        )
+        .unwrap();
+        let mut input = Database::new();
+        input.insert("Univ", vec![1.into(), "U1".into(), Value::Id(100)]);
+        input.insert("Univ", vec![2.into(), "U2".into(), Value::Id(200)]);
+        input.insert("Admit", vec![Value::Id(100), 1.into(), 10.into()]);
+        input.insert("Admit", vec![Value::Id(100), 2.into(), 50.into()]);
+        input.insert("Admit", vec![Value::Id(200), 2.into(), 20.into()]);
+        input.insert("Admit", vec![Value::Id(200), 1.into(), 40.into()]);
+        let out = evaluate(&p, &input).unwrap();
+        let adm = out.relation("Admission").unwrap();
+        // Figure 3(a): exactly (U1, U1, 10) and (U2, U2, 20).
+        assert_eq!(adm.len(), 2);
+        assert!(adm.contains(&["U1".into(), "U1".into(), 10.into()]));
+        assert!(adm.contains(&["U2".into(), "U2".into(), 20.into()]));
+    }
+}

@@ -1,0 +1,32 @@
+//! A from-scratch Datalog engine (the workspace's substitute for Soufflé).
+//!
+//! Provides the AST ([`Program`], [`Rule`], [`Atom`], [`Term`]), a text
+//! [parser](parse_program), a pretty-printer (`Display`), and a
+//! [stratified semi-naive evaluator](evaluate) over the tuple stores of
+//! [`dynamite_instance`].
+//!
+//! ```
+//! use dynamite_datalog::{evaluate, Program};
+//! use dynamite_instance::Database;
+//!
+//! let program = Program::parse(
+//!     "Path(x, y) :- Edge(x, y).
+//!      Path(x, z) :- Path(x, y), Edge(y, z).",
+//! )
+//! .unwrap();
+//! let mut edges = Database::new();
+//! edges.insert("Edge", vec![1.into(), 2.into()]);
+//! edges.insert("Edge", vec![2.into(), 3.into()]);
+//! let out = evaluate(&program, &edges).unwrap();
+//! assert_eq!(out.relation("Path").unwrap().len(), 3);
+//! ```
+
+mod ast;
+mod eval;
+mod parse;
+
+pub use ast::{
+    alpha_equivalent, normalize_singletons, Atom, Literal, Program, Rule, Term, WellFormedError,
+};
+pub use eval::{evaluate, EvalError};
+pub use parse::{parse_program, ParseError};

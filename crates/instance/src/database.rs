@@ -1,0 +1,334 @@
+use std::collections::hash_map::Entry;
+use std::collections::{BTreeMap, HashSet};
+
+use crate::hash::{FxHashMap, FxHashSet};
+use std::fmt;
+use std::sync::Arc;
+
+use crate::value::Value;
+
+/// A tuple of constants. `Arc` makes tuples cheap to share between the
+/// deduplication set, the insertion-ordered list, and join indices.
+pub type Tuple = Arc<[Value]>;
+
+/// A set of tuples of fixed arity with insertion-ordered, deduplicated
+/// iteration. This is both the extensional input and the intensional output
+/// format of the Datalog engine.
+#[derive(Debug, Clone, Default)]
+pub struct Relation {
+    arity: usize,
+    set: FxHashSet<Tuple>,
+    order: Vec<Tuple>,
+}
+
+impl Relation {
+    /// Creates an empty relation of the given arity.
+    pub fn new(arity: usize) -> Relation {
+        Relation {
+            arity,
+            set: FxHashSet::default(),
+            order: Vec::new(),
+        }
+    }
+
+    /// The number of columns.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// The number of (distinct) tuples.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Returns `true` if the relation holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Inserts a tuple; returns `true` if it was new.
+    ///
+    /// # Panics
+    /// Panics if the tuple's arity does not match the relation's.
+    pub fn insert(&mut self, tuple: Tuple) -> bool {
+        assert_eq!(
+            tuple.len(),
+            self.arity,
+            "tuple arity {} does not match relation arity {}",
+            tuple.len(),
+            self.arity
+        );
+        if self.set.insert(tuple.clone()) {
+            self.order.push(tuple);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Inserts a tuple built from a vector of values.
+    pub fn insert_values(&mut self, values: Vec<Value>) -> bool {
+        self.insert(Arc::from(values))
+    }
+
+    /// Membership test.
+    pub fn contains(&self, tuple: &[Value]) -> bool {
+        self.set.contains(tuple)
+    }
+
+    /// Iterates tuples in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.order.iter()
+    }
+
+    /// The `i`-th tuple in insertion order.
+    pub fn get(&self, i: usize) -> Option<&Tuple> {
+        self.order.get(i)
+    }
+
+    /// Set equality (ignores insertion order).
+    pub fn set_eq(&self, other: &Relation) -> bool {
+        self.arity == other.arity && self.set == other.set
+    }
+
+    /// Returns the set of distinct values appearing in column `col`.
+    pub fn column_values(&self, col: usize) -> HashSet<&Value> {
+        self.order.iter().map(|t| &t[col]).collect()
+    }
+
+    /// Projects onto the given columns, returning the set of projected rows.
+    pub fn project(&self, cols: &[usize]) -> HashSet<Vec<Value>> {
+        self.order
+            .iter()
+            .map(|t| cols.iter().map(|&c| t[c].clone()).collect())
+            .collect()
+    }
+}
+
+impl PartialEq for Relation {
+    fn eq(&self, other: &Self) -> bool {
+        self.set_eq(other)
+    }
+}
+
+impl Eq for Relation {}
+
+impl FromIterator<Vec<Value>> for Relation {
+    fn from_iter<I: IntoIterator<Item = Vec<Value>>>(iter: I) -> Relation {
+        let mut it = iter.into_iter().peekable();
+        let arity = it.peek().map_or(0, Vec::len);
+        let mut rel = Relation::new(arity);
+        for t in it {
+            rel.insert_values(t);
+        }
+        rel
+    }
+}
+
+/// A collection of named relations: the uniform format for Datalog inputs
+/// (extensional facts) and outputs (intensional facts).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Database {
+    relations: BTreeMap<String, Relation>,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// Ensures relation `name` exists with the given arity and returns a
+    /// mutable reference to it.
+    ///
+    /// # Panics
+    /// Panics if the relation exists with a different arity.
+    pub fn relation_mut(&mut self, name: &str, arity: usize) -> &mut Relation {
+        match self.relations.entry(name.to_string()) {
+            std::collections::btree_map::Entry::Occupied(e) => {
+                let r = e.into_mut();
+                assert_eq!(r.arity(), arity, "relation `{name}` arity mismatch");
+                r
+            }
+            std::collections::btree_map::Entry::Vacant(e) => e.insert(Relation::new(arity)),
+        }
+    }
+
+    /// Looks up a relation by name.
+    pub fn relation(&self, name: &str) -> Option<&Relation> {
+        self.relations.get(name)
+    }
+
+    /// Inserts a fact `name(values…)`, creating the relation on demand.
+    pub fn insert(&mut self, name: &str, values: Vec<Value>) -> bool {
+        let arity = values.len();
+        self.relation_mut(name, arity).insert_values(values)
+    }
+
+    /// Iterates `(name, relation)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Relation)> {
+        self.relations.iter().map(|(n, r)| (n.as_str(), r))
+    }
+
+    /// Relation names in name order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.relations.keys().map(String::as_str)
+    }
+
+    /// Total number of facts across all relations.
+    pub fn num_facts(&self) -> usize {
+        self.relations.values().map(Relation::len).sum()
+    }
+
+    /// Merges another database into this one (set union per relation).
+    pub fn merge(&mut self, other: &Database) {
+        for (name, rel) in other.iter() {
+            let dst = self.relation_mut(name, rel.arity());
+            for t in rel.iter() {
+                dst.insert(t.clone());
+            }
+        }
+    }
+
+    /// Restricts to the named relations (used to slice synthesis outputs).
+    pub fn restrict_to(&self, names: &HashSet<&str>) -> Database {
+        Database {
+            relations: self
+                .relations
+                .iter()
+                .filter(|(n, _)| names.contains(n.as_str()))
+                .map(|(n, r)| (n.clone(), r.clone()))
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Display for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, rel) in &self.relations {
+            for t in rel.iter() {
+                write!(f, "{name}(")?;
+                for (i, v) in t.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                writeln!(f, ").")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A hash index from key columns to tuple positions, used by the Datalog
+/// evaluator for joins and by `BuildRecord` for parent-id lookup (this is
+/// the in-memory substitute for the paper's MongoDB index, §5).
+#[derive(Debug, Default)]
+pub struct ColumnIndex {
+    map: FxHashMap<Vec<Value>, Vec<usize>>,
+}
+
+impl ColumnIndex {
+    /// Builds an index of `rel` on the given key columns.
+    pub fn build(rel: &Relation, cols: &[usize]) -> ColumnIndex {
+        let mut map: FxHashMap<Vec<Value>, Vec<usize>> = FxHashMap::default();
+        for (i, t) in rel.iter().enumerate() {
+            let key: Vec<Value> = cols.iter().map(|&c| t[c].clone()).collect();
+            match map.entry(key) {
+                Entry::Occupied(mut e) => e.get_mut().push(i),
+                Entry::Vacant(e) => {
+                    e.insert(vec![i]);
+                }
+            }
+        }
+        ColumnIndex { map }
+    }
+
+    /// Tuple positions whose key columns equal `key`.
+    pub fn get(&self, key: &[Value]) -> &[usize] {
+        self.map.get(key).map_or(&[], Vec::as_slice)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(vals: &[i64]) -> Vec<Value> {
+        vals.iter().map(|&v| Value::Int(v)).collect()
+    }
+
+    #[test]
+    fn relation_dedupes_and_keeps_order() {
+        let mut r = Relation::new(2);
+        assert!(r.insert_values(t(&[1, 2])));
+        assert!(r.insert_values(t(&[3, 4])));
+        assert!(!r.insert_values(t(&[1, 2])));
+        assert_eq!(r.len(), 2);
+        let rows: Vec<_> = r.iter().map(|x| x[0].clone()).collect();
+        assert_eq!(rows, vec![Value::Int(1), Value::Int(3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let mut r = Relation::new(2);
+        r.insert_values(t(&[1]));
+    }
+
+    #[test]
+    fn set_equality_ignores_order() {
+        let mut a = Relation::new(1);
+        a.insert_values(t(&[1]));
+        a.insert_values(t(&[2]));
+        let mut b = Relation::new(1);
+        b.insert_values(t(&[2]));
+        b.insert_values(t(&[1]));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn projection() {
+        let mut r = Relation::new(3);
+        r.insert_values(t(&[1, 2, 3]));
+        r.insert_values(t(&[1, 5, 3]));
+        let p = r.project(&[0, 2]);
+        assert_eq!(p.len(), 1);
+        assert!(p.contains(&t(&[1, 3])));
+    }
+
+    #[test]
+    fn database_round_trip() {
+        let mut db = Database::new();
+        db.insert("R", t(&[1, 2]));
+        db.insert("R", t(&[1, 2]));
+        db.insert("S", t(&[7]));
+        assert_eq!(db.num_facts(), 2);
+        assert_eq!(db.relation("R").unwrap().len(), 1);
+        assert_eq!(db.names().collect::<Vec<_>>(), vec!["R", "S"]);
+    }
+
+    #[test]
+    fn column_index_lookup() {
+        let mut r = Relation::new(2);
+        r.insert_values(t(&[1, 10]));
+        r.insert_values(t(&[1, 20]));
+        r.insert_values(t(&[2, 30]));
+        let idx = ColumnIndex::build(&r, &[0]);
+        assert_eq!(idx.get(&t(&[1])).len(), 2);
+        assert_eq!(idx.get(&t(&[2])).len(), 1);
+        assert_eq!(idx.get(&t(&[9])).len(), 0);
+    }
+
+    #[test]
+    fn merge_unions() {
+        let mut a = Database::new();
+        a.insert("R", t(&[1]));
+        let mut b = Database::new();
+        b.insert("R", t(&[1]));
+        b.insert("R", t(&[2]));
+        a.merge(&b);
+        assert_eq!(a.relation("R").unwrap().len(), 2);
+    }
+}

@@ -1,0 +1,330 @@
+//! Instance ⇄ Datalog fact translation (paper §3.3).
+//!
+//! *From instances to facts*: each record type `N` becomes an extensional
+//! relation `R_N`; each record `r = {a1: v1, …, an: vn}` becomes a fact
+//! `R_N(c0, c1, …, cn)` where `c0` is the parent's identifier when `N` is
+//! nested, `ci` is `vi` for primitive attributes, and `ci` is `Id(r)` for
+//! record-typed attributes.
+//!
+//! *From facts to instances*: `BuildRecord` rebuilds records recursively by
+//! chasing identifiers from record-typed columns into the first column of
+//! the nested relation. Child lookup goes through a hash index on the
+//! parent-id column — the in-memory equivalent of the MongoDB index the
+//! paper's implementation uses (§5).
+
+use std::fmt;
+use std::sync::Arc;
+
+use dynamite_schema::Schema;
+
+use crate::database::{ColumnIndex, Database, Relation};
+use crate::record::{Field, Instance, InstanceError, Record};
+use crate::value::Value;
+
+/// Generator of fresh synthetic record identifiers.
+#[derive(Debug, Default)]
+pub struct IdGen {
+    next: u64,
+}
+
+impl IdGen {
+    /// Creates a generator starting at id 0.
+    pub fn new() -> IdGen {
+        IdGen::default()
+    }
+
+    /// Returns a fresh identifier.
+    pub fn fresh(&mut self) -> Value {
+        let v = Value::Id(self.next);
+        self.next += 1;
+        v
+    }
+}
+
+/// Errors raised while rebuilding instances from facts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FactsError {
+    /// A relation's arity does not match what the schema dictates (§3.3).
+    Arity {
+        relation: String,
+        expected: usize,
+        got: usize,
+    },
+    /// A rebuilt record failed schema validation (e.g. a value of the wrong
+    /// primitive type in some column).
+    Validation(InstanceError),
+}
+
+impl fmt::Display for FactsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FactsError::Arity {
+                relation,
+                expected,
+                got,
+            } => write!(
+                f,
+                "relation `{relation}` has arity {got}, schema requires {expected}"
+            ),
+            FactsError::Validation(e) => write!(f, "invalid rebuilt record: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FactsError {}
+
+impl From<InstanceError> for FactsError {
+    fn from(e: InstanceError) -> FactsError {
+        FactsError::Validation(e)
+    }
+}
+
+/// Translates a database instance into Datalog facts (§3.3).
+pub fn to_facts(instance: &Instance) -> Database {
+    let mut gen = IdGen::new();
+    to_facts_with(instance, &mut gen)
+}
+
+/// Like [`to_facts`], but drawing identifiers from the supplied generator,
+/// so several instances can share one id space.
+pub fn to_facts_with(instance: &Instance, gen: &mut IdGen) -> Database {
+    let schema = instance.schema();
+    let mut db = Database::new();
+    // Pre-create every relation so empty record types are represented.
+    for record in schema.records() {
+        db.relation_mut(record, schema.fact_arity(record));
+    }
+
+    fn emit(
+        schema: &Schema,
+        record_type: &str,
+        record: &Record,
+        parent: Option<&Value>,
+        gen: &mut IdGen,
+        db: &mut Database,
+    ) {
+        let my_id = gen.fresh();
+        let attrs = schema.attrs(record_type);
+        let mut tuple = Vec::with_capacity(attrs.len() + 1);
+        if let Some(p) = parent {
+            tuple.push(p.clone());
+        }
+        for field in record.fields() {
+            match field {
+                Field::Prim(v) => tuple.push(v.clone()),
+                Field::Children(_) => tuple.push(my_id.clone()),
+            }
+        }
+        db.relation_mut(record_type, tuple.len()).insert_values(tuple);
+        for (attr, field) in attrs.iter().zip(record.fields()) {
+            if let Field::Children(children) = field {
+                for c in children {
+                    emit(schema, attr, c, Some(&my_id), gen, db);
+                }
+            }
+        }
+    }
+
+    for (record_type, records) in instance.iter() {
+        for r in records {
+            emit(schema, record_type, r, None, gen, &mut db);
+        }
+    }
+    db
+}
+
+/// Rebuilds a database instance from Datalog facts over `schema`'s record
+/// relations (the `BuildRecord` procedure of §3.3).
+///
+/// Relations missing from `facts` are treated as empty. Extra relations in
+/// `facts` that are not record types of `schema` are ignored.
+pub fn from_facts(facts: &Database, schema: Arc<Schema>) -> Result<Instance, FactsError> {
+    // Arity check up front for clearer errors.
+    for record in schema.records() {
+        if let Some(rel) = facts.relation(record) {
+            let expected = schema.fact_arity(record);
+            if !rel.is_empty() && rel.arity() != expected {
+                return Err(FactsError::Arity {
+                    relation: record.to_string(),
+                    expected,
+                    got: rel.arity(),
+                });
+            }
+        }
+    }
+
+    // Parent-id index for every nested record type (MongoDB substitute).
+    let empty = Relation::new(0);
+    let mut indices = std::collections::HashMap::new();
+    for record in schema.records() {
+        if schema.is_nested(record) {
+            let rel = facts.relation(record).unwrap_or(&empty);
+            if rel.arity() > 0 {
+                indices.insert(record.to_string(), ColumnIndex::build(rel, &[0]));
+            }
+        }
+    }
+
+    fn build(
+        schema: &Schema,
+        facts: &Database,
+        indices: &std::collections::HashMap<String, ColumnIndex>,
+        record_type: &str,
+        tuple: &[Value],
+        nested: bool,
+    ) -> Record {
+        let mut fields = Vec::new();
+        for (col, attr) in (usize::from(nested)..).zip(schema.attrs(record_type)) {
+            if schema.is_record(attr) {
+                let slot = &tuple[col];
+                let children: Vec<Record> = match (facts.relation(attr), indices.get(attr)) {
+                    (Some(rel), Some(idx)) => idx
+                        .get(std::slice::from_ref(slot))
+                        .iter()
+                        .map(|&i| {
+                            let child = rel.get(i).expect("index in range");
+                            build(schema, facts, indices, attr, child, true)
+                        })
+                        .collect(),
+                    _ => Vec::new(),
+                };
+                fields.push(Field::Children(children));
+            } else {
+                fields.push(Field::Prim(tuple[col].clone()));
+            }
+        }
+        Record::with_fields(fields)
+    }
+
+    let mut instance = Instance::new(schema.clone());
+    for record_type in schema.top_level_records() {
+        if let Some(rel) = facts.relation(record_type) {
+            for tuple in rel.iter() {
+                let record = build(&schema, facts, &indices, record_type, tuple, false);
+                instance.insert(record_type, record)?;
+            }
+        }
+    }
+    Ok(instance)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynamite_schema::Schema;
+
+    fn schema() -> Arc<Schema> {
+        Arc::new(
+            Schema::parse(
+                "@document
+                 Univ { id: Int, name: String, Admit { uid: Int, count: Int } }",
+            )
+            .unwrap(),
+        )
+    }
+
+    fn example_instance() -> Instance {
+        // Figure 2(a) of the paper.
+        let mut inst = Instance::new(schema());
+        for (id, name, admits) in [
+            (1, "U1", vec![(1, 10), (2, 50)]),
+            (2, "U2", vec![(2, 20), (1, 40)]),
+        ] {
+            inst.insert(
+                "Univ",
+                Record::with_fields(vec![
+                    Value::Int(id).into(),
+                    Value::str(name).into(),
+                    admits
+                        .iter()
+                        .map(|&(u, c)| Record::from_values(vec![u.into(), c.into()]))
+                        .collect::<Vec<_>>()
+                        .into(),
+                ]),
+            )
+            .unwrap();
+        }
+        inst
+    }
+
+    #[test]
+    fn example4_fact_shape() {
+        // Example 4: Univ(1, "U1", id1), Admit(id1, 1, 10), …
+        let facts = to_facts(&example_instance());
+        let univ = facts.relation("Univ").unwrap();
+        let admit = facts.relation("Admit").unwrap();
+        assert_eq!(univ.len(), 2);
+        assert_eq!(admit.len(), 4);
+        assert_eq!(univ.arity(), 3);
+        assert_eq!(admit.arity(), 3);
+        // Each Univ fact's third column is an id that exactly the right two
+        // Admit facts reference in their first column.
+        for u in univ.iter() {
+            let uid = &u[2];
+            assert!(uid.is_id());
+            let children: Vec<_> = admit.iter().filter(|a| &a[0] == uid).collect();
+            assert_eq!(children.len(), 2);
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_canonical_instance() {
+        let inst = example_instance();
+        let back = from_facts(&to_facts(&inst), schema()).unwrap();
+        assert!(inst.canon_eq(&back));
+        assert_eq!(back.num_records(), 6);
+    }
+
+    #[test]
+    fn missing_nested_relation_means_no_children() {
+        let inst = example_instance();
+        let mut facts = to_facts(&inst);
+        facts = {
+            // Rebuild a database without the Admit relation.
+            let mut db = Database::new();
+            let univ = facts.relation("Univ").unwrap();
+            for t in univ.iter() {
+                db.relation_mut("Univ", 3).insert(t.clone());
+            }
+            db
+        };
+        let back = from_facts(&facts, schema()).unwrap();
+        assert_eq!(back.records("Univ").len(), 2);
+        assert!(back.records("Univ")[0].children(2).unwrap().is_empty());
+    }
+
+    #[test]
+    fn arity_mismatch_is_reported() {
+        let mut db = Database::new();
+        db.insert("Univ", vec![Value::Int(1)]);
+        let err = from_facts(&db, schema()).unwrap_err();
+        assert!(matches!(err, FactsError::Arity { .. }));
+    }
+
+    #[test]
+    fn ill_typed_facts_are_rejected() {
+        let mut db = Database::new();
+        // name column holds an Int — violates the schema.
+        db.insert(
+            "Univ",
+            vec![Value::Int(1), Value::Int(99), Value::Id(0)],
+        );
+        let err = from_facts(&db, schema()).unwrap_err();
+        assert!(matches!(err, FactsError::Validation(_)));
+    }
+
+    #[test]
+    fn shared_id_space() {
+        let mut gen = IdGen::new();
+        let a = to_facts_with(&example_instance(), &mut gen);
+        let b = to_facts_with(&example_instance(), &mut gen);
+        let ids = |db: &Database| -> std::collections::HashSet<Value> {
+            db.relation("Univ")
+                .unwrap()
+                .iter()
+                .map(|t| t[2].clone())
+                .collect()
+        };
+        assert!(ids(&a).is_disjoint(&ids(&b)));
+    }
+}

@@ -1,0 +1,216 @@
+//! Canonical, id-free flattening of instances.
+//!
+//! The paper compares the actual Datalog output `O′` against the expected
+//! output `O` (§4.1) and computes minimal distinguishing projections over
+//! output *attributes* (§4.3). When the target schema contains nested
+//! records, raw output facts carry synthetic record identifiers that differ
+//! between runs, so fact-level comparison is not meaningful. Flattening
+//! eliminates identifiers: each record type `N` becomes a table whose
+//! columns are the primitive attributes of `N`'s ancestors followed by
+//! `N`'s own primitive attributes, and whose rows are the root-to-record
+//! paths. Two instances have equal flattenings iff they agree on all data
+//! and all parent/child groupings, independent of id values, record order,
+//! and duplicates.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use crate::record::{Field, Instance, Record};
+use crate::value::Value;
+
+/// One flattened table: named columns plus a canonical row set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlatTable {
+    /// Column names: ancestor primitive attributes (outermost first), then
+    /// the record type's own primitive attributes, in schema order.
+    pub columns: Vec<String>,
+    /// Canonical set of rows.
+    pub rows: BTreeSet<Vec<Value>>,
+}
+
+impl FlatTable {
+    /// Index of a named column.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == name)
+    }
+
+    /// Projects the rows onto the given column indices (set semantics).
+    pub fn project(&self, cols: &[usize]) -> BTreeSet<Vec<Value>> {
+        self.rows
+            .iter()
+            .map(|r| cols.iter().map(|&c| r[c].clone()).collect())
+            .collect()
+    }
+}
+
+/// The canonical flattening of an instance: one [`FlatTable`] per record
+/// type (including nested types), keyed by record type name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Flattened(pub BTreeMap<String, FlatTable>);
+
+impl Flattened {
+    /// The table for record type `name`.
+    pub fn table(&self, name: &str) -> Option<&FlatTable> {
+        self.0.get(name)
+    }
+
+    /// Iterates `(record type, table)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &FlatTable)> {
+        self.0.iter().map(|(n, t)| (n.as_str(), t))
+    }
+}
+
+impl fmt::Display for Flattened {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, table) in &self.0 {
+            writeln!(f, "{name}({}):", table.columns.join(", "))?;
+            for row in &table.rows {
+                let cells: Vec<String> = row.iter().map(Value::to_string).collect();
+                writeln!(f, "  ({})", cells.join(", "))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Computes the canonical flattening of `instance`.
+pub fn flatten(instance: &Instance) -> Flattened {
+    let schema = instance.schema();
+    let mut tables: BTreeMap<String, FlatTable> = BTreeMap::new();
+    // Pre-create a table for every record type so empty types still appear
+    // (distinguishing "no records" from "type absent").
+    for record in schema.records() {
+        let mut columns = Vec::new();
+        for ancestor in schema.chain_to(record) {
+            for a in schema.attrs(ancestor) {
+                if schema.is_prim(a) {
+                    columns.push(a.clone());
+                }
+            }
+        }
+        tables.insert(
+            record.to_string(),
+            FlatTable {
+                columns,
+                rows: BTreeSet::new(),
+            },
+        );
+    }
+
+    fn walk(
+        schema: &dynamite_schema::Schema,
+        record_type: &str,
+        record: &Record,
+        prefix: &[Value],
+        tables: &mut BTreeMap<String, FlatTable>,
+    ) {
+        let mut row: Vec<Value> = prefix.to_vec();
+        for (attr, field) in schema.attrs(record_type).iter().zip(record.fields()) {
+            if schema.is_prim(attr) {
+                if let Field::Prim(v) = field {
+                    row.push(v.clone());
+                }
+            }
+        }
+        tables
+            .get_mut(record_type)
+            .expect("all record types pre-created")
+            .rows
+            .insert(row.clone());
+        for (attr, field) in schema.attrs(record_type).iter().zip(record.fields()) {
+            if let Field::Children(children) = field {
+                for c in children {
+                    walk(schema, attr, c, &row, tables);
+                }
+            }
+        }
+    }
+
+    for (record_type, records) in instance.iter() {
+        for r in records {
+            walk(schema, record_type, r, &[], &mut tables);
+        }
+    }
+    Flattened(tables)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynamite_schema::Schema;
+    use std::sync::Arc;
+
+    fn schema() -> Arc<Schema> {
+        Arc::new(
+            Schema::parse(
+                "@document
+                 Univ { id: Int, name: String, Admit { uid: Int, count: Int } }",
+            )
+            .unwrap(),
+        )
+    }
+
+    fn univ(id: i64, name: &str, admits: &[(i64, i64)]) -> Record {
+        Record::with_fields(vec![
+            Value::Int(id).into(),
+            Value::str(name).into(),
+            admits
+                .iter()
+                .map(|&(u, c)| Record::from_values(vec![u.into(), c.into()]))
+                .collect::<Vec<_>>()
+                .into(),
+        ])
+    }
+
+    #[test]
+    fn child_rows_carry_parent_attributes() {
+        let mut inst = Instance::new(schema());
+        inst.insert("Univ", univ(1, "U1", &[(2, 50)])).unwrap();
+        let flat = flatten(&inst);
+        let admit = flat.table("Admit").unwrap();
+        assert_eq!(admit.columns, vec!["id", "name", "uid", "count"]);
+        let row = admit.rows.iter().next().unwrap();
+        assert_eq!(
+            row,
+            &vec![
+                Value::Int(1),
+                Value::str("U1"),
+                Value::Int(2),
+                Value::Int(50)
+            ]
+        );
+    }
+
+    #[test]
+    fn grouping_differences_are_visible() {
+        // Same multiset of parent and child data, different grouping.
+        let mut a = Instance::new(schema());
+        a.insert("Univ", univ(1, "U1", &[(1, 10)])).unwrap();
+        a.insert("Univ", univ(2, "U2", &[(2, 20)])).unwrap();
+        let mut b = Instance::new(schema());
+        b.insert("Univ", univ(1, "U1", &[(2, 20)])).unwrap();
+        b.insert("Univ", univ(2, "U2", &[(1, 10)])).unwrap();
+        assert_ne!(flatten(&a), flatten(&b));
+    }
+
+    #[test]
+    fn empty_record_types_present() {
+        let inst = Instance::new(schema());
+        let flat = flatten(&inst);
+        assert!(flat.table("Univ").unwrap().rows.is_empty());
+        assert!(flat.table("Admit").unwrap().rows.is_empty());
+    }
+
+    #[test]
+    fn projection_by_column_name() {
+        let mut inst = Instance::new(schema());
+        inst.insert("Univ", univ(1, "U1", &[(1, 10), (2, 50)]))
+            .unwrap();
+        let flat = flatten(&inst);
+        let admit = flat.table("Admit").unwrap();
+        let c = admit.column_index("count").unwrap();
+        let proj = admit.project(&[c]);
+        assert_eq!(proj.len(), 2);
+        assert!(proj.contains(&vec![Value::Int(10)]));
+    }
+}

@@ -1,0 +1,64 @@
+//! Database instances and their Datalog-fact representation (paper §3.3).
+//!
+//! This crate provides:
+//!
+//! - [`Value`]: primitive constants plus synthetic record identifiers;
+//! - [`Database`] / [`Relation`]: insertion-ordered, deduplicated tuple
+//!   stores shared with the Datalog engine;
+//! - [`Instance`] / [`Record`]: nested record forests covering relational,
+//!   document, and graph databases uniformly;
+//! - [`to_facts`] / [`from_facts`]: the instance ⇄ fact translation of
+//!   §3.3, including the `BuildRecord` parent-chasing procedure;
+//! - [`Instance::flatten`]: a canonical, id-free flattening used to compare
+//!   instances and to drive MDP analysis.
+//!
+//! ```
+//! use dynamite_schema::Schema;
+//! use dynamite_instance::{Instance, Record, Value, to_facts, from_facts};
+//! use std::sync::Arc;
+//!
+//! let schema = Arc::new(
+//!     Schema::parse(
+//!         "@document
+//!          Univ { id: Int, name: String, Admit { uid: Int, count: Int } }",
+//!     )
+//!     .unwrap(),
+//! );
+//! let mut inst = Instance::new(schema.clone());
+//! inst.insert(
+//!     "Univ",
+//!     Record::with_fields(vec![
+//!         Value::from(1).into(),
+//!         Value::from("U1").into(),
+//!         vec![
+//!             Record::from_values(vec![1.into(), 10.into()]),
+//!             Record::from_values(vec![2.into(), 50.into()]),
+//!         ]
+//!         .into(),
+//!     ]),
+//! )
+//! .unwrap();
+//!
+//! let facts = to_facts(&inst);
+//! assert_eq!(facts.relation("Univ").unwrap().len(), 1);
+//! assert_eq!(facts.relation("Admit").unwrap().len(), 2);
+//!
+//! let back = from_facts(&facts, schema).unwrap();
+//! assert!(inst.canon_eq(&back));
+//! ```
+
+mod database;
+mod facts;
+mod flatten;
+pub mod hash;
+mod json;
+mod record;
+mod value;
+
+pub use database::{ColumnIndex, Database, Relation, Tuple};
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use facts::{from_facts, to_facts, FactsError, IdGen};
+pub use flatten::{FlatTable, Flattened};
+pub use json::{parse_document, write_document, JsonError};
+pub use record::{Field, Instance, InstanceError, Record};
+pub use value::Value;

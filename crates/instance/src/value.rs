@@ -1,0 +1,130 @@
+use std::fmt;
+use std::sync::Arc;
+
+/// A Datalog constant / primitive field value.
+///
+/// Synthetic record identifiers ([`Value::Id`]) are generated during the
+/// instance→facts translation (§3.3) and deliberately form a type of their
+/// own so that they can never collide with integer data.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// A 64-bit integer.
+    Int(i64),
+    /// A UTF-8 string (cheaply clonable).
+    Str(Arc<str>),
+    /// A boolean.
+    Bool(bool),
+    /// A synthetic record identifier (`Id(r)` in §3.3).
+    Id(u64),
+}
+
+impl Value {
+    /// Convenience constructor for string values.
+    pub fn str(s: impl AsRef<str>) -> Value {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Returns the inner string if this is a string value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the inner integer if this is an integer value.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` for synthetic identifiers.
+    pub fn is_id(&self) -> bool {
+        matches!(self, Value::Id(_))
+    }
+
+    /// The primitive type of this value, if it is primitive data
+    /// (identifiers have no primitive type).
+    pub fn prim_type(&self) -> Option<dynamite_schema::PrimType> {
+        use dynamite_schema::PrimType;
+        match self {
+            Value::Int(_) => Some(PrimType::Int),
+            Value::Str(_) => Some(PrimType::Str),
+            Value::Bool(_) => Some(PrimType::Bool),
+            Value::Id(_) => None,
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Value {
+        Value::Int(i)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(i: i32) -> Value {
+        Value::Int(i64::from(i))
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::str(s)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::Str(Arc::from(s.as_str()))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Id(i) => write!(f, "#{i}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(3), Value::Int(3));
+        assert_eq!(Value::from("x"), Value::str("x"));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from(3).as_int(), Some(3));
+        assert_eq!(Value::str("x").as_str(), Some("x"));
+    }
+
+    #[test]
+    fn ids_are_distinct_from_ints() {
+        assert_ne!(Value::Id(3), Value::Int(3));
+        assert!(Value::Id(3).is_id());
+        assert!(!Value::Int(3).is_id());
+        assert_eq!(Value::Id(3).prim_type(), None);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::Int(-4).to_string(), "-4");
+        assert_eq!(Value::str("a\"b").to_string(), "\"a\\\"b\"");
+        assert_eq!(Value::Id(7).to_string(), "#7");
+        assert_eq!(Value::Bool(false).to_string(), "false");
+    }
+}

@@ -1,0 +1,121 @@
+//! Output writers: render migrated instances in the natural format of
+//! their database kind (JSON documents, CSV tables, graph node/edge
+//! lists).
+
+use std::collections::BTreeMap;
+
+use dynamite_instance::{write_document, Field, Instance, Value};
+use dynamite_schema::DbKind;
+
+/// Renders `instance` according to its schema's [`DbKind`]: one output
+/// "file" per top-level record type for relational/graph schemas, or a
+/// single `document.json` for document schemas.
+pub fn render(instance: &Instance) -> BTreeMap<String, String> {
+    match instance.schema().kind() {
+        DbKind::Document => {
+            let mut m = BTreeMap::new();
+            m.insert("document.json".to_string(), write_document(instance));
+            m
+        }
+        DbKind::Relational => render_tables(instance, "csv"),
+        DbKind::Graph => render_tables(instance, "graph"),
+    }
+}
+
+/// Renders each top-level record type as a CSV table (`<name>.<ext>`),
+/// header row first. Nested record attributes (absent in relational and
+/// graph schemas, but tolerated) render as a child count.
+fn render_tables(instance: &Instance, ext: &str) -> BTreeMap<String, String> {
+    let schema = instance.schema();
+    let mut out = BTreeMap::new();
+    for (record_type, records) in instance.iter() {
+        let attrs = schema.attrs(record_type);
+        let mut s = String::new();
+        s.push_str(&attrs.join(","));
+        s.push('\n');
+        for r in records {
+            let cells: Vec<String> = r
+                .fields()
+                .iter()
+                .map(|f| match f {
+                    Field::Prim(v) => csv_cell(v),
+                    Field::Children(c) => format!("<{} nested>", c.len()),
+                })
+                .collect();
+            s.push_str(&cells.join(","));
+            s.push('\n');
+        }
+        out.insert(format!("{record_type}.{ext}"), s);
+    }
+    out
+}
+
+fn csv_cell(v: &Value) -> String {
+    match v {
+        Value::Str(s) => {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        }
+        other => other.to_string().trim_matches('"').to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynamite_instance::Record;
+    use dynamite_schema::Schema;
+    use std::sync::Arc;
+
+    #[test]
+    fn relational_renders_csv() {
+        let schema = Arc::new(
+            Schema::parse("@relational T { a: Int, b: String }").unwrap(),
+        );
+        let mut inst = Instance::new(schema);
+        inst.insert("T", Record::from_values(vec![1.into(), "x,y".into()]))
+            .unwrap();
+        let files = render(&inst);
+        let csv = &files["T.csv"];
+        assert!(csv.starts_with("a,b\n"));
+        assert!(csv.contains("1,\"x,y\""));
+    }
+
+    #[test]
+    fn document_renders_json() {
+        let schema = Arc::new(
+            Schema::parse("@document D { k: Int }").unwrap(),
+        );
+        let mut inst = Instance::new(schema.clone());
+        inst.insert("D", Record::from_values(vec![5.into()])).unwrap();
+        let files = render(&inst);
+        assert!(files.contains_key("document.json"));
+        let parsed =
+            dynamite_instance::parse_document(&files["document.json"], schema).unwrap();
+        assert!(parsed.canon_eq(&inst));
+    }
+
+    #[test]
+    fn graph_renders_tables() {
+        let schema = Arc::new(
+            Schema::parse("@graph N { nid: Int } E { src: Int, dst: Int }").unwrap(),
+        );
+        let mut inst = Instance::new(schema);
+        inst.insert("N", Record::from_values(vec![1.into()])).unwrap();
+        inst.insert("E", Record::from_values(vec![1.into(), 1.into()]))
+            .unwrap();
+        let files = render(&inst);
+        assert!(files.contains_key("N.graph"));
+        assert!(files.contains_key("E.graph"));
+        assert!(files["E.graph"].contains("src,dst"));
+    }
+
+    #[test]
+    fn quoted_cells_escape_quotes() {
+        assert_eq!(csv_cell(&Value::str("a\"b")), "\"a\"\"b\"");
+        assert_eq!(csv_cell(&Value::Int(3)), "3");
+    }
+}

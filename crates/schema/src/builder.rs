@@ -1,0 +1,216 @@
+use std::collections::HashMap;
+
+use crate::error::SchemaError;
+use crate::types::{DbKind, PrimType, Schema, TypeDef};
+
+/// Programmatic schema construction.
+///
+/// ```
+/// use dynamite_schema::{SchemaBuilder, PrimType, DbKind};
+///
+/// let schema = SchemaBuilder::new(DbKind::Document)
+///     .record("Univ", |r| {
+///         r.prim("id", PrimType::Int)
+///             .prim("name", PrimType::Str)
+///             .nested("Admit", |r| {
+///                 r.prim("uid", PrimType::Int).prim("count", PrimType::Int)
+///             })
+///     })
+///     .build()
+///     .unwrap();
+/// assert!(schema.is_nested("Admit"));
+/// ```
+#[derive(Debug, Default)]
+pub struct SchemaBuilder {
+    kind: DbKind,
+    defs: HashMap<String, TypeDef>,
+    top_level: Vec<String>,
+    duplicate: Option<String>,
+}
+
+impl SchemaBuilder {
+    /// Starts a schema of the given kind.
+    pub fn new(kind: DbKind) -> Self {
+        SchemaBuilder {
+            kind,
+            ..Default::default()
+        }
+    }
+
+    /// Convenience: a relational schema builder.
+    pub fn relational() -> Self {
+        Self::new(DbKind::Relational)
+    }
+
+    /// Convenience: a document schema builder.
+    pub fn document() -> Self {
+        Self::new(DbKind::Document)
+    }
+
+    /// Convenience: a graph schema builder.
+    pub fn graph() -> Self {
+        Self::new(DbKind::Graph)
+    }
+
+    /// Adds a top-level record type.
+    pub fn record(
+        mut self,
+        name: &str,
+        f: impl FnOnce(RecordBuilder) -> RecordBuilder,
+    ) -> Self {
+        let rb = f(RecordBuilder::new(name));
+        self.top_level.push(name.to_string());
+        rb.install(&mut self.defs, &mut self.duplicate);
+        self
+    }
+
+    /// Adds a graph node table: an id attribute plus primitive properties.
+    ///
+    /// Convenience for graph schemas (paper §3.1, Example 3).
+    pub fn node(self, name: &str, id_attr: &str, props: &[(&str, PrimType)]) -> Self {
+        self.record(name, |mut r| {
+            r = r.prim(id_attr, PrimType::Int);
+            for (p, t) in props {
+                r = r.prim(p, *t);
+            }
+            r
+        })
+    }
+
+    /// Adds a graph edge table with `source`/`target` columns named
+    /// `src_attr`/`dst_attr`, plus primitive edge properties.
+    pub fn edge(
+        self,
+        name: &str,
+        src_attr: &str,
+        dst_attr: &str,
+        props: &[(&str, PrimType)],
+    ) -> Self {
+        self.record(name, |mut r| {
+            r = r.prim(src_attr, PrimType::Int).prim(dst_attr, PrimType::Int);
+            for (p, t) in props {
+                r = r.prim(p, *t);
+            }
+            r
+        })
+    }
+
+    /// Validates and produces the [`Schema`].
+    pub fn build(self) -> Result<Schema, SchemaError> {
+        if let Some(d) = self.duplicate {
+            return Err(SchemaError::DuplicateName(d));
+        }
+        Schema::from_parts(self.kind, self.defs, self.top_level)
+    }
+}
+
+/// Builds one record type: its primitive attributes and nested records.
+#[derive(Debug)]
+pub struct RecordBuilder {
+    name: String,
+    attrs: Vec<String>,
+    defs: Vec<(String, TypeDef)>,
+    children: Vec<RecordBuilder>,
+}
+
+impl RecordBuilder {
+    fn new(name: &str) -> Self {
+        RecordBuilder {
+            name: name.to_string(),
+            attrs: Vec::new(),
+            defs: Vec::new(),
+            children: Vec::new(),
+        }
+    }
+
+    /// Adds a primitive attribute.
+    pub fn prim(mut self, name: &str, ty: PrimType) -> Self {
+        self.attrs.push(name.to_string());
+        self.defs.push((name.to_string(), TypeDef::Prim(ty)));
+        self
+    }
+
+    /// Adds a nested record-typed attribute.
+    pub fn nested(mut self, name: &str, f: impl FnOnce(RecordBuilder) -> RecordBuilder) -> Self {
+        let rb = f(RecordBuilder::new(name));
+        self.attrs.push(name.to_string());
+        self.children.push(rb);
+        self
+    }
+
+    fn install(self, defs: &mut HashMap<String, TypeDef>, duplicate: &mut Option<String>) {
+        if defs
+            .insert(self.name.clone(), TypeDef::Record(self.attrs))
+            .is_some()
+            && duplicate.is_none()
+        {
+            *duplicate = Some(self.name.clone());
+        }
+        for (n, d) in self.defs {
+            if defs.insert(n.clone(), d).is_some() && duplicate.is_none() {
+                *duplicate = Some(n);
+            }
+        }
+        for c in self.children {
+            c.install(defs, duplicate);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_matches_dsl() {
+        let b = SchemaBuilder::document()
+            .record("Univ", |r| {
+                r.prim("id", PrimType::Int)
+                    .prim("name", PrimType::Str)
+                    .nested("Admit", |r| {
+                        r.prim("uid", PrimType::Int).prim("count", PrimType::Int)
+                    })
+            })
+            .build()
+            .unwrap();
+        let d = Schema::parse(
+            "@document
+             Univ { id: Int, name: String, Admit { uid: Int, count: Int } }",
+        )
+        .unwrap();
+        assert_eq!(b.prim_attrs(), d.prim_attrs());
+        assert_eq!(b.attrs("Univ"), d.attrs("Univ"));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let err = SchemaBuilder::relational()
+            .record("T", |r| r.prim("a", PrimType::Int))
+            .record("U", |r| r.prim("a", PrimType::Int))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, SchemaError::DuplicateName("a".into()));
+    }
+
+    #[test]
+    fn graph_helpers() {
+        let g = SchemaBuilder::graph()
+            .node("Actor", "aid", &[("aname", PrimType::Str)])
+            .node("Movie", "mid", &[("title", PrimType::Str)])
+            .edge("ACT_IN", "src", "dst", &[("role", PrimType::Str)])
+            .build()
+            .unwrap();
+        assert_eq!(g.kind(), DbKind::Graph);
+        assert_eq!(g.attrs("ACT_IN"), ["src", "dst", "role"]);
+        assert!(!g.is_nested("ACT_IN"));
+    }
+
+    #[test]
+    fn empty_record_rejected() {
+        let err = SchemaBuilder::relational()
+            .record("T", |r| r)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, SchemaError::EmptyRecord("T".into()));
+    }
+}

@@ -1,0 +1,45 @@
+use std::fmt;
+
+/// Errors raised while constructing, parsing, or validating a [`crate::Schema`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemaError {
+    /// Two schema elements (record types or attributes) share a name.
+    ///
+    /// The paper's formalism (§3.1) maps *names* to definitions, so names
+    /// must be globally unique across the whole schema.
+    DuplicateName(String),
+    /// A record type definition references an attribute that was never defined.
+    UndefinedName(String),
+    /// A record type participates in a nesting cycle; the paper restricts
+    /// schemas to *non-recursive* record types.
+    RecursiveType(String),
+    /// A record type is nested inside more than one parent.
+    MultipleParents(String),
+    /// A record type has no attributes.
+    EmptyRecord(String),
+    /// Syntax error in the schema DSL, with a human-readable message and
+    /// byte offset into the input.
+    Parse { message: String, offset: usize },
+    /// A name looked up on the schema does not exist.
+    UnknownName(String),
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaError::DuplicateName(n) => write!(f, "duplicate schema name `{n}`"),
+            SchemaError::UndefinedName(n) => write!(f, "undefined schema name `{n}`"),
+            SchemaError::RecursiveType(n) => write!(f, "record type `{n}` is recursive"),
+            SchemaError::MultipleParents(n) => {
+                write!(f, "record type `{n}` is nested in more than one parent")
+            }
+            SchemaError::EmptyRecord(n) => write!(f, "record type `{n}` has no attributes"),
+            SchemaError::Parse { message, offset } => {
+                write!(f, "schema parse error at byte {offset}: {message}")
+            }
+            SchemaError::UnknownName(n) => write!(f, "unknown schema name `{n}`"),
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}

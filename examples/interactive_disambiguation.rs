@@ -1,0 +1,53 @@
+//! Interactive mode (§5, Example 10): a single-record example admits both
+//! the join program and a cross-product program; Dynamite finds a
+//! distinguishing input and asks the "user" (here a scripted oracle) for
+//! its output, converging on the intended join.
+//!
+//! ```sh
+//! cargo run --example interactive_disambiguation
+//! ```
+
+use dynamite::core::interactive::{run_interactive, GoldenOracle, InteractiveConfig};
+use dynamite::core::test_fixtures::works_in;
+use dynamite::datalog::Program;
+use dynamite::instance::{Instance, Record};
+
+fn main() {
+    let (source, target, ambiguous_example) = works_in();
+    let golden =
+        Program::parse("WorksIn(x, y) :- Employee(x, z), Department(z, y).").expect("parses");
+
+    // Validation pool: two employees in two departments.
+    let mut pool = Instance::new(source.clone());
+    for (n, d) in [("Alice", 11i64), ("Bob", 12)] {
+        pool.insert("Employee", Record::from_values(vec![n.into(), d.into()]))
+            .expect("valid record");
+    }
+    for (d, dn) in [(11i64, "CS"), (12, "EE")] {
+        pool.insert("Department", Record::from_values(vec![d.into(), dn.into()]))
+            .expect("valid record");
+    }
+
+    let mut oracle = GoldenOracle::new(golden, target.clone());
+    let result = run_interactive(
+        &source,
+        &target,
+        vec![ambiguous_example],
+        &pool,
+        &mut oracle,
+        &InteractiveConfig::default(),
+    )
+    .expect("interactive synthesis succeeds");
+
+    println!(
+        "Converged after {} round(s) and {} user quer{}:",
+        result.rounds,
+        result.queries,
+        if result.queries == 1 { "y" } else { "ies" }
+    );
+    println!("{}", result.program);
+    println!(
+        "unique within the sketch space: {}",
+        if result.unique { "yes" } else { "no" }
+    );
+}

@@ -1,0 +1,93 @@
+//! End-to-end integration: every Table 2 benchmark must synthesize from
+//! its curated example and the synthesized program must agree with the
+//! golden program on a fresh, larger instance (the Table 3 protocol).
+
+use std::time::Duration;
+
+use dynamite::core::{synthesize, SynthesisConfig};
+use dynamite::datalog::{evaluate, Program};
+use dynamite::instance::{from_facts, to_facts};
+use dynamite_bench_suite::benchmarks::{all, by_name, Benchmark};
+
+fn synthesize_benchmark(b: &Benchmark) -> Program {
+    let ex = b.example();
+    // Debug builds are ~10× slower; the hardest benchmark (Retina-2, the
+    // paper's pathological case) takes ~1 min in release.
+    let secs = if cfg!(debug_assertions) { 1_800 } else { 200 };
+    let config = SynthesisConfig {
+        timeout: Some(Duration::from_secs(secs)),
+        ..Default::default()
+    };
+    let result = synthesize(b.source(), b.target(), &[ex], &config)
+        .unwrap_or_else(|e| panic!("{}: synthesis failed: {e}", b.name));
+    result.program
+}
+
+fn assert_correct(b: &Benchmark, program: &Program) {
+    let validation = b.generate_source(1, 4242);
+    let expected = b.expected_output(&validation);
+    let facts = to_facts(&validation);
+    let out = evaluate(program, &facts)
+        .unwrap_or_else(|e| panic!("{}: synthesized program fails: {e}", b.name));
+    let inst = from_facts(&out, b.target().clone())
+        .unwrap_or_else(|e| panic!("{}: output does not rebuild: {e}", b.name));
+    assert!(
+        inst.canon_eq(&expected),
+        "{}: synthesized program disagrees with golden on validation\nprogram: {}\ngolden: {}",
+        b.name,
+        program,
+        b.golden()
+    );
+}
+
+// One test per benchmark so failures are attributable and tests run in
+// parallel.
+macro_rules! bench_test {
+    ($fn_name:ident, $name:literal) => {
+        #[test]
+        fn $fn_name() {
+            let b = by_name($name).expect("benchmark exists");
+            let program = synthesize_benchmark(&b);
+            assert_correct(&b, &program);
+        }
+    };
+}
+
+bench_test!(yelp_1, "Yelp-1");
+bench_test!(imdb_1, "IMDB-1");
+bench_test!(dblp_1, "DBLP-1");
+bench_test!(mondial_1, "Mondial-1");
+bench_test!(mlb_1, "MLB-1");
+bench_test!(airbnb_1, "Airbnb-1");
+bench_test!(patent_1, "Patent-1");
+bench_test!(bike_1, "Bike-1");
+bench_test!(tencent_1, "Tencent-1");
+bench_test!(retina_1, "Retina-1");
+bench_test!(movie_1, "Movie-1");
+bench_test!(soccer_1, "Soccer-1");
+bench_test!(tencent_2, "Tencent-2");
+bench_test!(retina_2, "Retina-2");
+bench_test!(movie_2, "Movie-2");
+bench_test!(soccer_2, "Soccer-2");
+bench_test!(yelp_2, "Yelp-2");
+bench_test!(imdb_2, "IMDB-2");
+bench_test!(dblp_2, "DBLP-2");
+bench_test!(mondial_2, "Mondial-2");
+bench_test!(mlb_2, "MLB-2");
+bench_test!(airbnb_2, "Airbnb-2");
+bench_test!(patent_2, "Patent-2");
+bench_test!(bike_2, "Bike-2");
+bench_test!(mlb_3, "MLB-3");
+bench_test!(airbnb_3, "Airbnb-3");
+bench_test!(patent_3, "Patent-3");
+bench_test!(bike_3, "Bike-3");
+
+#[test]
+fn golden_programs_match_table2_coverage() {
+    // Sanity: all 28 benchmarks, and the curated example is nonempty.
+    let bs = all();
+    assert_eq!(bs.len(), 28);
+    for b in &bs {
+        assert!(!b.example().output.is_empty(), "{} example empty", b.name);
+    }
+}

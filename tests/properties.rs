@@ -1,0 +1,217 @@
+//! Cross-crate property-based tests (proptest) on the core invariants
+//! listed in DESIGN.md.
+
+use proptest::prelude::*;
+
+use dynamite::datalog::{evaluate, Program};
+use dynamite::instance::{from_facts, to_facts, Database, Instance, Record, Value};
+use dynamite::schema::Schema;
+use dynamite::smt::{FdLit, FdSolver, Lit, SatSolver};
+use std::sync::Arc;
+
+// ---------------------------------------------------------------- SAT --
+
+/// A small CNF: clauses over `nvars` variables, literals as signed ints.
+fn cnf_strategy(nvars: usize) -> impl Strategy<Value = Vec<Vec<i32>>> {
+    let lit = (1..=nvars as i32).prop_flat_map(|v| {
+        prop_oneof![Just(v), Just(-v)]
+    });
+    let clause = prop::collection::vec(lit, 1..4);
+    prop::collection::vec(clause, 0..12)
+}
+
+fn brute_force_sat(nvars: usize, cnf: &[Vec<i32>]) -> bool {
+    (0u32..(1 << nvars)).any(|m| {
+        cnf.iter().all(|c| {
+            c.iter().any(|&l| {
+                let v = l.unsigned_abs() - 1;
+                let val = (m >> v) & 1 == 1;
+                if l > 0 {
+                    val
+                } else {
+                    !val
+                }
+            })
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// CDCL agrees with brute force on small CNFs, and SAT models satisfy
+    /// every clause.
+    #[test]
+    fn sat_matches_brute_force(cnf in cnf_strategy(6)) {
+        let nvars = 6usize;
+        let mut s = SatSolver::new();
+        let vars: Vec<_> = (0..nvars).map(|_| s.new_var()).collect();
+        let mut ok = true;
+        for c in &cnf {
+            let lits: Vec<Lit> = c
+                .iter()
+                .map(|&l| {
+                    let v = vars[(l.unsigned_abs() - 1) as usize];
+                    if l > 0 { Lit::pos(v) } else { Lit::neg(v) }
+                })
+                .collect();
+            ok &= s.add_clause(&lits);
+        }
+        let sat = ok && s.solve();
+        prop_assert_eq!(sat, brute_force_sat(nvars, &cnf));
+        if sat {
+            for c in &cnf {
+                let satisfied = c.iter().any(|&l| {
+                    let val = s.model_value(vars[(l.unsigned_abs() - 1) as usize]);
+                    if l > 0 { val } else { !val }
+                });
+                prop_assert!(satisfied);
+            }
+        }
+    }
+
+    /// Every model returned by the finite-domain layer satisfies every
+    /// clause that was added.
+    #[test]
+    fn fd_models_satisfy_clauses(
+        doms in prop::collection::vec(1usize..4, 2..5),
+        clause_specs in prop::collection::vec(
+            prop::collection::vec((0usize..4, 0usize..6, prop::bool::ANY), 1..3),
+            0..6,
+        ),
+    ) {
+        let mut s = FdSolver::new();
+        let consts: Vec<_> = (0..6).map(|i| s.constant(&format!("k{i}"))).collect();
+        let vars: Vec<_> = doms
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| s.new_var(&format!("x{i}"), &consts[..d.max(1)]).expect("var"))
+            .collect();
+        let mut clauses = Vec::new();
+        for spec in &clause_specs {
+            let clause: Vec<FdLit> = spec
+                .iter()
+                .map(|&(v, c, neg)| {
+                    let x = vars[v % vars.len()];
+                    if neg { FdLit::Ne(x, consts[c]) } else { FdLit::Eq(x, consts[c]) }
+                })
+                .collect();
+            s.add_clause(&clause).expect("add");
+            clauses.push(clause);
+        }
+        if let Some(model) = s.solve() {
+            for c in &clauses {
+                prop_assert!(model.satisfies_clause(c));
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------- instance/facts --
+
+fn nested_instance_strategy() -> impl Strategy<Value = Instance> {
+    let schema = Arc::new(
+        Schema::parse(
+            "@document
+             Parent { pk: Int, pname: String, Child { ck: Int, cval: String } }",
+        )
+        .expect("valid schema"),
+    );
+    let child = (0i64..50, "[a-z]{1,4}")
+        .prop_map(|(k, v)| Record::from_values(vec![k.into(), v.as_str().into()]));
+    let parent = (0i64..50, "[a-z]{1,4}", prop::collection::vec(child, 0..4)).prop_map(
+        |(k, n, children)| {
+            Record::with_fields(vec![
+                Value::Int(k).into(),
+                Value::str(n).into(),
+                children.into(),
+            ])
+        },
+    );
+    prop::collection::vec(parent, 0..6).prop_map(move |parents| {
+        let mut inst = Instance::new(schema.clone());
+        for p in parents {
+            inst.insert("Parent", p).expect("valid record");
+        }
+        inst
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// instance → facts → instance is the identity up to canonical
+    /// flattening (§3.3 round trip).
+    #[test]
+    fn facts_round_trip(inst in nested_instance_strategy()) {
+        let back = from_facts(&to_facts(&inst), inst.schema().clone()).expect("round trip");
+        prop_assert!(inst.canon_eq(&back));
+    }
+
+    /// Positive Datalog is monotone: adding input facts never removes
+    /// output facts.
+    #[test]
+    fn datalog_monotone(
+        edges in prop::collection::vec((0i64..8, 0i64..8), 0..12),
+        extra in prop::collection::vec((0i64..8, 0i64..8), 0..4),
+    ) {
+        let program = Program::parse(
+            "Path(x, y) :- Edge(x, y).
+             Path(x, z) :- Path(x, y), Edge(y, z).",
+        ).expect("parses");
+        let mut small = Database::new();
+        for (a, b) in &edges {
+            small.insert("Edge", vec![(*a).into(), (*b).into()]);
+        }
+        let mut big = small.clone();
+        for (a, b) in &extra {
+            big.insert("Edge", vec![(*a).into(), (*b).into()]);
+        }
+        let out_small = evaluate(&program, &small).expect("eval");
+        let out_big = evaluate(&program, &big).expect("eval");
+        for t in out_small.relation("Path").expect("path").iter() {
+            prop_assert!(out_big.relation("Path").expect("path").contains(t));
+        }
+    }
+}
+
+// ------------------------------------------------------------ analyze --
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every MDP returned by `mdp_set` distinguishes the tables and is
+    /// minimal (Definition 1).
+    #[test]
+    fn mdps_distinguish_and_are_minimal(
+        rows_a in prop::collection::btree_set(
+            prop::collection::vec(0i64..3, 3..=3), 1..6),
+        rows_b in prop::collection::btree_set(
+            prop::collection::vec(0i64..3, 3..=3), 1..6),
+    ) {
+        use dynamite::core::mdp_set;
+        use dynamite::instance::FlatTable;
+        let mk = |rows: &std::collections::BTreeSet<Vec<i64>>| FlatTable {
+            columns: vec!["a".into(), "b".into(), "c".into()],
+            rows: rows
+                .iter()
+                .map(|r| r.iter().map(|&v| Value::Int(v)).collect())
+                .collect(),
+        };
+        let (ta, tb) = (mk(&rows_a), mk(&rows_b));
+        prop_assume!(ta != tb);
+        let result = mdp_set(&ta, &tb, 10_000);
+        prop_assert!(!result.budget_exhausted);
+        for mdp in &result.mdps {
+            let cols: Vec<usize> = mdp.iter().copied().collect();
+            prop_assert_ne!(ta.project(&cols), tb.project(&cols));
+            for &drop in mdp {
+                let sub: Vec<usize> =
+                    mdp.iter().copied().filter(|&c| c != drop).collect();
+                if !sub.is_empty() {
+                    prop_assert_eq!(ta.project(&sub), tb.project(&sub));
+                }
+            }
+        }
+    }
+}
