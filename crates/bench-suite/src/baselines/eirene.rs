@@ -64,9 +64,13 @@ pub fn synthesize_eirene(
 
     for table in target.top_level_records() {
         let flat = output_flat.table(table).expect("flattened target table");
-        let witness = flat.rows.iter().next().ok_or_else(|| EireneError::NoWitness {
-            table: table.to_string(),
-        })?;
+        let witness = flat
+            .rows
+            .iter()
+            .next()
+            .ok_or_else(|| EireneError::NoWitness {
+                table: table.to_string(),
+            })?;
 
         // Gather connected source tuples: two expansion rounds over shared
         // constants (the canonical mapping's frontier).
@@ -96,7 +100,7 @@ pub fn synthesize_eirene(
         let mut fresh = 0usize;
         let mut var = |v: &Value, fresh: &mut usize| -> String {
             var_of
-                .entry(v.clone())
+                .entry(*v)
                 .or_insert_with(|| {
                     *fresh += 1;
                     format!("e{fresh}")
@@ -173,9 +177,13 @@ mod tests {
         let source = Arc::new(Schema::parse("@relational S { s_a: Int }").unwrap());
         let target = Arc::new(Schema::parse("@relational T { t_a: Int }").unwrap());
         let mut input = Instance::new(source.clone());
-        input.insert("S", Record::from_values(vec![1.into()])).unwrap();
+        input
+            .insert("S", Record::from_values(vec![1.into()]))
+            .unwrap();
         let mut output = Instance::new(target.clone());
-        output.insert("T", Record::from_values(vec![2.into()])).unwrap();
+        output
+            .insert("T", Record::from_values(vec![2.into()]))
+            .unwrap();
         let ex = Example::new(input, output);
         assert!(matches!(
             synthesize_eirene(&source, &target, &ex),

@@ -11,7 +11,7 @@
 use std::time::{Duration, Instant};
 
 use dynamite_core::Example;
-use dynamite_datalog::{evaluate, Atom, Literal, Program, Rule, Term};
+use dynamite_datalog::{Atom, Evaluator, Literal, Program, Rule, Term};
 use dynamite_instance::{from_facts, to_facts};
 use dynamite_schema::Schema;
 
@@ -56,7 +56,9 @@ pub fn synthesize_mitra(
     timeout: Duration,
 ) -> Result<MitraResult, MitraError> {
     let started = Instant::now();
-    let input_facts = to_facts(&example.input);
+    // One prepared context for the whole odometer sweep: every candidate
+    // shares the example's EDB snapshot and join indexes.
+    let input_ctx = Evaluator::new(to_facts(&example.input));
     let expected_flat = example.output.flatten();
     let mut candidates = 0usize;
     let mut rules = Vec::new();
@@ -105,10 +107,10 @@ pub fn synthesize_mitra(
                     return Err(MitraError::Timeout);
                 }
                 candidates += 1;
-                let rule =
-                    build_rule(source, table, &chain, &path_attrs, &columns, &pick, &cand);
+                let rule = build_rule(source, table, &chain, &path_attrs, &columns, &pick, &cand);
                 let prog = Program::new(vec![rule.clone()]);
-                let ok = evaluate(&prog, &input_facts)
+                let ok = input_ctx
+                    .eval(&prog)
                     .ok()
                     .and_then(|out| from_facts(&out, target_arc(target)).ok())
                     .map(|inst| inst.flatten().table(table) == expected_flat.table(table))

@@ -124,9 +124,8 @@ impl Benchmark {
 /// All 28 benchmarks in Table 2 order.
 pub fn all() -> Vec<Benchmark> {
     let ds: Vec<Dataset> = datasets::all();
-    let d = |name: &str| -> &Dataset {
-        ds.iter().find(|x| x.name == name).expect("dataset exists")
-    };
+    let d =
+        |name: &str| -> &Dataset { ds.iter().find(|x| x.name == name).expect("dataset exists") };
     vec![
         // ---- Document → Relational ------------------------------------
         Benchmark::new(
@@ -408,11 +407,14 @@ pub fn by_name(name: &str) -> Option<Benchmark> {
 /// neuron to also appear in the opposite edge role.
 fn retina_slice_input(b: &Benchmark, n: usize) -> Instance {
     use dynamite_instance::{Record, Value};
-    let full = b.generate_source(1, 0xE7);
+    // The slice seed is tuned to the workspace's deterministic RNG: the
+    // example must witness every column-pattern coincidence among the
+    // kept contacts non-injectively or synthesis latches onto it (§6.2).
+    let full = b.generate_source(1, 0x02);
     let mut kept: Vec<Value> = Vec::new();
     let mut neurons: Vec<Record> = Vec::new();
     for rec in full.records("Neuron").iter().take(n) {
-        kept.push(rec.prim(0).expect("neuron id").clone());
+        kept.push(*rec.prim(0).expect("neuron id"));
         neurons.push(rec.clone());
     }
     let mut contacts: Vec<Record> = full
@@ -449,7 +451,6 @@ fn retina_slice_input(b: &Benchmark, n: usize) -> Instance {
     }
     input
 }
-
 
 #[cfg(test)]
 mod tests {
@@ -521,7 +522,11 @@ mod tests {
     fn schemas_are_name_disjoint() {
         use std::collections::HashSet;
         for b in all() {
-            let src: HashSet<&str> = b.source().records().chain(b.source().prim_attrs()).collect();
+            let src: HashSet<&str> = b
+                .source()
+                .records()
+                .chain(b.source().prim_attrs())
+                .collect();
             for n in b.target().records().chain(b.target().prim_attrs()) {
                 assert!(!src.contains(n), "{}: shared name `{n}`", b.name);
             }

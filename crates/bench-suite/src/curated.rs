@@ -77,7 +77,10 @@ fn yelp() -> Instance {
                     .map(|&(r, st, u)| flat(vec![i(r), i(st), s(u)]))
                     .collect::<Vec<_>>()
                     .into(),
-                cats.iter().map(|&c| flat(vec![s(c)])).collect::<Vec<_>>().into(),
+                cats.iter()
+                    .map(|&c| flat(vec![s(c)]))
+                    .collect::<Vec<_>>()
+                    .into(),
             ]),
         )
         .expect("curated yelp");
@@ -165,7 +168,12 @@ fn mondial() -> Instance {
             i(2).into(),
             s("country_arcadia").into(),
             i(9_000_000).into(),
-            vec![province("prov_east", 3_000_000, vec![("city_dada", 1_200_000)])].into(),
+            vec![province(
+                "prov_east",
+                3_000_000,
+                vec![("city_dada", 1_200_000)],
+            )]
+            .into(),
             vec![
                 flat(vec![s("lang_arcadian"), i(70)]),
                 flat(vec![s("lang_utopian"), i(30)]),
@@ -187,7 +195,13 @@ fn dblp() -> Instance {
             "venue_vldb",
             vec![("author_wang", 1i64), ("author_dillig", 2)],
         ),
-        (1202, "paper_synthesis", 2018, "venue_pldi", vec![("author_feng", 1)]),
+        (
+            1202,
+            "paper_synthesis",
+            2018,
+            "venue_pldi",
+            vec![("author_feng", 1)],
+        ),
         // No authors: refutes programs that join PubT with Author.
         (1303, "paper_vision", 2015, "venue_cvpr", vec![]),
     ] {
@@ -245,8 +259,10 @@ fn mlb() -> Instance {
 
 fn airbnb() -> Instance {
     let mut inst = Instance::new(datasets::schema(datasets::airbnb::SOURCE));
-    inst.insert("Hosts", flat(vec![i(1), s("host_mia")])).expect("curated");
-    inst.insert("Hosts", flat(vec![i(2), s("host_lars")])).expect("curated");
+    inst.insert("Hosts", flat(vec![i(1), s("host_mia")]))
+        .expect("curated");
+    inst.insert("Hosts", flat(vec![i(2), s("host_lars")]))
+        .expect("curated");
     inst.insert(
         "Listings",
         flat(vec![i(2001), i(1), s("flat_mitte"), s("nbhd_mitte"), i(80)]),
@@ -277,7 +293,8 @@ fn airbnb() -> Instance {
     )
     .expect("curated");
     // Host with no listings: refutes spurious extra joins.
-    inst.insert("Hosts", flat(vec![i(3), s("host_noor")])).expect("curated");
+    inst.insert("Hosts", flat(vec![i(3), s("host_noor")]))
+        .expect("curated");
     inst.insert("Reviews", flat(vec![i(90_001), i(2001), i(9)]))
         .expect("curated");
     inst.insert("Reviews", flat(vec![i(90_002), i(2003), i(7)]))
@@ -409,8 +426,10 @@ fn movie() -> Instance {
         .expect("curated");
     inst.insert("MlMovie", flat(vec![i(2), s("ml_film_brazil"), i(1985)]))
         .expect("curated");
-    inst.insert("MlUser", flat(vec![i(10_001), i(34)])).expect("curated");
-    inst.insert("MlUser", flat(vec![i(10_002), i(27)])).expect("curated");
+    inst.insert("MlUser", flat(vec![i(10_001), i(34)]))
+        .expect("curated");
+    inst.insert("MlUser", flat(vec![i(10_002), i(27)]))
+        .expect("curated");
     inst.insert("MlMovie", flat(vec![i(3), s("ml_film_cube"), i(1997)]))
         .expect("curated");
     // Fully isolated movie: refutes spurious extra joins.
@@ -430,18 +449,27 @@ fn movie() -> Instance {
         .expect("curated");
     inst.insert("Genre", flat(vec![i(90_002), s("genre_satire")]))
         .expect("curated");
-    inst.insert("HasGenre", flat(vec![i(1), i(90_001)])).expect("curated");
-    inst.insert("HasGenre", flat(vec![i(2), i(90_002)])).expect("curated");
-    inst.insert("HasGenre", flat(vec![i(3), i(90_001)])).expect("curated");
+    inst.insert("HasGenre", flat(vec![i(1), i(90_001)]))
+        .expect("curated");
+    inst.insert("HasGenre", flat(vec![i(2), i(90_002)]))
+        .expect("curated");
+    inst.insert("HasGenre", flat(vec![i(3), i(90_001)]))
+        .expect("curated");
     inst
 }
 
 fn soccer() -> Instance {
     let mut inst = Instance::new(datasets::schema(datasets::soccer::SOURCE));
-    inst.insert("SoPlayer", flat(vec![i(1), s("kicker_zito"), s("nation_br")]))
-        .expect("curated");
-    inst.insert("SoPlayer", flat(vec![i(2), s("kicker_koke"), s("nation_es")]))
-        .expect("curated");
+    inst.insert(
+        "SoPlayer",
+        flat(vec![i(1), s("kicker_zito"), s("nation_br")]),
+    )
+    .expect("curated");
+    inst.insert(
+        "SoPlayer",
+        flat(vec![i(2), s("kicker_koke"), s("nation_es")]),
+    )
+    .expect("curated");
     inst.insert("Club", flat(vec![i(501), s("club_rovers"), s("EPL")]))
         .expect("curated");
     inst.insert("Club", flat(vec![i(502), s("club_united"), s("EPL")]))

@@ -46,7 +46,10 @@ pub fn generate(scale: u64, seed: u64) -> Instance {
     for u in 0..users {
         inst.insert(
             "MlUser",
-            flat(vec![Value::Int(10_000 + u), Value::Int(r.gen_range(16..=80))]),
+            flat(vec![
+                Value::Int(10_000 + u),
+                Value::Int(r.gen_range(16..=80)),
+            ]),
         )
         .expect("valid user");
     }
@@ -75,7 +78,10 @@ pub fn generate(scale: u64, seed: u64) -> Instance {
         for _ in 0..r.gen_range(1..=2) {
             inst.insert(
                 "HasGenre",
-                flat(vec![Value::Int(m), Value::Int(90_000 + r.gen_range(0..genres))]),
+                flat(vec![
+                    Value::Int(m),
+                    Value::Int(90_000 + r.gen_range(0..genres)),
+                ]),
             )
             .expect("valid genre edge");
         }

@@ -71,7 +71,9 @@ pub fn sample_input(pool: &Instance, r: usize, seed: u64) -> Instance {
     all.shuffle(&mut rng);
     let mut input = Instance::new(pool.schema().clone());
     for (ty, rec) in all.into_iter().take(r) {
-        input.insert(ty, rec.clone()).expect("pool records are valid");
+        input
+            .insert(ty, rec.clone())
+            .expect("pool records are valid");
     }
     input
 }
@@ -103,7 +105,7 @@ pub fn sample_connected(pool: &Instance, r: usize, seed: u64) -> Instance {
     fn values(rec: &dynamite_instance::Record, out: &mut Vec<Value>) {
         for f in rec.fields() {
             match f {
-                Field::Prim(v) => out.push(v.clone()),
+                Field::Prim(v) => out.push(*v),
                 Field::Children(cs) => {
                     for c in cs {
                         values(c, out);
@@ -137,9 +139,8 @@ pub fn sample_connected(pool: &Instance, r: usize, seed: u64) -> Instance {
         let shares = |rec: &dynamite_instance::Record, join_only: bool| -> bool {
             let mut vs = Vec::new();
             values(rec, &mut vs);
-            vs.iter().any(|v| {
-                frontier.contains(v) && (!join_only || joinish.contains(v))
-            })
+            vs.iter()
+                .any(|v| frontier.contains(v) && (!join_only || joinish.contains(v)))
         };
         // Among sharing candidates, prefer the record type least
         // represented in the sample so far (joins cross record types).
@@ -165,13 +166,19 @@ pub fn sample_connected(pool: &Instance, r: usize, seed: u64) -> Instance {
     let mut input = Instance::new(pool.schema().clone());
     for &i in &chosen {
         let (ty, rec) = all[i];
-        input.insert(ty, rec.clone()).expect("pool records are valid");
+        input
+            .insert(ty, rec.clone())
+            .expect("pool records are valid");
     }
     input
 }
 
 /// Checks that `program` reproduces the golden output on `validation`.
-pub fn correct_on(b: &Benchmark, program: &dynamite_datalog::Program, validation: &Instance) -> bool {
+pub fn correct_on(
+    b: &Benchmark,
+    program: &dynamite_datalog::Program,
+    validation: &Instance,
+) -> bool {
     let facts = to_facts(validation);
     let Ok(out) = evaluate(program, &facts) else {
         return false;

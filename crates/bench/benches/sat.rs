@@ -46,8 +46,7 @@ fn bench_fd_model_enumeration(c: &mut Criterion) {
             let mut n = 0usize;
             while let Some(m) = s.solve() {
                 n += 1;
-                let block: Vec<FdLit> =
-                    vars.iter().map(|&x| FdLit::Eq(x, m.value(x))).collect();
+                let block: Vec<FdLit> = vars.iter().map(|&x| FdLit::Eq(x, m.value(x))).collect();
                 s.block(&block).expect("block");
             }
             assert_eq!(n, 6usize.pow(4));

@@ -1,0 +1,314 @@
+//! Evaluation-pipeline microbenchmarks with JSON output.
+//!
+//! Runs the `datalog/golden` evaluation cases, a recursive-closure case,
+//! the synthesis microbenchmarks, and the repeated-candidate workload the
+//! synthesizer's CEGIS loop exercises (one EDB, many candidate programs),
+//! comparing the reusable [`Evaluator`] context against the legacy
+//! one-shot interpreter. Writes `BENCH_eval.json` so later PRs have a
+//! perf trajectory to compare against.
+//!
+//! Usage: `cargo run --release -p dynamite-bench --bin bench_eval [out.json]`
+
+use std::time::{Duration, Instant};
+
+use dynamite_bench_suite::by_name;
+use dynamite_core::{synthesize, SynthesisConfig};
+use dynamite_datalog::{legacy, Evaluator, Program};
+use dynamite_instance::{to_facts, Database};
+
+struct EvalCase {
+    name: String,
+    facts_in: usize,
+    facts_out: usize,
+    reps: usize,
+    legacy_secs: f64,
+    context_secs: f64,
+}
+
+impl EvalCase {
+    fn speedup(&self) -> f64 {
+        self.legacy_secs / self.context_secs.max(1e-12)
+    }
+
+    /// Derived facts per second through the context engine.
+    fn facts_per_sec(&self) -> f64 {
+        self.facts_out as f64 / self.context_secs.max(1e-12)
+    }
+}
+
+fn time_reps(reps: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warm-up (also populates the context's index caches)
+    let start = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    start.elapsed().as_secs_f64() / reps as f64
+}
+
+/// One golden-program evaluation case: `reps` evaluations of the same
+/// program against the same EDB through both engines.
+fn eval_case(name: &str, program: &Program, facts: &Database, reps: usize) -> EvalCase {
+    let ctx = Evaluator::from_database(facts);
+    let facts_out = ctx.eval(program).expect("evaluates").num_facts();
+    let context_secs = time_reps(reps, || {
+        ctx.eval(program).expect("evaluates");
+    });
+    let legacy_secs = time_reps(reps, || {
+        legacy::evaluate(program, facts).expect("evaluates");
+    });
+    EvalCase {
+        name: name.to_string(),
+        facts_in: facts.num_facts(),
+        facts_out,
+        reps,
+        legacy_secs,
+        context_secs,
+    }
+}
+
+/// Candidate programs shaped like the synthesizer's samples over the
+/// Retina schema: joins over `Neuron`/`Contact` with varying column
+/// bindings, projections, and an occasional negated literal.
+fn candidate_programs(n: usize) -> Vec<Program> {
+    let neuron_cols = ["n", "t", "l", "s"];
+    let contact_cols = ["a", "b", "w", "k"];
+    let mut out: Vec<Program> = Vec::new();
+    fn push(out: &mut Vec<Program>, src: String) {
+        out.push(Program::parse(&src).expect("candidate parses"));
+    }
+    // Single-join candidates: which Contact column joins Neuron's id.
+    for (i, jc) in contact_cols.iter().enumerate() {
+        let _ = jc;
+        let mut c = contact_cols;
+        c[i] = "n";
+        push(
+            &mut out,
+            format!(
+                "Out(n, t, x) :- Neuron(n, t, _, _), Contact({}, {}, {}, {}), E(x).",
+                c[0], c[1], c[2], c[3]
+            ),
+        );
+    }
+    // Two-join candidates: vary the second Neuron's join column.
+    for nc in neuron_cols {
+        for cc in ["b", "w"] {
+            push(
+                &mut out,
+                format!(
+                    "Out(n, {nc}2, {cc}) :- Neuron(n, _, l, s), Contact(n, {cc}0, {cc}, _), \
+                     Neuron({cc}0, {nc}2, l, s)."
+                ),
+            );
+        }
+    }
+    // Three-join chains through two contacts.
+    for k in 0..4 {
+        push(
+            &mut out,
+            format!(
+                "Out(n, q, w) :- Neuron(n, _, _, _), Contact(n, m, w{k}, _), Contact(m, q, w, _)."
+            ),
+        );
+    }
+    // Negation candidates.
+    for col in ["l", "s"] {
+        push(
+            &mut out,
+            format!("Out(n, {col}) :- Neuron(n, _, l, s), !Contact(n, _, _, \"chemical\")."),
+        );
+    }
+    // Constant-filter variants to fill up to `n` distinct programs.
+    let mut layer = 1;
+    while out.len() < n {
+        push(
+            &mut out,
+            format!("Out(n, q, w) :- Neuron(n, _, {layer}, _), Contact(n, q, w, _)."),
+        );
+        layer += 1;
+    }
+    out.truncate(n);
+    out
+}
+
+struct RepeatedCase {
+    candidates: usize,
+    facts_in: usize,
+    legacy_secs: f64,
+    context_secs: f64,
+}
+
+/// The acceptance-criterion workload: the same EDB, ≥50 candidate
+/// programs, exactly as the synthesizer loop evaluates them. The legacy
+/// path pays full setup per candidate (EDB clone, per-round compiles,
+/// per-round index builds); the context path prepares once.
+fn repeated_candidates(facts: &Database, programs: &[Program]) -> RepeatedCase {
+    // Warm-up both paths once.
+    let warm = Evaluator::from_database(facts);
+    for p in programs {
+        warm.eval(p).expect("candidate evaluates");
+        legacy::evaluate(p, facts).expect("candidate evaluates");
+    }
+
+    // A CEGIS run evaluates its candidate pool hundreds of times; sweep
+    // the pool several times so the measurement is stable.
+    const SWEEPS: usize = 10;
+    let start = Instant::now();
+    let ctx = Evaluator::from_database(facts); // part of the measured cost
+    for _ in 0..SWEEPS {
+        for p in programs {
+            ctx.eval(p).expect("candidate evaluates");
+        }
+    }
+    let context_secs = start.elapsed().as_secs_f64() / SWEEPS as f64;
+
+    let start = Instant::now();
+    for _ in 0..SWEEPS {
+        for p in programs {
+            legacy::evaluate(p, facts).expect("candidate evaluates");
+        }
+    }
+    let legacy_secs = start.elapsed().as_secs_f64() / SWEEPS as f64;
+
+    RepeatedCase {
+        candidates: programs.len(),
+        facts_in: facts.num_facts(),
+        legacy_secs,
+        context_secs,
+    }
+}
+
+struct SynthCase {
+    name: String,
+    secs: f64,
+    iterations: usize,
+}
+
+fn synth_case(name: &str) -> SynthCase {
+    let b = by_name(name).expect("benchmark exists");
+    let ex = b.example();
+    let start = Instant::now();
+    let result = synthesize(
+        b.source(),
+        b.target(),
+        std::slice::from_ref(&ex),
+        &SynthesisConfig::default(),
+    )
+    .expect("synthesis succeeds");
+    SynthCase {
+        name: format!("synthesis/{name}"),
+        secs: start.elapsed().as_secs_f64(),
+        iterations: result.stats.total_iterations(),
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_eval.json".to_string());
+
+    // --- datalog/golden: join-heavy golden programs on generated data.
+    let mut eval_cases = Vec::new();
+    for name in ["Bike-3", "Soccer-1"] {
+        let b = by_name(name).expect("benchmark exists");
+        let facts = to_facts(&b.generate_source(4, 3));
+        eval_cases.push(eval_case(&format!("golden/{name}"), b.golden(), &facts, 20));
+        eprintln!("done golden/{name}");
+    }
+
+    // --- recursive closure (exercises semi-naive delta indexes).
+    let closure = Program::parse(
+        "Path(x, y) :- Edge(x, y).
+         Path(x, z) :- Path(x, y), Edge(y, z).",
+    )
+    .expect("parses");
+    let mut edges = Database::new();
+    for i in 0..400i64 {
+        edges.insert("Edge", vec![i.into(), (i + 1).into()]);
+        if i % 7 == 0 {
+            edges.insert("Edge", vec![i.into(), ((i + 13) % 400).into()]);
+        }
+    }
+    eval_cases.push(eval_case(
+        "datalog/transitive_closure_400",
+        &closure,
+        &edges,
+        5,
+    ));
+    eprintln!("done transitive closure");
+
+    // --- repeated candidates: one EDB, many programs (CEGIS shape).
+    let retina = by_name("Retina-2").expect("benchmark exists");
+    let mut facts = to_facts(&retina.generate_source(8, 7));
+    // The single-join candidates also scan a tiny unary relation.
+    for v in 0..5i64 {
+        facts.insert("E", vec![v.into()]);
+    }
+    let programs = candidate_programs(60);
+    let repeated = repeated_candidates(&facts, &programs);
+    eprintln!(
+        "repeated candidates: {}x speedup ({} candidates, {} facts)",
+        repeated.legacy_secs / repeated.context_secs.max(1e-12),
+        repeated.candidates,
+        repeated.facts_in
+    );
+
+    // --- synthesis end-to-end (the consumer of all of the above).
+    let synth_cases: Vec<SynthCase> = ["Tencent-1", "Bike-3", "MLB-1"]
+        .iter()
+        .map(|n| {
+            let c = synth_case(n);
+            eprintln!("done {}", c.name);
+            c
+        })
+        .collect();
+
+    // --- hand-rolled JSON (the workspace is dependency-free offline).
+    let mut j = String::from("{\n");
+    let epoch = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .unwrap_or(Duration::ZERO)
+        .as_secs();
+    j.push_str(&format!("  \"unix_time\": {epoch},\n"));
+    j.push_str("  \"cases\": [\n");
+    for (i, c) in eval_cases.iter().enumerate() {
+        j.push_str(&format!(
+            "    {{\"name\": \"{}\", \"facts_in\": {}, \"facts_out\": {}, \"reps\": {}, \
+             \"legacy_secs_per_eval\": {:.6}, \"context_secs_per_eval\": {:.6}, \
+             \"speedup\": {:.2}, \"facts_per_sec\": {:.0}}}{}\n",
+            c.name,
+            c.facts_in,
+            c.facts_out,
+            c.reps,
+            c.legacy_secs,
+            c.context_secs,
+            c.speedup(),
+            c.facts_per_sec(),
+            if i + 1 < eval_cases.len() { "," } else { "" }
+        ));
+    }
+    j.push_str("  ],\n");
+    j.push_str(&format!(
+        "  \"repeated_candidates\": {{\"candidates\": {}, \"facts_in\": {}, \
+         \"legacy_secs\": {:.6}, \"context_secs\": {:.6}, \"speedup\": {:.2}}},\n",
+        repeated.candidates,
+        repeated.facts_in,
+        repeated.legacy_secs,
+        repeated.context_secs,
+        repeated.legacy_secs / repeated.context_secs.max(1e-12),
+    ));
+    j.push_str("  \"synthesis\": [\n");
+    for (i, c) in synth_cases.iter().enumerate() {
+        j.push_str(&format!(
+            "    {{\"name\": \"{}\", \"secs\": {:.4}, \"iterations\": {}}}{}\n",
+            c.name,
+            c.secs,
+            c.iterations,
+            if i + 1 < synth_cases.len() { "," } else { "" }
+        ));
+    }
+    j.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, &j).expect("write BENCH_eval.json");
+    println!("{j}");
+    eprintln!("wrote {out_path}");
+}

@@ -24,16 +24,13 @@ fn main() {
         let ma = manual_arm(&b, n, 17);
         let dy_correct = dy.iter().filter(|p| p.correct).count();
         let ma_correct = ma.iter().filter(|p| p.correct).count();
-        let dy_time: f64 =
-            dy.iter().map(|p| p.time.as_secs_f64()).sum::<f64>() / n as f64;
+        let dy_time: f64 = dy.iter().map(|p| p.time.as_secs_f64()).sum::<f64>() / n as f64;
         let dy_queries: f64 = dy.iter().map(|p| p.queries as f64).sum::<f64>() / n as f64;
         println!("--- {name}");
         println!(
             "  Dynamite arm: avg tool time {dy_time:.2}s, avg queries {dy_queries:.1}, correct {dy_correct}/{n}"
         );
-        println!(
-            "  Manual arm (modeled): correct {ma_correct}/{n} (bug-injection model)"
-        );
+        println!("  Manual arm (modeled): correct {ma_correct}/{n} (bug-injection model)");
         println!(
             "  Paper-reported human completion times: Dynamite {paper_dynamite_s}s, manual {paper_manual_s}s"
         );

@@ -43,7 +43,11 @@ fn main() {
     }
     // Cactus rows: sort each solver's times, print cumulative.
     for (i, name) in ["Dynamite", "Dynamite-Enum"].iter().enumerate() {
-        let mut ts: Vec<f64> = rows.iter().map(|r| r[i]).filter(|t| t.is_finite()).collect();
+        let mut ts: Vec<f64> = rows
+            .iter()
+            .map(|r| r[i])
+            .filter(|t| t.is_finite())
+            .collect();
         ts.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         let solved = ts.len();
         let cum: f64 = ts.iter().sum();

@@ -29,12 +29,7 @@ fn main() {
         };
         let dy = synthesize(b.source(), b.target(), std::slice::from_ref(&ex), &config)
             .map(|r| r.stats.elapsed.as_secs_f64());
-        let mi = synthesize_mitra(
-            b.source(),
-            b.target(),
-            &ex,
-            Duration::from_secs(timeout),
-        );
+        let mi = synthesize_mitra(b.source(), b.target(), &ex, Duration::from_secs(timeout));
         match (&dy, &mi) {
             (Ok(d), Ok(m)) => println!(
                 "{:<12} {:>14.3} {:>14.3} {:>12}",

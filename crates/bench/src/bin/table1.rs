@@ -11,7 +11,10 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(4);
     println!("Table 1: datasets (synthetic stand-ins at scale {scale})");
-    println!("{:<10} {:>10} {:>12}  Description", "Name", "#Records", "#Facts");
+    println!(
+        "{:<10} {:>10} {:>12}  Description",
+        "Name", "#Records", "#Facts"
+    );
     for ds in datasets::all() {
         let inst = (ds.generate)(scale, 1);
         let facts = dynamite_instance::to_facts(&inst);

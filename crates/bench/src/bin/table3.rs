@@ -55,8 +55,7 @@ fn main() {
         };
         let synth_s = result.stats.elapsed.as_secs_f64();
         let n_rules = result.program.rules.len();
-        let preds_per_rule =
-            result.program.num_body_preds() as f64 / n_rules.max(1) as f64;
+        let preds_per_rule = result.program.num_body_preds() as f64 / n_rules.max(1) as f64;
         // "# Optim Rules": synthesized rules α-equivalent to golden ones.
         let optim = result
             .program
@@ -65,14 +64,13 @@ fn main() {
             .zip(&b.golden().rules)
             .filter(|(a, g)| alpha_equivalent(a, g))
             .count();
-        let dist = (result.program.num_body_preds() as i64
-            - b.golden().num_body_preds() as i64)
+        let dist = (result.program.num_body_preds() as i64 - b.golden().num_body_preds() as i64)
             .max(0) as f64
             / n_rules.max(1) as f64;
 
         let source = b.generate_source(scale, 11);
-        let (out, report) = migrate(&result.program, &source, b.target().clone())
-            .expect("migration succeeds");
+        let (out, report) =
+            migrate(&result.program, &source, b.target().clone()).expect("migration succeeds");
         assert!(out.num_records() > 0 || report.facts_out == 0);
         let migr_s = report.total_time().as_secs_f64();
 

@@ -71,7 +71,7 @@ fn attribute_values(instance: &Instance, attr: &str) -> HashSet<Value> {
     for (_, table) in flat.iter() {
         if let Some(c) = table.column_index(attr) {
             for row in &table.rows {
-                out.insert(row[c].clone());
+                out.insert(row[c]);
             }
         }
     }
@@ -85,11 +85,7 @@ fn attribute_values(instance: &Instance, attr: &str) -> HashSet<Value> {
 /// the union of all inputs (resp. outputs). Checking the subset condition
 /// per pair instead would wrongly reject join keys whose values happen not
 /// to co-occur within a single small pair.
-pub fn infer_attr_mapping(
-    source: &Schema,
-    target: &Schema,
-    examples: &[Example],
-) -> AttrMapping {
+pub fn infer_attr_mapping(source: &Schema, target: &Schema, examples: &[Example]) -> AttrMapping {
     let mut psi = AttrMapping::default();
     let source_attrs = source.prim_attrs();
     let target_attrs = target.prim_attrs();

@@ -17,7 +17,7 @@
 
 use std::sync::Arc;
 
-use dynamite_datalog::{evaluate, Program};
+use dynamite_datalog::{evaluate, Evaluator, Program};
 use dynamite_instance::{from_facts, to_facts, Instance, Record};
 use dynamite_schema::Schema;
 
@@ -212,11 +212,19 @@ fn find_distinguishing_input(
     if records.is_empty() {
         return None;
     }
-    let run = |input: &Instance, p: &Program| -> Option<dynamite_instance::Flattened> {
-        let facts = to_facts(input);
-        let out = evaluate(p, &facts).ok()?;
-        let inst = from_facts(&out, target.clone()).ok()?;
-        Some(inst.flatten())
+    // One prepared context per candidate input; both programs probe the
+    // same snapshot and share its join indexes.
+    let run_pair = |input: &Instance| -> (
+        Option<dynamite_instance::Flattened>,
+        Option<dynamite_instance::Flattened>,
+    ) {
+        let ctx = Evaluator::new(to_facts(input));
+        let run = |p: &Program| {
+            let out = ctx.eval(p).ok()?;
+            let inst = from_facts(&out, target.clone()).ok()?;
+            Some(inst.flatten())
+        };
+        (run(p1), run(p2))
     };
 
     for k in 1..=config.max_input_records.min(records.len()) {
@@ -227,7 +235,7 @@ fn find_distinguishing_input(
                 let (ty, r) = records[i];
                 input.insert(ty, r.clone()).ok()?;
             }
-            if let (Some(o1), Some(o2)) = (run(&input, p1), run(&input, p2)) {
+            if let (Some(o1), Some(o2)) = run_pair(&input) {
                 if o1 != o2 {
                     return Some(input);
                 }
@@ -238,8 +246,7 @@ fn find_distinguishing_input(
         }
     }
     // Last resort: the whole pool.
-    let o1 = run(pool, p1);
-    let o2 = run(pool, p2);
+    let (o1, o2) = run_pair(pool);
     if o1.is_some() && o1 != o2 {
         return Some(pool.clone());
     }
@@ -277,10 +284,7 @@ mod tests {
     #[test]
     fn example10_disambiguation() {
         let (source, target, ex) = works_in();
-        let golden = Program::parse(
-            "WorksIn(x, y) :- Employee(x, z), Department(z, y).",
-        )
-        .unwrap();
+        let golden = Program::parse("WorksIn(x, y) :- Employee(x, z), Department(z, y).").unwrap();
         let mut oracle = GoldenOracle::new(golden.clone(), target.clone());
 
         // Validation pool: two employees in two departments (the paper's
@@ -329,19 +333,15 @@ mod tests {
         // With the richer two-employee example given up front, the join
         // program is already unique.
         let (source, target, _) = works_in();
-        let golden =
-            Program::parse("WorksIn(x, y) :- Employee(x, z), Department(z, y).").unwrap();
+        let golden = Program::parse("WorksIn(x, y) :- Employee(x, z), Department(z, y).").unwrap();
         let mut pool = Instance::new(source.clone());
         for (n, d) in [("Alice", 11i64), ("Bob", 12)] {
             pool.insert("Employee", Record::from_values(vec![n.into(), d.into()]))
                 .unwrap();
         }
         for (d, dn) in [(11i64, "CS"), (12, "EE")] {
-            pool.insert(
-                "Department",
-                Record::from_values(vec![d.into(), dn.into()]),
-            )
-            .unwrap();
+            pool.insert("Department", Record::from_values(vec![d.into(), dn.into()]))
+                .unwrap();
         }
         let mut oracle = GoldenOracle::new(golden.clone(), target.clone());
         let rich_output = oracle.answer(&pool);

@@ -53,12 +53,7 @@ pub fn simplify_rule(rule: &Rule) -> Rule {
             }
             local.iter().all(|(v, &n)| counts[*v] == n)
         };
-        let kept: Vec<Literal> = rule
-            .body
-            .iter()
-            .filter(|l| !detached(l))
-            .cloned()
-            .collect();
+        let kept: Vec<Literal> = rule.body.iter().filter(|l| !detached(l)).cloned().collect();
         // Guard: never drop everything (a rule needs a nonempty body).
         if !kept.is_empty() {
             rule.body = kept;

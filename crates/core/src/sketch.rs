@@ -48,7 +48,7 @@ impl DomainElem {
     pub fn to_term(&self) -> Term {
         match self {
             DomainElem::HeadVar(v) | DomainElem::BodyVar(v) => Term::Var(v.clone()),
-            DomainElem::Const(c) => Term::Const(c.clone()),
+            DomainElem::Const(c) => Term::Const(*c),
         }
     }
 
@@ -444,7 +444,7 @@ fn gen_rule_sketch(
                     if let Some(ty) = source.prim_type(&a) {
                         if let Some(cs) = consts_by_type.get(&ty) {
                             for c in cs.iter().take(options.max_consts_per_hole) {
-                                dom.push(DomainElem::Const(c.clone()));
+                                dom.push(DomainElem::Const(*c));
                             }
                         }
                     }
@@ -505,7 +505,12 @@ fn add_chain<'s>(
     chain_connectors: &mut Vec<String>,
     conn_counter: &mut usize,
 ) {
-    let chain: Vec<&'s str> = source.chain_to(source.records().find(|r| *r == rec).expect("record in schema"));
+    let chain: Vec<&'s str> = source.chain_to(
+        source
+            .records()
+            .find(|r| *r == rec)
+            .expect("record in schema"),
+    );
     let mut parent_conn: Option<String> = None;
     for (i, r) in chain.iter().enumerate() {
         *copy_count.entry(r).or_insert(0) += 1;
@@ -557,8 +562,8 @@ fn harvest_constants(examples: &[Example]) -> FxHashMap<PrimType, Vec<Value>> {
             for row in &table.rows {
                 for v in row {
                     if let Some(ty) = v.prim_type() {
-                        if seen.insert(v.clone()) {
-                            by_type.entry(ty).or_default().push(v.clone());
+                        if seen.insert(*v) {
+                            by_type.entry(ty).or_default().push(*v);
                         }
                     }
                 }
@@ -657,8 +662,7 @@ mod tests {
             .body
             .iter()
             .filter(|b| {
-                b.relation == "Univ"
-                    && matches!(&b.slots[2], BodySlot::Var(v) if *v == conn)
+                b.relation == "Univ" && matches!(&b.slots[2], BodySlot::Var(v) if *v == conn)
             })
             .count();
         assert_eq!(linked_univs, 1);
@@ -758,8 +762,7 @@ mod tests {
         assert!(matches!(r.heads[0].slots[1], HeadSlot::Hole(i) if i == c));
         assert!(matches!(r.heads[1].slots[0], HeadSlot::Hole(i) if i == c));
         // Connector domain: integer pools (tid, pid, team_id, avg copies).
-        let conn_dom: BTreeSet<String> =
-            r.holes[c].domain.iter().map(|e| e.to_string()).collect();
+        let conn_dom: BTreeSet<String> = r.holes[c].domain.iter().map(|e| e.to_string()).collect();
         assert!(conn_dom.contains("tid1"));
         assert!(conn_dom.iter().any(|v| v.starts_with("team_id")));
     }
@@ -782,6 +785,6 @@ mod tests {
         assert!(name_hole
             .domain
             .iter()
-            .any(|e| matches!(e, DomainElem::Const(Value::Str(s)) if s.as_ref() == "U1")));
+            .any(|e| matches!(e, DomainElem::Const(Value::Str(s)) if s.as_str() == "U1")));
     }
 }

@@ -14,9 +14,9 @@ use std::fmt;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use dynamite_datalog::{evaluate, Program, Rule};
+use dynamite_datalog::{Evaluator, Program, Rule};
 use dynamite_instance::hash::FxHashMap;
-use dynamite_instance::{from_facts, to_facts, Database, Flattened};
+use dynamite_instance::{from_facts, to_facts, Flattened};
 use dynamite_schema::Schema;
 use dynamite_smt::{ConstId, FdLit, FdSolver, FdVar};
 
@@ -165,8 +165,13 @@ pub fn synthesize(
     examples: &[Example],
     config: &SynthesisConfig,
 ) -> Result<Synthesis, SynthesisError> {
-    Synthesizer::new(source.clone(), target.clone(), examples.to_vec(), config.clone())?
-        .synthesize()
+    Synthesizer::new(
+        source.clone(),
+        target.clone(),
+        examples.to_vec(),
+        config.clone(),
+    )?
+    .synthesize()
 }
 
 /// A prepared synthesis problem: attribute mapping inferred, sketch
@@ -178,7 +183,10 @@ pub struct Synthesizer {
     target: Arc<Schema>,
     examples: Vec<Example>,
     // (examples retained for introspection via `examples()`)
-    input_facts: Vec<Database>,
+    /// One prepared evaluation context per example: the fact database is
+    /// snapshotted once and its join indexes are shared by every candidate
+    /// program evaluated against it (the CEGIS loop's hot path).
+    input_contexts: Vec<Evaluator>,
     expected_flats: Vec<Flattened>,
     psi: AttrMapping,
     sketch: Sketch,
@@ -194,10 +202,7 @@ impl Synthesizer {
         examples: Vec<Example>,
         config: SynthesisConfig,
     ) -> Result<Synthesizer, SynthesisError> {
-        let src_names: HashSet<&str> = source
-            .records()
-            .chain(source.prim_attrs())
-            .collect();
+        let src_names: HashSet<&str> = source.records().chain(source.prim_attrs()).collect();
         let overlap: Vec<String> = target
             .records()
             .chain(target.prim_attrs())
@@ -209,13 +214,16 @@ impl Synthesizer {
         }
         let psi = infer_attr_mapping(&source, &target, &examples);
         let sketch = generate_sketch(&psi, &source, &target, &examples, &config.sketch);
-        let input_facts = examples.iter().map(|e| to_facts(&e.input)).collect();
+        let input_contexts = examples
+            .iter()
+            .map(|e| Evaluator::new(to_facts(&e.input)))
+            .collect();
         let expected_flats = examples.iter().map(|e| e.output.flatten()).collect();
         Ok(Synthesizer {
             source,
             target,
             examples,
-            input_facts,
+            input_contexts,
             expected_flats,
             psi,
             sketch,
@@ -301,8 +309,9 @@ impl Synthesizer {
         }
         let prog = Program::new(vec![simplified.clone()]);
         let record_types = &rule_record_types(rule);
-        for (facts, expected) in self.input_facts.iter().zip(&self.expected_flats) {
-            let ok = evaluate(&prog, facts)
+        for (ctx, expected) in self.input_contexts.iter().zip(&self.expected_flats) {
+            let ok = ctx
+                .eval(&prog)
                 .ok()
                 .and_then(|out| from_facts(&out, self.target.clone()).ok())
                 .map(|inst| {
@@ -457,9 +466,7 @@ impl<'a> RuleSolver<'a> {
     /// space is exhausted. After returning a rule, its whole renaming-
     /// equivalence class is blocked, so subsequent calls yield semantically
     /// distinct programs (used by interactive mode).
-    pub fn next_consistent(
-        &mut self,
-    ) -> Result<Option<(Rule, Vec<DomainElem>)>, SynthesisError> {
+    pub fn next_consistent(&mut self) -> Result<Option<(Rule, Vec<DomainElem>)>, SynthesisError> {
         loop {
             if let Some(d) = self.deadline {
                 if Instant::now() > d {
@@ -488,8 +495,12 @@ impl<'a> RuleSolver<'a> {
                 CheckResult::Consistent => {
                     // Block the equivalence class so another call finds a
                     // semantically different program.
-                    let all_attrs: BTreeSet<String> =
-                        self.sketch.head_vars().iter().map(|s| s.to_string()).collect();
+                    let all_attrs: BTreeSet<String> = self
+                        .sketch
+                        .head_vars()
+                        .iter()
+                        .map(|s| s.to_string())
+                        .collect();
                     let psi = self.pattern_clause(&assignment, &all_attrs);
                     let _ = self.fd.add_clause(&psi);
                     self.blocking_clauses += 1;
@@ -505,13 +516,13 @@ impl<'a> RuleSolver<'a> {
     /// Evaluates a candidate on every example.
     fn check(&self, rule: &Rule) -> CheckResult {
         let prog = Program::new(vec![rule.clone()]);
-        for (facts, expected) in self
+        for (ctx, expected) in self
             .synth
-            .input_facts
+            .input_contexts
             .iter()
             .zip(&self.synth.expected_flats)
         {
-            let Ok(out) = evaluate(&prog, facts) else {
+            let Ok(out) = ctx.eval(&prog) else {
                 return CheckResult::Failed { actual: None };
             };
             let Ok(inst) = from_facts(&out, self.synth.target.clone()) else {
@@ -551,10 +562,8 @@ impl<'a> RuleSolver<'a> {
                     let result = mdp_set(at, et, self.synth.config.mdp_budget);
                     for mdp in &result.mdps {
                         self.mdps_computed += 1;
-                        let pinned: BTreeSet<String> = mdp
-                            .iter()
-                            .map(|&c| at.columns[c].clone())
-                            .collect();
+                        let pinned: BTreeSet<String> =
+                            mdp.iter().map(|&c| at.columns[c].clone()).collect();
                         let clause = self.pattern_clause(assignment, &pinned);
                         let _ = self.fd.add_clause(&clause);
                         self.blocking_clauses += 1;
@@ -633,13 +642,18 @@ enum CheckResult {
 mod tests {
     use super::*;
     use crate::test_fixtures::{motivating, works_in};
-    use dynamite_datalog::alpha_equivalent;
+    use dynamite_datalog::{alpha_equivalent, evaluate};
 
     #[test]
     fn synthesizes_the_motivating_example() {
         let (source, target, ex) = motivating();
-        let result = synthesize(&source, &target, std::slice::from_ref(&ex), &SynthesisConfig::default())
-            .expect("synthesis succeeds");
+        let result = synthesize(
+            &source,
+            &target,
+            std::slice::from_ref(&ex),
+            &SynthesisConfig::default(),
+        )
+        .expect("synthesis succeeds");
         assert_eq!(result.program.rules.len(), 1);
         // The synthesized program must reproduce the example output.
         let facts = to_facts(&ex.input);
@@ -651,8 +665,7 @@ mod tests {
     #[test]
     fn motivating_example_matches_golden_program() {
         let (source, target, ex) = motivating();
-        let result =
-            synthesize(&source, &target, &[ex], &SynthesisConfig::default()).unwrap();
+        let result = synthesize(&source, &target, &[ex], &SynthesisConfig::default()).unwrap();
         let golden = Program::parse(
             "Admission(grad, ug, num) :- Univ(id1, grad, v1), Admit(v1, id2, num), Univ(id2, ug, _).",
         )
@@ -670,8 +683,13 @@ mod tests {
         // relative iteration counts are an aggregate claim (Figure 9a),
         // not a per-run invariant.
         let (source, target, ex) = motivating();
-        let mdp = synthesize(&source, &target, std::slice::from_ref(&ex), &SynthesisConfig::default())
-            .unwrap();
+        let mdp = synthesize(
+            &source,
+            &target,
+            std::slice::from_ref(&ex),
+            &SynthesisConfig::default(),
+        )
+        .unwrap();
         let enum_cfg = SynthesisConfig {
             strategy: Strategy::Enumerative,
             ..Default::default()
@@ -688,13 +706,7 @@ mod tests {
     #[test]
     fn search_space_matches_section2() {
         let (source, target, ex) = motivating();
-        let synth = Synthesizer::new(
-            source,
-            target,
-            vec![ex],
-            SynthesisConfig::default(),
-        )
-        .unwrap();
+        let synth = Synthesizer::new(source, target, vec![ex], SynthesisConfig::default()).unwrap();
         let n = synth.sketch().ln_search_space().exp().round() as u64;
         assert_eq!(n, 64_000);
     }
@@ -702,8 +714,13 @@ mod tests {
     #[test]
     fn works_in_join_example() {
         let (source, target, ex) = works_in();
-        let result =
-            synthesize(&source, &target, std::slice::from_ref(&ex), &SynthesisConfig::default()).unwrap();
+        let result = synthesize(
+            &source,
+            &target,
+            std::slice::from_ref(&ex),
+            &SynthesisConfig::default(),
+        )
+        .unwrap();
         let facts = to_facts(&ex.input);
         let out = evaluate(&result.program, &facts).unwrap();
         let inst = from_facts(&out, target.clone()).unwrap();
@@ -713,8 +730,8 @@ mod tests {
     #[test]
     fn schema_overlap_is_rejected() {
         let (source, _, ex) = motivating();
-        let err = synthesize(&source, &source.clone(), &[ex], &SynthesisConfig::default())
-            .unwrap_err();
+        let err =
+            synthesize(&source, &source.clone(), &[ex], &SynthesisConfig::default()).unwrap_err();
         assert!(matches!(err, SynthesisError::SchemaOverlap(_)));
     }
 
@@ -725,16 +742,13 @@ mod tests {
         // Target attribute whose values never appear in the source: no
         // attribute mapping, empty coverage, ⊥.
         let (source, _, ex) = motivating();
-        let target = Arc::new(
-            Schema::parse("@relational Mystery { secret: String }").unwrap(),
-        );
+        let target = Arc::new(Schema::parse("@relational Mystery { secret: String }").unwrap());
         let mut output = Instance::new(target.clone());
         output
             .insert("Mystery", Record::from_values(vec!["nowhere".into()]))
             .unwrap();
         let ex2 = Example::new(ex.input, output);
-        let err =
-            synthesize(&source, &target, &[ex2], &SynthesisConfig::default()).unwrap_err();
+        let err = synthesize(&source, &target, &[ex2], &SynthesisConfig::default()).unwrap_err();
         assert!(matches!(err, SynthesisError::NoProgram { .. }));
     }
 
@@ -806,8 +820,7 @@ mod tests {
             )
             .unwrap();
         let ex = Example::new(input.clone(), output.clone());
-        let result =
-            synthesize(&source, &target, &[ex], &SynthesisConfig::default()).unwrap();
+        let result = synthesize(&source, &target, &[ex], &SynthesisConfig::default()).unwrap();
         let facts = to_facts(&input);
         let out = evaluate(&result.program, &facts).unwrap();
         let inst = from_facts(&out, target.clone()).unwrap();

@@ -1,0 +1,803 @@
+//! Reusable evaluation contexts with persistent, incrementally maintained
+//! join indexes.
+//!
+//! [`Evaluator`] is constructed once per fact database and amortizes all
+//! per-database work across every program evaluated against it — the
+//! repeated-candidate workload of the synthesis loop (§4.1 evaluates
+//! hundreds of candidates against the same example input):
+//!
+//! - the extensional database is held behind an `Arc` snapshot and is
+//!   **never cloned** per evaluation; derived facts live in a per-call
+//!   overlay, so each relation is the union of an immutable EDB part and
+//!   a growing IDB part (copy-on-write layering);
+//! - join indexes on EDB relations are keyed by `(relation, column set)`
+//!   and cached inside the context, so candidate #2 onwards reuses the
+//!   indexes candidate #1 built;
+//! - overlay indexes are maintained **incrementally**: `absorb` only
+//!   appends, so an index extends to cover new tuples instead of being
+//!   rebuilt from scratch every fixpoint round;
+//! - each rule is compiled once per evaluation (variable layout, join
+//!   order, slot layouts, index column sets) including all semi-naive
+//!   delta variants, instead of once per rule per round;
+//! - negated literals probe an index on their bound columns instead of
+//!   scanning the whole relation per emitted tuple.
+
+use std::sync::{Arc, RwLock};
+
+use dynamite_instance::hash::FxHashMap;
+use dynamite_instance::{ColumnIndex, Database, Relation, Value};
+
+use crate::ast::{Literal, Program, Rule, Term};
+use crate::eval::{check_arities, rule_stratum, stratify, EvalError};
+
+/// A reusable evaluation context over one fact database.
+///
+/// Cloning is cheap (the EDB snapshot and index cache are shared), so a
+/// context can be handed to several consumers of the same example input.
+///
+/// ```
+/// use dynamite_datalog::{Evaluator, Program};
+/// use dynamite_instance::Database;
+///
+/// let mut edb = Database::new();
+/// edb.insert("Edge", vec![1.into(), 2.into()]);
+/// edb.insert("Edge", vec![2.into(), 3.into()]);
+/// let ctx = Evaluator::new(edb);
+///
+/// // Evaluate many candidate programs against the same prepared context.
+/// let p1 = Program::parse("Q(x, z) :- Edge(x, y), Edge(y, z).").unwrap();
+/// let p2 = Program::parse("Q(x) :- Edge(x, _).").unwrap();
+/// assert_eq!(ctx.eval(&p1).unwrap().relation("Q").unwrap().len(), 1);
+/// assert_eq!(ctx.eval(&p2).unwrap().relation("Q").unwrap().len(), 2);
+/// ```
+#[derive(Clone)]
+pub struct Evaluator {
+    ctx: Arc<EdbContext>,
+}
+
+/// `relation → column-set → index`: nesting keeps the hot lookup path on
+/// borrowed keys only (no per-probe allocation).
+type IndexCache = FxHashMap<String, FxHashMap<Vec<usize>, Arc<ColumnIndex>>>;
+
+/// The shared, immutable EDB snapshot plus its lazily built index cache.
+struct EdbContext {
+    edb: Database,
+    indexes: RwLock<IndexCache>,
+}
+
+impl Evaluator {
+    /// Builds a context that owns `edb` as its immutable snapshot.
+    pub fn new(edb: Database) -> Evaluator {
+        Evaluator {
+            ctx: Arc::new(EdbContext {
+                edb,
+                indexes: RwLock::new(FxHashMap::default()),
+            }),
+        }
+    }
+
+    /// Builds a context from a borrowed database (clones it once; every
+    /// subsequent evaluation shares the snapshot).
+    pub fn from_database(db: &Database) -> Evaluator {
+        Evaluator::new(db.clone())
+    }
+
+    /// The extensional snapshot this context evaluates against.
+    pub fn database(&self) -> &Database {
+        &self.ctx.edb
+    }
+
+    /// Evaluates `program`, returning the derived intensional relations
+    /// (the least Herbrand model restricted to IDB relations; §3.2).
+    ///
+    /// Extensional relations missing from the snapshot are treated as
+    /// empty.
+    pub fn eval(&self, program: &Program) -> Result<Database, EvalError> {
+        program.check_well_formed()?;
+        let arities = check_arities(program, &self.ctx.edb)?;
+        let idb: Vec<&str> = program.intensional().into_iter().collect();
+        let strata = stratify(program, &idb)?;
+        let max_stratum = strata.values().copied().max().unwrap_or(0);
+
+        // Compile every rule once: variable layout, join orders for the
+        // naive variant and each same-stratum delta variant, index column
+        // sets, and negation probes.
+        let compiled: Vec<CompiledRule> = program
+            .rules
+            .iter()
+            .map(|r| CompiledRule::compile(r, &strata))
+            .collect();
+
+        let mut idb_state = IdbState::new(idb.iter().map(|&r| (r, arities[r])));
+
+        for s in 0..=max_stratum {
+            let stratum_rules: Vec<&CompiledRule> =
+                compiled.iter().filter(|c| c.stratum == s).collect();
+            if stratum_rules.is_empty() {
+                continue;
+            }
+            let in_stratum: Vec<&str> = idb
+                .iter()
+                .copied()
+                .filter(|r| strata.get(*r) == Some(&s))
+                .collect();
+            self.run_stratum(&stratum_rules, &in_stratum, &mut idb_state, &arities);
+        }
+        Ok(idb_state.into_database())
+    }
+
+    /// Semi-naive fixpoint for one stratum.
+    fn run_stratum(
+        &self,
+        rules: &[&CompiledRule],
+        in_stratum: &[&str],
+        idb: &mut IdbState,
+        arities: &std::collections::HashMap<&str, usize>,
+    ) {
+        // Initial round: naive evaluation of every rule.
+        let mut delta: FxHashMap<String, Relation> = FxHashMap::default();
+        for &r in in_stratum {
+            delta.insert(r.to_string(), Relation::new(arities[r]));
+        }
+        for rule in rules {
+            let derived = self.eval_variant(rule, &rule.naive, None, idb);
+            absorb(rule, derived, &self.ctx.edb, idb, &mut delta);
+        }
+
+        // Fixpoint rounds: one delta variant per same-stratum occurrence.
+        loop {
+            let mut new_delta: FxHashMap<String, Relation> = FxHashMap::default();
+            for &r in in_stratum {
+                new_delta.insert(r.to_string(), Relation::new(arities[r]));
+            }
+            let mut any = false;
+            for rule in rules {
+                for dv in &rule.deltas {
+                    let Some(d) = delta.get(dv.relation.as_str()) else {
+                        continue;
+                    };
+                    if d.is_empty() {
+                        continue;
+                    }
+                    let derived = self.eval_variant(rule, &dv.variant, Some((dv.body_pos, d)), idb);
+                    if absorb(rule, derived, &self.ctx.edb, idb, &mut new_delta) {
+                        any = true;
+                    }
+                }
+            }
+            delta = new_delta;
+            if !any {
+                break;
+            }
+        }
+    }
+
+    /// Returns (building and caching on first use) the EDB-side index of
+    /// `rel` on `cols`; `None` when the snapshot has no such relation.
+    fn edb_index(&self, rel: &str, cols: &[usize]) -> Option<Arc<ColumnIndex>> {
+        let relation = self.ctx.edb.relation(rel)?;
+        if let Some(idx) = self
+            .ctx
+            .indexes
+            .read()
+            .expect("index cache poisoned")
+            .get(rel)
+            .and_then(|by_cols| by_cols.get(cols))
+        {
+            return Some(idx.clone());
+        }
+        let built = Arc::new(ColumnIndex::build(relation, cols));
+        let mut w = self.ctx.indexes.write().expect("index cache poisoned");
+        Some(
+            w.entry(rel.to_string())
+                .or_default()
+                .entry(cols.to_vec())
+                .or_insert(built)
+                .clone(),
+        )
+    }
+
+    /// Evaluates one compiled join order. `delta` carries the body
+    /// position that ranges over the delta relation and that relation.
+    fn eval_variant(
+        &self,
+        rule: &CompiledRule,
+        variant: &Variant,
+        delta: Option<(usize, &Relation)>,
+        idb: &mut IdbState,
+    ) -> Vec<(usize, Vec<Value>)> {
+        let delta_pos = delta.map(|(p, _)| p);
+
+        // Mutable prep phase: pin EDB indexes and extend overlay indexes
+        // to cover tuples absorbed since the last use.
+        let mut edb_arcs: Vec<Option<Arc<ColumnIndex>>> = Vec::with_capacity(variant.lits.len());
+        for lit in &variant.lits {
+            let indexed = Some(lit.body_pos) != delta_pos && !lit.key_cols.is_empty();
+            if indexed {
+                idb.ensure_index(&lit.rel, &lit.key_cols);
+                edb_arcs.push(self.edb_index(&lit.rel, &lit.key_cols));
+            } else {
+                edb_arcs.push(None);
+            }
+        }
+        for neg in &rule.negs {
+            if !neg.key_cols.is_empty() {
+                idb.ensure_index(&neg.rel, &neg.key_cols);
+            }
+        }
+
+        // Immutable join phase.
+        let execs: Vec<LitExec<'_>> = variant
+            .lits
+            .iter()
+            .zip(&edb_arcs)
+            .map(|(lit, edb_arc)| {
+                let src = if Some(lit.body_pos) == delta_pos {
+                    ScanSrc::Scan {
+                        parts: [delta.map(|(_, d)| d), None],
+                    }
+                } else if lit.key_cols.is_empty() {
+                    ScanSrc::Scan {
+                        parts: [self.ctx.edb.relation(&lit.rel), idb.relation(&lit.rel)],
+                    }
+                } else {
+                    ScanSrc::Indexed {
+                        edb: edb_arc
+                            .as_deref()
+                            .and_then(|ix| Some((self.ctx.edb.relation(&lit.rel)?, ix))),
+                        idb: idb.indexed(&lit.rel, &lit.key_cols),
+                    }
+                };
+                LitExec {
+                    slots: &lit.slots,
+                    src,
+                }
+            })
+            .collect();
+        let negs: Vec<NegExec<'_>> = rule
+            .negs
+            .iter()
+            .map(|neg| NegExec {
+                plan: neg,
+                edb: if neg.key_cols.is_empty() {
+                    None
+                } else {
+                    self.edb_index(&neg.rel, &neg.key_cols)
+                },
+                edb_rel: self.ctx.edb.relation(&neg.rel),
+                idb: if neg.key_cols.is_empty() {
+                    None
+                } else {
+                    idb.indexed(&neg.rel, &neg.key_cols).map(|(_, ix)| ix)
+                },
+                idb_rel: idb.relation(&neg.rel),
+            })
+            .collect();
+
+        let depths = execs.len();
+        let mut run = JoinRun {
+            rule,
+            execs: &execs,
+            negs: &negs,
+            env: vec![None; rule.nvars],
+            newly: vec![Vec::new(); depths],
+            keys: vec![Vec::new(); depths],
+            negkey: Vec::new(),
+            results: Vec::new(),
+        };
+        run.descend(0);
+        run.results
+    }
+}
+
+// ------------------------------------------------------------ compiled --
+
+/// A rule compiled once per evaluation: dense variable indices, the naive
+/// join order, every same-stratum delta variant, and negation probes.
+struct CompiledRule {
+    stratum: usize,
+    nvars: usize,
+    /// Per head: relation name and term templates.
+    heads: Vec<(String, Vec<HeadTerm>)>,
+    negs: Vec<NegPlan>,
+    naive: Variant,
+    deltas: Vec<DeltaVariant>,
+}
+
+/// One semi-naive variant: the delta occurrence joined first.
+struct DeltaVariant {
+    relation: String,
+    body_pos: usize,
+    variant: Variant,
+}
+
+/// A join order over the positive body literals.
+struct Variant {
+    lits: Vec<LitPlan>,
+}
+
+/// One positive literal in a join order.
+struct LitPlan {
+    rel: String,
+    body_pos: usize,
+    slots: Vec<Slot>,
+    /// Columns bound before this literal joins (consts and earlier-bound
+    /// variables, in column order) — the index key. Empty means scan.
+    key_cols: Vec<usize>,
+}
+
+enum Slot {
+    Const(Value),
+    Bound(usize),
+    Free(usize),
+    Wild,
+}
+
+enum HeadTerm {
+    Const(Value),
+    Var(usize),
+}
+
+/// A negated literal compiled to an index probe on its bound columns.
+struct NegPlan {
+    rel: String,
+    terms: Vec<NegTerm>,
+    /// Non-wildcard columns, in column order. Empty means the literal is
+    /// fully unconstrained: negation fails iff the relation is non-empty.
+    key_cols: Vec<usize>,
+}
+
+enum NegTerm {
+    Const(Value),
+    Var(usize),
+    Wild,
+}
+
+impl CompiledRule {
+    fn compile(rule: &Rule, strata: &std::collections::HashMap<String, usize>) -> CompiledRule {
+        let stratum = rule_stratum(rule, strata);
+        let mut var_index: FxHashMap<&str, usize> = FxHashMap::default();
+        for v in rule.all_vars() {
+            let next = var_index.len();
+            var_index.entry(v).or_insert(next);
+        }
+        let nvars = var_index.len();
+
+        let heads = rule
+            .heads
+            .iter()
+            .map(|h| {
+                let terms = h
+                    .terms
+                    .iter()
+                    .map(|t| match t {
+                        Term::Const(c) => HeadTerm::Const(*c),
+                        Term::Var(v) => HeadTerm::Var(var_index[v.as_str()]),
+                        Term::Wildcard => unreachable!("no wildcards in heads"),
+                    })
+                    .collect();
+                (h.relation.clone(), terms)
+            })
+            .collect();
+
+        let negs = rule
+            .body
+            .iter()
+            .filter(|l| l.negated)
+            .map(|l| {
+                let terms: Vec<NegTerm> = l
+                    .atom
+                    .terms
+                    .iter()
+                    .map(|t| match t {
+                        Term::Const(c) => NegTerm::Const(*c),
+                        Term::Var(v) => NegTerm::Var(var_index[v.as_str()]),
+                        Term::Wildcard => NegTerm::Wild,
+                    })
+                    .collect();
+                let key_cols = terms
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| !matches!(t, NegTerm::Wild))
+                    .map(|(c, _)| c)
+                    .collect();
+                NegPlan {
+                    rel: l.atom.relation.clone(),
+                    terms,
+                    key_cols,
+                }
+            })
+            .collect();
+
+        let positives: Vec<(usize, &Literal)> = rule
+            .body
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| !l.negated)
+            .collect();
+
+        let naive = Variant::compile(&positives, None, &var_index, nvars);
+        let deltas = positives
+            .iter()
+            .filter(|(_, l)| strata.get(&l.atom.relation).copied() == Some(stratum))
+            .map(|&(pos, l)| DeltaVariant {
+                relation: l.atom.relation.clone(),
+                body_pos: pos,
+                variant: Variant::compile(&positives, Some(pos), &var_index, nvars),
+            })
+            .collect();
+
+        CompiledRule {
+            stratum,
+            nvars,
+            heads,
+            negs,
+            naive,
+            deltas,
+        }
+    }
+}
+
+impl Variant {
+    /// Compiles a join order: body order with the delta occurrence (if
+    /// any) moved first, slot layouts, and per-literal index key columns.
+    fn compile(
+        positives: &[(usize, &Literal)],
+        delta_pos: Option<usize>,
+        var_index: &FxHashMap<&str, usize>,
+        nvars: usize,
+    ) -> Variant {
+        let mut ordered: Vec<(usize, &Literal)> = positives.to_vec();
+        if let Some(d) = delta_pos {
+            if let Some(i) = ordered.iter().position(|(p, _)| *p == d) {
+                let lit = ordered.remove(i);
+                ordered.insert(0, lit);
+            }
+        }
+        let mut bound = vec![false; nvars];
+        let lits = ordered
+            .iter()
+            .enumerate()
+            .map(|(join_i, &(pos, lit))| {
+                let before = bound.clone();
+                let slots: Vec<Slot> = lit
+                    .atom
+                    .terms
+                    .iter()
+                    .map(|t| match t {
+                        Term::Const(c) => Slot::Const(*c),
+                        Term::Wildcard => Slot::Wild,
+                        Term::Var(v) => {
+                            let i = var_index[v.as_str()];
+                            if before[i] {
+                                Slot::Bound(i)
+                            } else {
+                                bound[i] = true;
+                                Slot::Free(i)
+                            }
+                        }
+                    })
+                    .collect();
+                // The first literal in the join order is a scan when it is
+                // the delta occurrence; otherwise consts (and, for later
+                // literals, bound variables) form the index key.
+                let key_cols: Vec<usize> = if join_i == 0 && delta_pos.is_some() {
+                    Vec::new()
+                } else {
+                    slots
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, s)| matches!(s, Slot::Const(_) | Slot::Bound(_)))
+                        .map(|(c, _)| c)
+                        .collect()
+                };
+                LitPlan {
+                    rel: lit.atom.relation.clone(),
+                    body_pos: pos,
+                    slots,
+                    key_cols,
+                }
+            })
+            .collect();
+        Variant { lits }
+    }
+}
+
+// ------------------------------------------------------------- overlay --
+
+/// Per-evaluation IDB overlay: derived relations plus their incrementally
+/// maintained indexes.
+struct IdbState {
+    rels: FxHashMap<String, Relation>,
+    /// `relation → column-set → index`, borrowed-key lookups on the hot
+    /// path (see [`EdbContext::indexes`]).
+    indexes: FxHashMap<String, FxHashMap<Vec<usize>, IncIndex>>,
+}
+
+/// An incrementally extended column index over an overlay relation.
+struct IncIndex {
+    map: FxHashMap<Vec<Value>, Vec<usize>>,
+    /// Number of overlay tuples already indexed.
+    covered: usize,
+}
+
+impl IncIndex {
+    fn get(&self, key: &[Value]) -> &[usize] {
+        self.map.get(key).map_or(&[], Vec::as_slice)
+    }
+}
+
+impl IdbState {
+    fn new<'a>(idb: impl Iterator<Item = (&'a str, usize)>) -> IdbState {
+        IdbState {
+            rels: idb
+                .map(|(r, arity)| (r.to_string(), Relation::new(arity)))
+                .collect(),
+            indexes: FxHashMap::default(),
+        }
+    }
+
+    fn relation(&self, name: &str) -> Option<&Relation> {
+        self.rels.get(name)
+    }
+
+    /// Registers (or catches up) the overlay index of `rel` on `cols`.
+    fn ensure_index(&mut self, rel: &str, cols: &[usize]) {
+        let Some(relation) = self.rels.get(rel) else {
+            return; // purely extensional: no overlay side
+        };
+        if !self.indexes.contains_key(rel) {
+            self.indexes.insert(rel.to_string(), FxHashMap::default());
+        }
+        let by_cols = self.indexes.get_mut(rel).expect("just ensured");
+        if !by_cols.contains_key(cols) {
+            by_cols.insert(
+                cols.to_vec(),
+                IncIndex {
+                    map: FxHashMap::default(),
+                    covered: 0,
+                },
+            );
+        }
+        let idx = by_cols.get_mut(cols).expect("just ensured");
+        for i in idx.covered..relation.len() {
+            let t = relation.get(i).expect("in range");
+            let key: Vec<Value> = cols.iter().map(|&c| t[c]).collect();
+            idx.map.entry(key).or_default().push(i);
+        }
+        idx.covered = relation.len();
+    }
+
+    /// The overlay relation and its (previously ensured) index.
+    fn indexed(&self, rel: &str, cols: &[usize]) -> Option<(&Relation, &IncIndex)> {
+        let relation = self.rels.get(rel)?;
+        let idx = self.indexes.get(rel)?.get(cols)?;
+        Some((relation, idx))
+    }
+
+    fn into_database(self) -> Database {
+        Database::from_relations(self.rels)
+    }
+}
+
+/// Inserts derived facts; returns `true` if anything was new. A fact is
+/// new when it is in neither the EDB snapshot nor the overlay.
+fn absorb(
+    rule: &CompiledRule,
+    derived: Vec<(usize, Vec<Value>)>,
+    edb: &Database,
+    idb: &mut IdbState,
+    delta: &mut FxHashMap<String, Relation>,
+) -> bool {
+    let mut any = false;
+    for (head_idx, tuple) in derived {
+        let rel = rule.heads[head_idx].0.as_str();
+        if edb.relation(rel).is_some_and(|r| r.contains(&tuple)) {
+            continue;
+        }
+        let overlay = idb
+            .rels
+            .get_mut(rel)
+            .expect("head relations are intensional");
+        let shared: dynamite_instance::Tuple = Arc::from(tuple);
+        if overlay.insert(shared.clone()) {
+            if let Some(d) = delta.get_mut(rel) {
+                d.insert(shared);
+            }
+            any = true;
+        }
+    }
+    any
+}
+
+// ---------------------------------------------------------------- join --
+
+/// One positive literal ready to execute: slot layout plus its tuple
+/// sources (EDB part, overlay part, or the delta relation).
+struct LitExec<'a> {
+    slots: &'a [Slot],
+    src: ScanSrc<'a>,
+}
+
+enum ScanSrc<'a> {
+    /// Full scan over up to two parts (EDB then overlay, or the delta).
+    Scan { parts: [Option<&'a Relation>; 2] },
+    /// Index probe on the key columns, each side with its own index.
+    Indexed {
+        edb: Option<(&'a Relation, &'a ColumnIndex)>,
+        idb: Option<(&'a Relation, &'a IncIndex)>,
+    },
+}
+
+struct NegExec<'a> {
+    plan: &'a NegPlan,
+    edb: Option<Arc<ColumnIndex>>,
+    edb_rel: Option<&'a Relation>,
+    idb: Option<&'a IncIndex>,
+    idb_rel: Option<&'a Relation>,
+}
+
+impl NegExec<'_> {
+    /// `true` when no tuple matches the negated literal under `env`.
+    /// `key` is a reusable scratch buffer.
+    fn holds(&self, env: &[Option<Value>], key: &mut Vec<Value>) -> bool {
+        if self.plan.key_cols.is_empty() {
+            // Fully unconstrained: any tuple at all falsifies it.
+            return self.edb_rel.is_none_or(|r| r.is_empty())
+                && self.idb_rel.is_none_or(|r| r.is_empty());
+        }
+        // The key covers every non-wildcard column, so a key hit IS a
+        // matching tuple — no per-tuple verification needed.
+        key.clear();
+        key.extend(
+            self.plan
+                .key_cols
+                .iter()
+                .map(|&c| match &self.plan.terms[c] {
+                    NegTerm::Const(v) => *v,
+                    NegTerm::Var(i) => env[*i].expect("negated vars bound"),
+                    NegTerm::Wild => unreachable!("wildcards are not key columns"),
+                }),
+        );
+        if self.edb.as_ref().is_some_and(|ix| !ix.get(key).is_empty()) {
+            return false;
+        }
+        self.idb.is_none_or(|ix| ix.get(key).is_empty())
+    }
+}
+
+/// The recursive index-nested-loop join over one compiled variant, with
+/// per-depth scratch buffers so the hot path does not allocate.
+struct JoinRun<'a> {
+    rule: &'a CompiledRule,
+    execs: &'a [LitExec<'a>],
+    negs: &'a [NegExec<'a>],
+    env: Vec<Option<Value>>,
+    /// Per-depth undo lists: variables bound by the tuple at that depth.
+    newly: Vec<Vec<usize>>,
+    /// Per-depth index-key buffers.
+    keys: Vec<Vec<Value>>,
+    /// Negation-probe key buffer.
+    negkey: Vec<Value>,
+    results: Vec<(usize, Vec<Value>)>,
+}
+
+impl JoinRun<'_> {
+    /// Binds `t` against `slots`, extending `env`; records newly bound
+    /// variables in `newly`, restoring `env` on mismatch.
+    fn try_tuple(
+        env: &mut [Option<Value>],
+        newly: &mut Vec<usize>,
+        slots: &[Slot],
+        t: &[Value],
+    ) -> bool {
+        newly.clear();
+        let undo = |newly: &[usize], env: &mut [Option<Value>]| {
+            for &n in newly {
+                env[n] = None;
+            }
+        };
+        for (i, s) in slots.iter().enumerate() {
+            match s {
+                Slot::Const(c) => {
+                    if &t[i] != c {
+                        undo(newly, env);
+                        return false;
+                    }
+                }
+                Slot::Bound(v) => {
+                    if env[*v] != Some(t[i]) {
+                        undo(newly, env);
+                        return false;
+                    }
+                }
+                Slot::Free(v) => match env[*v] {
+                    // Free slots may repeat within one literal (e.g.
+                    // R(x, x) with x first bound here).
+                    Some(existing) => {
+                        if existing != t[i] {
+                            undo(newly, env);
+                            return false;
+                        }
+                    }
+                    None => {
+                        env[*v] = Some(t[i]);
+                        newly.push(*v);
+                    }
+                },
+                Slot::Wild => {}
+            }
+        }
+        true
+    }
+
+    fn emit(&mut self) {
+        for (head_idx, (_, terms)) in self.rule.heads.iter().enumerate() {
+            let tuple: Vec<Value> = terms
+                .iter()
+                .map(|t| match t {
+                    HeadTerm::Const(c) => *c,
+                    HeadTerm::Var(v) => self.env[*v].expect("head vars bound (range restriction)"),
+                })
+                .collect();
+            self.results.push((head_idx, tuple));
+        }
+    }
+
+    fn descend(&mut self, depth: usize) {
+        if depth == self.execs.len() {
+            let mut negkey = std::mem::take(&mut self.negkey);
+            let ok = self.negs.iter().all(|n| n.holds(&self.env, &mut negkey));
+            self.negkey = negkey;
+            if ok {
+                self.emit();
+            }
+            return;
+        }
+        // Copy the shared slice reference out of `self` so borrows of the
+        // exec plan do not pin `self` across the recursive calls.
+        let execs = self.execs;
+        let exec = &execs[depth];
+        let mut newly = std::mem::take(&mut self.newly[depth]);
+        match &exec.src {
+            ScanSrc::Scan { parts } => {
+                for part in parts.iter().flatten() {
+                    for t in part.iter() {
+                        if Self::try_tuple(&mut self.env, &mut newly, exec.slots, t) {
+                            self.descend(depth + 1);
+                            for &n in &newly {
+                                self.env[n] = None;
+                            }
+                        }
+                    }
+                }
+            }
+            ScanSrc::Indexed { edb, idb } => {
+                let mut key = std::mem::take(&mut self.keys[depth]);
+                key.clear();
+                key.extend(exec.slots.iter().filter_map(|s| match s {
+                    Slot::Const(c) => Some(*c),
+                    Slot::Bound(v) => Some(self.env[*v].expect("bound")),
+                    _ => None,
+                }));
+                for (rel, positions) in edb
+                    .iter()
+                    .map(|(rel, ix)| (*rel, ix.get(&key)))
+                    .chain(idb.iter().map(|(rel, ix)| (*rel, ix.get(&key))))
+                {
+                    for &ti in positions {
+                        let t = rel.get(ti).expect("index in range");
+                        if Self::try_tuple(&mut self.env, &mut newly, exec.slots, t) {
+                            self.descend(depth + 1);
+                            for &n in &newly {
+                                self.env[n] = None;
+                            }
+                        }
+                    }
+                }
+                self.keys[depth] = key;
+            }
+        }
+        self.newly[depth] = newly;
+    }
+}

@@ -22,11 +22,14 @@
 //! ```
 
 mod ast;
+mod engine;
 mod eval;
+pub mod legacy;
 mod parse;
 
 pub use ast::{
     alpha_equivalent, normalize_singletons, Atom, Literal, Program, Rule, Term, WellFormedError,
 };
+pub use engine::Evaluator;
 pub use eval::{evaluate, EvalError};
 pub use parse::{parse_program, ParseError};

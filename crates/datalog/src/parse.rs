@@ -31,7 +31,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "datalog parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "datalog parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -129,7 +133,10 @@ impl Parser<'_> {
         loop {
             self.skip_ws();
             if self.eat(b'.') {
-                return Ok(Rule { heads, body: vec![] });
+                return Ok(Rule {
+                    heads,
+                    body: vec![],
+                });
             }
             if self.eat(b',') {
                 heads.push(self.atom()?);
@@ -286,10 +293,9 @@ mod tests {
 
     #[test]
     fn comments_are_skipped() {
-        let p = parse_program(
-            "// rule one\nA(x) :- B(x). // trailing\n// full line\nC(y) :- D(y).",
-        )
-        .unwrap();
+        let p =
+            parse_program("// rule one\nA(x) :- B(x). // trailing\n// full line\nC(y) :- D(y).")
+                .unwrap();
         assert_eq!(p.rules.len(), 2);
     }
 

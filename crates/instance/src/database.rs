@@ -100,7 +100,7 @@ impl Relation {
     pub fn project(&self, cols: &[usize]) -> HashSet<Vec<Value>> {
         self.order
             .iter()
-            .map(|t| cols.iter().map(|&c| t[c].clone()).collect())
+            .map(|t| cols.iter().map(|&c| t[c]).collect())
             .collect()
     }
 }
@@ -136,6 +136,14 @@ impl Database {
     /// Creates an empty database.
     pub fn new() -> Database {
         Database::default()
+    }
+
+    /// Builds a database directly from named relations (no per-tuple
+    /// re-hashing; later duplicates of a name replace earlier ones).
+    pub fn from_relations(relations: impl IntoIterator<Item = (String, Relation)>) -> Database {
+        Database {
+            relations: relations.into_iter().collect(),
+        }
     }
 
     /// Ensures relation `name` exists with the given arity and returns a
@@ -234,7 +242,7 @@ impl ColumnIndex {
     pub fn build(rel: &Relation, cols: &[usize]) -> ColumnIndex {
         let mut map: FxHashMap<Vec<Value>, Vec<usize>> = FxHashMap::default();
         for (i, t) in rel.iter().enumerate() {
-            let key: Vec<Value> = cols.iter().map(|&c| t[c].clone()).collect();
+            let key: Vec<Value> = cols.iter().map(|&c| t[c]).collect();
             match map.entry(key) {
                 Entry::Occupied(mut e) => e.get_mut().push(i),
                 Entry::Vacant(e) => {
@@ -266,7 +274,7 @@ mod tests {
         assert!(r.insert_values(t(&[3, 4])));
         assert!(!r.insert_values(t(&[1, 2])));
         assert_eq!(r.len(), 2);
-        let rows: Vec<_> = r.iter().map(|x| x[0].clone()).collect();
+        let rows: Vec<_> = r.iter().map(|x| x[0]).collect();
         assert_eq!(rows, vec![Value::Int(1), Value::Int(3)]);
     }
 

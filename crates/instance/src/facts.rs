@@ -107,15 +107,16 @@ pub fn to_facts_with(instance: &Instance, gen: &mut IdGen) -> Database {
         let attrs = schema.attrs(record_type);
         let mut tuple = Vec::with_capacity(attrs.len() + 1);
         if let Some(p) = parent {
-            tuple.push(p.clone());
+            tuple.push(*p);
         }
         for field in record.fields() {
             match field {
-                Field::Prim(v) => tuple.push(v.clone()),
-                Field::Children(_) => tuple.push(my_id.clone()),
+                Field::Prim(v) => tuple.push(*v),
+                Field::Children(_) => tuple.push(my_id),
             }
         }
-        db.relation_mut(record_type, tuple.len()).insert_values(tuple);
+        db.relation_mut(record_type, tuple.len())
+            .insert_values(tuple);
         for (attr, field) in attrs.iter().zip(record.fields()) {
             if let Field::Children(children) = field {
                 for c in children {
@@ -190,7 +191,7 @@ pub fn from_facts(facts: &Database, schema: Arc<Schema>) -> Result<Instance, Fac
                 };
                 fields.push(Field::Children(children));
             } else {
-                fields.push(Field::Prim(tuple[col].clone()));
+                fields.push(Field::Prim(tuple[col]));
             }
         }
         Record::with_fields(fields)
@@ -305,10 +306,7 @@ mod tests {
     fn ill_typed_facts_are_rejected() {
         let mut db = Database::new();
         // name column holds an Int — violates the schema.
-        db.insert(
-            "Univ",
-            vec![Value::Int(1), Value::Int(99), Value::Id(0)],
-        );
+        db.insert("Univ", vec![Value::Int(1), Value::Int(99), Value::Id(0)]);
         let err = from_facts(&db, schema()).unwrap_err();
         assert!(matches!(err, FactsError::Validation(_)));
     }
@@ -319,11 +317,7 @@ mod tests {
         let a = to_facts_with(&example_instance(), &mut gen);
         let b = to_facts_with(&example_instance(), &mut gen);
         let ids = |db: &Database| -> std::collections::HashSet<Value> {
-            db.relation("Univ")
-                .unwrap()
-                .iter()
-                .map(|t| t[2].clone())
-                .collect()
+            db.relation("Univ").unwrap().iter().map(|t| t[2]).collect()
         };
         assert!(ids(&a).is_disjoint(&ids(&b)));
     }

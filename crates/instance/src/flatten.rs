@@ -38,7 +38,7 @@ impl FlatTable {
     pub fn project(&self, cols: &[usize]) -> BTreeSet<Vec<Value>> {
         self.rows
             .iter()
-            .map(|r| cols.iter().map(|&c| r[c].clone()).collect())
+            .map(|r| cols.iter().map(|&c| r[c]).collect())
             .collect()
     }
 }
@@ -108,7 +108,7 @@ pub fn flatten(instance: &Instance) -> Flattened {
         for (attr, field) in schema.attrs(record_type).iter().zip(record.fields()) {
             if schema.is_prim(attr) {
                 if let Field::Prim(v) = field {
-                    row.push(v.clone());
+                    row.push(*v);
                 }
             }
         }

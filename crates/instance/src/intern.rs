@@ -1,0 +1,192 @@
+//! Global string interner backing [`Value::Str`](crate::Value::Str).
+//!
+//! Datalog evaluation compares and hashes string constants constantly:
+//! every join key, every deduplication probe, every negation check. With
+//! `Arc<str>` payloads each of those walks the string bytes; interning
+//! replaces the payload with a dense `u32` [`Symbol`] so tuples compare
+//! and hash wordwise and `Value` becomes `Copy`.
+//!
+//! The interner is process-global (symbols must mean the same string in
+//! every [`Database`](crate::Database), or cross-database comparison would
+//! be unsound) and append-only: interned strings are leaked once and live
+//! for the process lifetime, which is exactly the lifetime the synthesis
+//! workload needs — the same benchmark constants are re-used by hundreds
+//! of candidate evaluations.
+
+use std::fmt;
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use crate::hash::FxHashMap;
+
+/// An interned string: a dense index into the global intern table.
+///
+/// Equality and hashing are on the `u32` index; ordering resolves the
+/// underlying strings so sort order matches the pre-interning `Arc<str>`
+/// behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Symbol(u32);
+
+// Resolution (`Symbol::as_str`) is on the hot path of ordered
+// comparisons (`FlatTable`'s BTreeSets), `Display`, and the writers, so
+// it must not take a lock. Symbols index into a chunked, append-only
+// side table: a fixed array of chunk pointers, each chunk a fixed array
+// of slots holding a pointer to a leaked `&'static str` holder. Chunks
+// and slots are only ever written under the intern mutex and published
+// with release stores, so a reader holding a `Symbol` (whose id it can
+// only have received after the slot was written) loads the slot with
+// acquire and dereferences without synchronization.
+const CHUNK_SIZE: usize = 1 << 12;
+const NUM_CHUNKS: usize = 1 << 12; // 16.7M distinct strings max
+
+type Chunk = [AtomicPtr<&'static str>; CHUNK_SIZE];
+
+static CHUNKS: [AtomicPtr<Chunk>; NUM_CHUNKS] =
+    [const { AtomicPtr::new(ptr::null_mut()) }; NUM_CHUNKS];
+
+/// Writer-side state: the string→id map (ids are allocated densely).
+fn interner() -> &'static Mutex<FxHashMap<&'static str, u32>> {
+    static INTERNER: OnceLock<Mutex<FxHashMap<&'static str, u32>>> = OnceLock::new();
+    INTERNER.get_or_init(|| Mutex::new(FxHashMap::default()))
+}
+
+impl Symbol {
+    /// Interns `s`, returning its symbol. Idempotent: the same string
+    /// always yields the same symbol.
+    pub fn intern(s: &str) -> Symbol {
+        let mut map = interner().lock().expect("interner poisoned");
+        if let Some(&id) = map.get(s) {
+            return Symbol(id);
+        }
+        let id = u32::try_from(map.len()).expect("interner overflow");
+        let (chunk_i, slot_i) = (id as usize / CHUNK_SIZE, id as usize % CHUNK_SIZE);
+        assert!(chunk_i < NUM_CHUNKS, "interner overflow");
+        let mut chunk_ptr = CHUNKS[chunk_i].load(Ordering::Acquire);
+        if chunk_ptr.is_null() {
+            // Only writers allocate chunks, and we hold the intern lock.
+            let fresh: Box<Chunk> =
+                Box::new([const { AtomicPtr::new(ptr::null_mut()) }; CHUNK_SIZE]);
+            chunk_ptr = Box::leak(fresh);
+            CHUNKS[chunk_i].store(chunk_ptr, Ordering::Release);
+        }
+        let leaked: &'static str = Box::leak(s.into());
+        let holder: &'static &'static str = Box::leak(Box::new(leaked));
+        // SAFETY: chunk_ptr is non-null and points to a leaked Chunk.
+        let chunk: &Chunk = unsafe { &*chunk_ptr };
+        chunk[slot_i].store(holder as *const _ as *mut _, Ordering::Release);
+        map.insert(leaked, id);
+        Symbol(id)
+    }
+
+    /// The interned string, resolved lock-free. Interned strings live for
+    /// the process lifetime, hence the `'static` borrow.
+    pub fn as_str(self) -> &'static str {
+        let (chunk_i, slot_i) = (self.0 as usize / CHUNK_SIZE, self.0 as usize % CHUNK_SIZE);
+        let chunk_ptr = CHUNKS[chunk_i].load(Ordering::Acquire);
+        // SAFETY: a `Symbol` can only be obtained from `intern`, which
+        // published this chunk and slot (release) before returning the id;
+        // receiving the Symbol on another thread implies the necessary
+        // happens-before edge, and the acquire loads pair with the
+        // release stores for direct racing access.
+        let slots: &Chunk = unsafe { &*chunk_ptr };
+        let holder = slots[slot_i].load(Ordering::Acquire);
+        unsafe { *holder.cast_const() }
+    }
+
+    /// The raw index (useful for dense side tables).
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl PartialOrd for Symbol {
+    fn partial_cmp(&self, other: &Symbol) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Symbol {
+    fn cmp(&self, other: &Symbol) -> std::cmp::Ordering {
+        if self.0 == other.0 {
+            std::cmp::Ordering::Equal
+        } else {
+            self.as_str().cmp(other.as_str())
+        }
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+}
+
+impl std::ops::Deref for Symbol {
+    type Target = str;
+
+    fn deref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let a = Symbol::intern("hello-intern-test");
+        let b = Symbol::intern("hello-intern-test");
+        assert_eq!(a, b);
+        assert_eq!(a.as_str(), "hello-intern-test");
+    }
+
+    #[test]
+    fn distinct_strings_distinct_symbols() {
+        assert_ne!(Symbol::intern("alpha-x"), Symbol::intern("alpha-y"));
+    }
+
+    #[test]
+    fn ordering_is_string_order() {
+        // Intern in reverse lexicographic order so index order and string
+        // order disagree.
+        let b = Symbol::intern("zz-order-test");
+        let a = Symbol::intern("aa-order-test");
+        assert!(a < b);
+        assert!(a <= a);
+    }
+
+    #[test]
+    fn deref_gives_str_methods() {
+        let s = Symbol::intern("has,comma");
+        assert!(s.contains(','));
+        assert_eq!(&*s, "has,comma");
+    }
+
+    #[test]
+    fn cross_thread_resolution() {
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    for i in 0..500 {
+                        let s = format!("thread-{}-{}", t % 2, i);
+                        let sym = Symbol::intern(&s);
+                        assert_eq!(sym.as_str(), s);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("no panics");
+        }
+        // Duplicate interning across threads converged on one id.
+        assert_eq!(Symbol::intern("thread-0-0"), Symbol::intern("thread-0-0"));
+    }
+}

@@ -141,9 +141,7 @@ fn parse_record(p: &mut Lexer, schema: &Schema, record_type: &str) -> Result<Rec
         .zip(attrs)
         .map(|(f, a)| {
             f.ok_or_else(|| {
-                JsonError::Schema(format!(
-                    "record `{record_type}` is missing attribute `{a}`"
-                ))
+                JsonError::Schema(format!("record `{record_type}` is missing attribute `{a}`"))
             })
         })
         .collect::<Result<Vec<_>, _>>()?;
@@ -191,7 +189,7 @@ fn write_record(schema: &Schema, record_type: &str, r: &Record, indent: usize, o
         first = false;
         match field {
             Field::Prim(v) => match v {
-                Value::Str(s) => out.push_str(&format!("{attr:?}: {:?}", s.as_ref())),
+                Value::Str(s) => out.push_str(&format!("{attr:?}: {:?}", s.as_str())),
                 other => out.push_str(&format!("{attr:?}: {other}")),
             },
             Field::Children(children) => {
@@ -284,8 +282,7 @@ impl Lexer<'_> {
                                 .get(self.pos + 1..self.pos + 5)
                                 .ok_or_else(|| self.err("truncated \\u escape"))?;
                             let code = u32::from_str_radix(
-                                std::str::from_utf8(hex)
-                                    .map_err(|_| self.err("bad \\u escape"))?,
+                                std::str::from_utf8(hex).map_err(|_| self.err("bad \\u escape"))?,
                                 16,
                             )
                             .map_err(|_| self.err("bad \\u escape"))?;
@@ -315,7 +312,7 @@ impl Lexer<'_> {
     fn value(&mut self) -> Result<Value, JsonError> {
         self.skip_ws();
         match self.peek() {
-            Some(b'"') => Ok(Value::Str(self.string()?.into())),
+            Some(b'"') => Ok(Value::str(self.string()?)),
             Some(b't') => {
                 self.keyword("true")?;
                 Ok(Value::Bool(true))
@@ -335,8 +332,8 @@ impl Lexer<'_> {
                 if matches!(self.peek(), Some(b'.') | Some(b'e') | Some(b'E')) {
                     return Err(self.err("floating-point numbers are not supported"));
                 }
-                let text = std::str::from_utf8(&self.src[start..self.pos])
-                    .expect("digits are ASCII");
+                let text =
+                    std::str::from_utf8(&self.src[start..self.pos]).expect("digits are ASCII");
                 text.parse::<i64>()
                     .map(Value::Int)
                     .map_err(|_| self.err("integer out of range"))
@@ -382,10 +379,7 @@ mod tests {
         let inst = parse_document(DOC, schema()).unwrap();
         assert_eq!(inst.records("Univ").len(), 2);
         assert_eq!(inst.num_records(), 6);
-        assert_eq!(
-            inst.records("Univ")[0].prim(1),
-            Some(&Value::str("U1"))
-        );
+        assert_eq!(inst.records("Univ")[0].prim(1), Some(&Value::str("U1")));
     }
 
     #[test]

@@ -51,14 +51,16 @@ mod database;
 mod facts;
 mod flatten;
 pub mod hash;
+mod intern;
 mod json;
 mod record;
 mod value;
 
 pub use database::{ColumnIndex, Database, Relation, Tuple};
-pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use facts::{from_facts, to_facts, FactsError, IdGen};
 pub use flatten::{FlatTable, Flattened};
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use intern::Symbol;
 pub use json::{parse_document, write_document, JsonError};
 pub use record::{Field, Instance, InstanceError, Record};
 pub use value::Value;

@@ -100,10 +100,7 @@ impl fmt::Display for InstanceError {
                 record,
                 expected,
                 got,
-            } => write!(
-                f,
-                "record `{record}` expects {expected} fields, got {got}"
-            ),
+            } => write!(f, "record `{record}` expects {expected} fields, got {got}"),
             InstanceError::FieldType { record, attr } => {
                 write!(f, "field `{attr}` of record `{record}` has the wrong type")
             }
@@ -259,7 +256,8 @@ mod tests {
     #[test]
     fn insert_and_query() {
         let mut inst = Instance::new(schema());
-        inst.insert("Univ", univ(1, "U1", &[(1, 10), (2, 50)])).unwrap();
+        inst.insert("Univ", univ(1, "U1", &[(1, 10), (2, 50)]))
+            .unwrap();
         assert_eq!(inst.records("Univ").len(), 1);
         assert_eq!(inst.num_records(), 3);
         let r = &inst.records("Univ")[0];
@@ -270,7 +268,9 @@ mod tests {
     #[test]
     fn rejects_wrong_record_type() {
         let mut inst = Instance::new(schema());
-        let err = inst.insert("Admit", Record::from_values(vec![])).unwrap_err();
+        let err = inst
+            .insert("Admit", Record::from_values(vec![]))
+            .unwrap_err();
         assert_eq!(err, InstanceError::UnknownRecordType("Admit".into()));
     }
 

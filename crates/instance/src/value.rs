@@ -1,17 +1,22 @@
 use std::fmt;
-use std::sync::Arc;
+
+use crate::intern::Symbol;
 
 /// A Datalog constant / primitive field value.
 ///
 /// Synthetic record identifiers ([`Value::Id`]) are generated during the
 /// instance→facts translation (§3.3) and deliberately form a type of their
 /// own so that they can never collide with integer data.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+///
+/// Strings are interned ([`Symbol`]): every `Value` is a `Copy` word pair,
+/// so tuples compare and hash without touching string bytes — the property
+/// the evaluator's join keys and deduplication sets rely on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Value {
     /// A 64-bit integer.
     Int(i64),
-    /// A UTF-8 string (cheaply clonable).
-    Str(Arc<str>),
+    /// An interned UTF-8 string.
+    Str(Symbol),
     /// A boolean.
     Bool(bool),
     /// A synthetic record identifier (`Id(r)` in §3.3).
@@ -21,13 +26,13 @@ pub enum Value {
 impl Value {
     /// Convenience constructor for string values.
     pub fn str(s: impl AsRef<str>) -> Value {
-        Value::Str(Arc::from(s.as_ref()))
+        Value::Str(Symbol::intern(s.as_ref()))
     }
 
     /// Returns the inner string if this is a string value.
     pub fn as_str(&self) -> Option<&str> {
         match self {
-            Value::Str(s) => Some(s),
+            Value::Str(s) => Some(s.as_str()),
             _ => None,
         }
     }
@@ -56,6 +61,40 @@ impl Value {
             Value::Id(_) => None,
         }
     }
+
+    /// Variant rank used to keep the `Ord` impl aligned with the historic
+    /// derive order (`Int < Str < Bool < Id`).
+    fn rank(&self) -> u8 {
+        match self {
+            Value::Int(_) => 0,
+            Value::Str(_) => 1,
+            Value::Bool(_) => 2,
+            Value::Id(_) => 3,
+        }
+    }
+}
+
+// Ordering is implemented by hand because interned symbols order by table
+// index, while `Value` ordering must stay observable-equivalent to the
+// previous `Str(Arc<str>)` representation (lexicographic on the string).
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Value) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Value) -> std::cmp::Ordering {
+        self.rank()
+            .cmp(&other.rank())
+            .then_with(|| match (self, other) {
+                (Value::Int(a), Value::Int(b)) => a.cmp(b),
+                (Value::Str(a), Value::Str(b)) => a.cmp(b),
+                (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+                (Value::Id(a), Value::Id(b)) => a.cmp(b),
+                _ => unreachable!("equal ranks imply equal variants"),
+            })
+    }
 }
 
 impl From<i64> for Value {
@@ -78,7 +117,7 @@ impl From<&str> for Value {
 
 impl From<String> for Value {
     fn from(s: String) -> Value {
-        Value::Str(Arc::from(s.as_str()))
+        Value::str(s)
     }
 }
 
@@ -92,7 +131,7 @@ impl fmt::Display for Value {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Value::Int(i) => write!(f, "{i}"),
-            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Str(s) => write!(f, "{:?}", s.as_str()),
             Value::Bool(b) => write!(f, "{b}"),
             Value::Id(i) => write!(f, "#{i}"),
         }
@@ -126,5 +165,23 @@ mod tests {
         assert_eq!(Value::str("a\"b").to_string(), "\"a\\\"b\"");
         assert_eq!(Value::Id(7).to_string(), "#7");
         assert_eq!(Value::Bool(false).to_string(), "false");
+    }
+
+    #[test]
+    fn ordering_matches_pre_interning_semantics() {
+        // Within strings: lexicographic, regardless of intern order.
+        let z = Value::str("z-value-ord");
+        let a = Value::str("a-value-ord");
+        assert!(a < z);
+        // Across variants: Int < Str < Bool < Id (historic derive order).
+        assert!(Value::Int(i64::MAX) < Value::str("a"));
+        assert!(Value::str("z") < Value::Bool(false));
+        assert!(Value::Bool(true) < Value::Id(0));
+    }
+
+    #[test]
+    fn interned_equality_is_string_equality() {
+        assert_eq!(Value::str(String::from("dup")), Value::str("dup"));
+        assert_ne!(Value::str("dup"), Value::str("dup2"));
     }
 }

@@ -72,9 +72,7 @@ mod tests {
 
     #[test]
     fn relational_renders_csv() {
-        let schema = Arc::new(
-            Schema::parse("@relational T { a: Int, b: String }").unwrap(),
-        );
+        let schema = Arc::new(Schema::parse("@relational T { a: Int, b: String }").unwrap());
         let mut inst = Instance::new(schema);
         inst.insert("T", Record::from_values(vec![1.into(), "x,y".into()]))
             .unwrap();
@@ -86,25 +84,23 @@ mod tests {
 
     #[test]
     fn document_renders_json() {
-        let schema = Arc::new(
-            Schema::parse("@document D { k: Int }").unwrap(),
-        );
+        let schema = Arc::new(Schema::parse("@document D { k: Int }").unwrap());
         let mut inst = Instance::new(schema.clone());
-        inst.insert("D", Record::from_values(vec![5.into()])).unwrap();
+        inst.insert("D", Record::from_values(vec![5.into()]))
+            .unwrap();
         let files = render(&inst);
         assert!(files.contains_key("document.json"));
-        let parsed =
-            dynamite_instance::parse_document(&files["document.json"], schema).unwrap();
+        let parsed = dynamite_instance::parse_document(&files["document.json"], schema).unwrap();
         assert!(parsed.canon_eq(&inst));
     }
 
     #[test]
     fn graph_renders_tables() {
-        let schema = Arc::new(
-            Schema::parse("@graph N { nid: Int } E { src: Int, dst: Int }").unwrap(),
-        );
+        let schema =
+            Arc::new(Schema::parse("@graph N { nid: Int } E { src: Int, dst: Int }").unwrap());
         let mut inst = Instance::new(schema);
-        inst.insert("N", Record::from_values(vec![1.into()])).unwrap();
+        inst.insert("N", Record::from_values(vec![1.into()]))
+            .unwrap();
         inst.insert("E", Record::from_values(vec![1.into(), 1.into()]))
             .unwrap();
         let files = render(&inst);

@@ -53,11 +53,7 @@ impl SchemaBuilder {
     }
 
     /// Adds a top-level record type.
-    pub fn record(
-        mut self,
-        name: &str,
-        f: impl FnOnce(RecordBuilder) -> RecordBuilder,
-    ) -> Self {
+    pub fn record(mut self, name: &str, f: impl FnOnce(RecordBuilder) -> RecordBuilder) -> Self {
         let rb = f(RecordBuilder::new(name));
         self.top_level.push(name.to_string());
         rb.install(&mut self.defs, &mut self.duplicate);
@@ -87,7 +83,9 @@ impl SchemaBuilder {
         props: &[(&str, PrimType)],
     ) -> Self {
         self.record(name, |mut r| {
-            r = r.prim(src_attr, PrimType::Int).prim(dst_attr, PrimType::Int);
+            r = r
+                .prim(src_attr, PrimType::Int)
+                .prim(dst_attr, PrimType::Int);
             for (p, t) in props {
                 r = r.prim(p, *t);
             }

@@ -178,11 +178,7 @@ impl Parser<'_> {
                 self.pos += 1;
             }
         }
-        if defs
-            .insert(name.clone(), TypeDef::Record(attrs))
-            .is_some()
-            && duplicate.is_none()
-        {
+        if defs.insert(name.clone(), TypeDef::Record(attrs)).is_some() && duplicate.is_none() {
             *duplicate = Some(name.clone());
         }
         Ok(name)

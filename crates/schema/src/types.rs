@@ -147,11 +147,7 @@ impl Schema {
         // Deterministic record order: top-level records in declaration
         // order, each followed by its nested records depth-first.
         let mut record_order = Vec::new();
-        fn visit(
-            name: &str,
-            defs: &HashMap<String, TypeDef>,
-            out: &mut Vec<String>,
-        ) {
+        fn visit(name: &str, defs: &HashMap<String, TypeDef>, out: &mut Vec<String>) {
             if let Some(TypeDef::Record(attrs)) = defs.get(name) {
                 out.push(name.to_string());
                 for a in attrs {

@@ -232,10 +232,7 @@ impl FdSolver {
     /// Natural logarithm of the size of the raw search space (the product
     /// of domain sizes) — the paper's "Search Space" column.
     pub fn ln_search_space(&self) -> f64 {
-        self.vars
-            .iter()
-            .map(|v| (v.domain.len() as f64).ln())
-            .sum()
+        self.vars.iter().map(|v| (v.domain.len() as f64).ln()).sum()
     }
 
     fn the_false_lit(&mut self) -> Lit {
@@ -385,10 +382,7 @@ mod tests {
 
     fn setup() -> (FdSolver, Vec<ConstId>) {
         let mut s = FdSolver::new();
-        let cs = ["a", "b", "c", "d"]
-            .iter()
-            .map(|n| s.constant(n))
-            .collect();
+        let cs = ["a", "b", "c", "d"].iter().map(|n| s.constant(n)).collect();
         (s, cs)
     }
 
@@ -491,10 +485,7 @@ mod tests {
     #[test]
     fn empty_domain_rejected() {
         let mut s = FdSolver::new();
-        assert!(matches!(
-            s.new_var("x", &[]),
-            Err(FdError::EmptyDomain(_))
-        ));
+        assert!(matches!(s.new_var("x", &[]), Err(FdError::EmptyDomain(_))));
     }
 
     #[test]

@@ -445,11 +445,7 @@ impl SatSolver {
                 match self.decide() {
                     None => {
                         // Full assignment: record the model, reset to level 0.
-                        self.model = self
-                            .assign
-                            .iter()
-                            .map(|&a| a == LBool::True)
-                            .collect();
+                        self.model = self.assign.iter().map(|&a| a == LBool::True).collect();
                         self.cancel_until(0);
                         return true;
                     }
@@ -636,7 +632,9 @@ mod tests {
         // model must satisfy every clause.
         let mut seed = 0xdeadbeefu64;
         let mut rng = move || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (seed >> 33) as usize
         };
         for _ in 0..20 {

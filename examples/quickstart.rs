@@ -61,8 +61,7 @@ fn main() {
     );
 
     // 4. Migrate the (here: same) source instance.
-    let (migrated, report) =
-        migrate(&result.program, &input, target).expect("migration succeeds");
+    let (migrated, report) = migrate(&result.program, &input, target).expect("migration succeeds");
     println!(
         "Migrated {} source records into {} target records in {:?}:",
         report.records_in,

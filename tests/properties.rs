@@ -1,9 +1,15 @@
-//! Cross-crate property-based tests (proptest) on the core invariants
-//! listed in DESIGN.md.
+//! Cross-crate property-based tests on the core invariants listed in
+//! DESIGN.md.
+//!
+//! The build environment is offline, so instead of `proptest` these use
+//! hand-rolled generators over the vendored deterministic [`rand`] shim:
+//! each property runs a fixed number of seeded cases, and failures report
+//! the seed for replay.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-use dynamite::datalog::{evaluate, Program};
+use dynamite::datalog::{evaluate, legacy, Evaluator, Program};
 use dynamite::instance::{from_facts, to_facts, Database, Instance, Record, Value};
 use dynamite::schema::Schema;
 use dynamite::smt::{FdLit, FdSolver, Lit, SatSolver};
@@ -11,13 +17,25 @@ use std::sync::Arc;
 
 // ---------------------------------------------------------------- SAT --
 
-/// A small CNF: clauses over `nvars` variables, literals as signed ints.
-fn cnf_strategy(nvars: usize) -> impl Strategy<Value = Vec<Vec<i32>>> {
-    let lit = (1..=nvars as i32).prop_flat_map(|v| {
-        prop_oneof![Just(v), Just(-v)]
-    });
-    let clause = prop::collection::vec(lit, 1..4);
-    prop::collection::vec(clause, 0..12)
+/// A small random CNF: clauses over `nvars` variables, literals as signed
+/// ints (like DIMACS).
+fn random_cnf(rng: &mut StdRng, nvars: usize) -> Vec<Vec<i32>> {
+    let nclauses = rng.gen_range(0..12);
+    (0..nclauses)
+        .map(|_| {
+            let len = rng.gen_range(1..4);
+            (0..len)
+                .map(|_| {
+                    let v = rng.gen_range(1..=nvars as i32);
+                    if rng.gen_bool(0.5) {
+                        v
+                    } else {
+                        -v
+                    }
+                })
+                .collect()
+        })
+        .collect()
 }
 
 fn brute_force_sat(nvars: usize, cnf: &[Vec<i32>]) -> bool {
@@ -36,14 +54,14 @@ fn brute_force_sat(nvars: usize, cnf: &[Vec<i32>]) -> bool {
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// CDCL agrees with brute force on small CNFs, and SAT models satisfy
-    /// every clause.
-    #[test]
-    fn sat_matches_brute_force(cnf in cnf_strategy(6)) {
-        let nvars = 6usize;
+/// CDCL agrees with brute force on small CNFs, and SAT models satisfy
+/// every clause.
+#[test]
+fn sat_matches_brute_force() {
+    let nvars = 6usize;
+    for seed in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cnf = random_cnf(&mut rng, nvars);
         let mut s = SatSolver::new();
         let vars: Vec<_> = (0..nvars).map(|_| s.new_var()).collect();
         let mut ok = true;
@@ -52,48 +70,59 @@ proptest! {
                 .iter()
                 .map(|&l| {
                     let v = vars[(l.unsigned_abs() - 1) as usize];
-                    if l > 0 { Lit::pos(v) } else { Lit::neg(v) }
+                    if l > 0 {
+                        Lit::pos(v)
+                    } else {
+                        Lit::neg(v)
+                    }
                 })
                 .collect();
             ok &= s.add_clause(&lits);
         }
         let sat = ok && s.solve();
-        prop_assert_eq!(sat, brute_force_sat(nvars, &cnf));
+        assert_eq!(sat, brute_force_sat(nvars, &cnf), "seed {seed}: {cnf:?}");
         if sat {
             for c in &cnf {
                 let satisfied = c.iter().any(|&l| {
                     let val = s.model_value(vars[(l.unsigned_abs() - 1) as usize]);
-                    if l > 0 { val } else { !val }
+                    if l > 0 {
+                        val
+                    } else {
+                        !val
+                    }
                 });
-                prop_assert!(satisfied);
+                assert!(satisfied, "seed {seed}: model violates {c:?}");
             }
         }
     }
+}
 
-    /// Every model returned by the finite-domain layer satisfies every
-    /// clause that was added.
-    #[test]
-    fn fd_models_satisfy_clauses(
-        doms in prop::collection::vec(1usize..4, 2..5),
-        clause_specs in prop::collection::vec(
-            prop::collection::vec((0usize..4, 0usize..6, prop::bool::ANY), 1..3),
-            0..6,
-        ),
-    ) {
+/// Every model returned by the finite-domain layer satisfies every clause
+/// that was added.
+#[test]
+fn fd_models_satisfy_clauses() {
+    for seed in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(1000 + seed);
         let mut s = FdSolver::new();
         let consts: Vec<_> = (0..6).map(|i| s.constant(&format!("k{i}"))).collect();
-        let vars: Vec<_> = doms
-            .iter()
-            .enumerate()
-            .map(|(i, &d)| s.new_var(&format!("x{i}"), &consts[..d.max(1)]).expect("var"))
+        let nvars = rng.gen_range(2..5);
+        let vars: Vec<_> = (0..nvars)
+            .map(|i| {
+                let d = rng.gen_range(1usize..4);
+                s.new_var(&format!("x{i}"), &consts[..d]).expect("var")
+            })
             .collect();
         let mut clauses = Vec::new();
-        for spec in &clause_specs {
-            let clause: Vec<FdLit> = spec
-                .iter()
-                .map(|&(v, c, neg)| {
-                    let x = vars[v % vars.len()];
-                    if neg { FdLit::Ne(x, consts[c]) } else { FdLit::Eq(x, consts[c]) }
+        for _ in 0..rng.gen_range(0..6) {
+            let clause: Vec<FdLit> = (0..rng.gen_range(1..3))
+                .map(|_| {
+                    let x = vars[rng.gen_range(0..vars.len())];
+                    let c = consts[rng.gen_range(0..consts.len())];
+                    if rng.gen_bool(0.5) {
+                        FdLit::Ne(x, c)
+                    } else {
+                        FdLit::Eq(x, c)
+                    }
                 })
                 .collect();
             s.add_clause(&clause).expect("add");
@@ -101,7 +130,7 @@ proptest! {
         }
         if let Some(model) = s.solve() {
             for c in &clauses {
-                prop_assert!(model.satisfies_clause(c));
+                assert!(model.satisfies_clause(c), "seed {seed}: {c:?}");
             }
         }
     }
@@ -109,7 +138,33 @@ proptest! {
 
 // ----------------------------------------------------- instance/facts --
 
-fn nested_instance_strategy() -> impl Strategy<Value = Instance> {
+fn random_nested_instance(rng: &mut StdRng, schema: &Arc<Schema>) -> Instance {
+    let mut inst = Instance::new(schema.clone());
+    let word = |rng: &mut StdRng| {
+        let len = rng.gen_range(1..5);
+        let s: String = (0..len)
+            .map(|_| char::from(b'a' + rng.gen_range(0u8..26)))
+            .collect();
+        Value::str(s)
+    };
+    for _ in 0..rng.gen_range(0..6) {
+        let children: Vec<Record> = (0..rng.gen_range(0..4))
+            .map(|_| Record::from_values(vec![Value::Int(rng.gen_range(0i64..50)), word(rng)]))
+            .collect();
+        let parent = Record::with_fields(vec![
+            Value::Int(rng.gen_range(0i64..50)).into(),
+            word(rng).into(),
+            children.into(),
+        ]);
+        inst.insert("Parent", parent).expect("valid record");
+    }
+    inst
+}
+
+/// instance → facts → instance is the identity up to canonical flattening
+/// (§3.3 round trip).
+#[test]
+fn facts_round_trip() {
     let schema = Arc::new(
         Schema::parse(
             "@document
@@ -117,101 +172,237 @@ fn nested_instance_strategy() -> impl Strategy<Value = Instance> {
         )
         .expect("valid schema"),
     );
-    let child = (0i64..50, "[a-z]{1,4}")
-        .prop_map(|(k, v)| Record::from_values(vec![k.into(), v.as_str().into()]));
-    let parent = (0i64..50, "[a-z]{1,4}", prop::collection::vec(child, 0..4)).prop_map(
-        |(k, n, children)| {
-            Record::with_fields(vec![
-                Value::Int(k).into(),
-                Value::str(n).into(),
-                children.into(),
-            ])
-        },
-    );
-    prop::collection::vec(parent, 0..6).prop_map(move |parents| {
-        let mut inst = Instance::new(schema.clone());
-        for p in parents {
-            inst.insert("Parent", p).expect("valid record");
-        }
-        inst
-    })
+    for seed in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(2000 + seed);
+        let inst = random_nested_instance(&mut rng, &schema);
+        let back = from_facts(&to_facts(&inst), inst.schema().clone()).expect("round trip");
+        assert!(inst.canon_eq(&back), "seed {seed}");
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// instance → facts → instance is the identity up to canonical
-    /// flattening (§3.3 round trip).
-    #[test]
-    fn facts_round_trip(inst in nested_instance_strategy()) {
-        let back = from_facts(&to_facts(&inst), inst.schema().clone()).expect("round trip");
-        prop_assert!(inst.canon_eq(&back));
-    }
-
-    /// Positive Datalog is monotone: adding input facts never removes
-    /// output facts.
-    #[test]
-    fn datalog_monotone(
-        edges in prop::collection::vec((0i64..8, 0i64..8), 0..12),
-        extra in prop::collection::vec((0i64..8, 0i64..8), 0..4),
-    ) {
-        let program = Program::parse(
-            "Path(x, y) :- Edge(x, y).
-             Path(x, z) :- Path(x, y), Edge(y, z).",
-        ).expect("parses");
+/// Positive Datalog is monotone: adding input facts never removes output
+/// facts.
+#[test]
+fn datalog_monotone() {
+    let program = Program::parse(
+        "Path(x, y) :- Edge(x, y).
+         Path(x, z) :- Path(x, y), Edge(y, z).",
+    )
+    .expect("parses");
+    for seed in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(3000 + seed);
         let mut small = Database::new();
-        for (a, b) in &edges {
-            small.insert("Edge", vec![(*a).into(), (*b).into()]);
+        for _ in 0..rng.gen_range(0..12) {
+            small.insert(
+                "Edge",
+                vec![rng.gen_range(0i64..8).into(), rng.gen_range(0i64..8).into()],
+            );
         }
         let mut big = small.clone();
-        for (a, b) in &extra {
-            big.insert("Edge", vec![(*a).into(), (*b).into()]);
+        for _ in 0..rng.gen_range(0..4) {
+            big.insert(
+                "Edge",
+                vec![rng.gen_range(0i64..8).into(), rng.gen_range(0i64..8).into()],
+            );
         }
         let out_small = evaluate(&program, &small).expect("eval");
         let out_big = evaluate(&program, &big).expect("eval");
         for t in out_small.relation("Path").expect("path").iter() {
-            prop_assert!(out_big.relation("Path").expect("path").contains(t));
+            assert!(
+                out_big.relation("Path").expect("path").contains(t),
+                "seed {seed}"
+            );
         }
     }
 }
 
 // ------------------------------------------------------------ analyze --
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Every MDP returned by `mdp_set` distinguishes the tables and is
-    /// minimal (Definition 1).
-    #[test]
-    fn mdps_distinguish_and_are_minimal(
-        rows_a in prop::collection::btree_set(
-            prop::collection::vec(0i64..3, 3..=3), 1..6),
-        rows_b in prop::collection::btree_set(
-            prop::collection::vec(0i64..3, 3..=3), 1..6),
-    ) {
-        use dynamite::core::mdp_set;
-        use dynamite::instance::FlatTable;
-        let mk = |rows: &std::collections::BTreeSet<Vec<i64>>| FlatTable {
+/// Every MDP returned by `mdp_set` distinguishes the tables and is
+/// minimal (Definition 1).
+#[test]
+fn mdps_distinguish_and_are_minimal() {
+    use dynamite::core::mdp_set;
+    use dynamite::instance::FlatTable;
+    for seed in 0..32u64 {
+        let mut rng = StdRng::seed_from_u64(4000 + seed);
+        let random_table = |rng: &mut StdRng| FlatTable {
             columns: vec!["a".into(), "b".into(), "c".into()],
-            rows: rows
-                .iter()
-                .map(|r| r.iter().map(|&v| Value::Int(v)).collect())
+            rows: (0..rng.gen_range(1..6))
+                .map(|_| (0..3).map(|_| Value::Int(rng.gen_range(0i64..3))).collect())
                 .collect(),
         };
-        let (ta, tb) = (mk(&rows_a), mk(&rows_b));
-        prop_assume!(ta != tb);
+        let ta = random_table(&mut rng);
+        let tb = random_table(&mut rng);
+        if ta == tb {
+            continue;
+        }
         let result = mdp_set(&ta, &tb, 10_000);
-        prop_assert!(!result.budget_exhausted);
+        assert!(!result.budget_exhausted, "seed {seed}");
         for mdp in &result.mdps {
             let cols: Vec<usize> = mdp.iter().copied().collect();
-            prop_assert_ne!(ta.project(&cols), tb.project(&cols));
+            assert_ne!(ta.project(&cols), tb.project(&cols), "seed {seed}");
             for &drop in mdp {
-                let sub: Vec<usize> =
-                    mdp.iter().copied().filter(|&c| c != drop).collect();
+                let sub: Vec<usize> = mdp.iter().copied().filter(|&c| c != drop).collect();
                 if !sub.is_empty() {
-                    prop_assert_eq!(ta.project(&sub), tb.project(&sub));
+                    assert_eq!(ta.project(&sub), tb.project(&sub), "seed {seed}");
                 }
             }
+        }
+    }
+}
+
+// ------------------------------------- evaluator differential testing --
+
+/// Generates a random stratified program over EDB relations `E1(2)`,
+/// `E2(1)`, `E3(3)` and IDB relations `I0(1)`, `I1(2)`, `I2(2)` with
+/// strata 0 ≤ 1 ≤ 2: bodies draw positive literals from the EDB and from
+/// IDB relations of an equal or lower stratum (recursion allowed), and
+/// negated literals only from strictly lower strata, so the result is
+/// stratifiable by construction. Heads are range-restricted (every head
+/// var occurs in a positive body literal) and negated literals only use
+/// bound variables, constants, and wildcards.
+fn random_stratified_program(rng: &mut StdRng) -> Program {
+    const EDB: [(&str, usize); 3] = [("E1", 2), ("E2", 1), ("E3", 3)];
+    const IDB: [(&str, usize); 3] = [("I0", 1), ("I1", 2), ("I2", 2)];
+    let vars = ["x", "y", "z", "w"];
+    let consts = ["1", "2", "\"a\"", "\"b\""];
+
+    let mut rules = Vec::new();
+    for (stratum, &(head, head_arity)) in IDB.iter().enumerate() {
+        for _ in 0..rng.gen_range(1..=2) {
+            // Positive body literals: EDB, or IDB with stratum ≤ this one.
+            let mut body = Vec::new();
+            let mut bound: Vec<&str> = Vec::new();
+            for _ in 0..rng.gen_range(1..=3) {
+                let pool_extra = stratum + 1; // IDB[0..=stratum] allowed
+                let pick = rng.gen_range(0..EDB.len() + pool_extra);
+                let (rel, arity) = if pick < EDB.len() {
+                    EDB[pick]
+                } else {
+                    IDB[pick - EDB.len()]
+                };
+                let terms: Vec<String> = (0..arity)
+                    .map(|_| match rng.gen_range(0..10) {
+                        0 => consts[rng.gen_range(0..consts.len())].to_string(),
+                        1 => "_".to_string(),
+                        _ => {
+                            let v = vars[rng.gen_range(0..vars.len())];
+                            bound.push(v);
+                            v.to_string()
+                        }
+                    })
+                    .collect();
+                body.push(format!("{rel}({})", terms.join(", ")));
+            }
+            if bound.is_empty() {
+                // Ensure at least one bound variable for the head.
+                body.push("E2(x)".to_string());
+                bound.push("x");
+            }
+            // Optionally one negated literal over a strictly lower
+            // stratum (or the EDB), using only bound vars / consts / _.
+            if rng.gen_bool(0.4) {
+                let pick = rng.gen_range(0..EDB.len() + stratum);
+                let (rel, arity) = if pick < EDB.len() {
+                    EDB[pick]
+                } else {
+                    IDB[pick - EDB.len()]
+                };
+                let terms: Vec<String> = (0..arity)
+                    .map(|_| match rng.gen_range(0..4) {
+                        0 => consts[rng.gen_range(0..consts.len())].to_string(),
+                        1 => "_".to_string(),
+                        _ => bound[rng.gen_range(0..bound.len())].to_string(),
+                    })
+                    .collect();
+                body.push(format!("!{rel}({})", terms.join(", ")));
+            }
+            let head_terms: Vec<String> = (0..head_arity)
+                .map(|_| {
+                    if rng.gen_range(0..8) == 0 {
+                        consts[rng.gen_range(0..consts.len())].to_string()
+                    } else {
+                        bound[rng.gen_range(0..bound.len())].to_string()
+                    }
+                })
+                .collect();
+            rules.push(format!(
+                "{head}({}) :- {}.",
+                head_terms.join(", "),
+                body.join(", ")
+            ));
+        }
+    }
+    Program::parse(&rules.join("\n")).expect("generated program parses")
+}
+
+/// A random EDB over a small mixed int/string domain (strings exercise
+/// the interner in join keys and negation probes).
+fn random_edb(rng: &mut StdRng) -> Database {
+    let mut db = Database::new();
+    let val = |rng: &mut StdRng| -> Value {
+        match rng.gen_range(0..4) {
+            0 => Value::Int(rng.gen_range(1i64..3)),
+            1 => Value::str(if rng.gen_bool(0.5) { "a" } else { "b" }),
+            _ => Value::Int(rng.gen_range(1i64..6)),
+        }
+    };
+    for _ in 0..rng.gen_range(0..10) {
+        db.insert("E1", vec![val(rng), val(rng)]);
+    }
+    for _ in 0..rng.gen_range(0..5) {
+        db.insert("E2", vec![val(rng)]);
+    }
+    for _ in 0..rng.gen_range(0..8) {
+        db.insert("E3", vec![val(rng), val(rng), val(rng)]);
+    }
+    db
+}
+
+/// The reusable-context engine, the compatibility `evaluate` wrapper, and
+/// the legacy one-shot interpreter agree on a corpus of random stratified
+/// programs — semantics must not drift under interning and index reuse.
+#[test]
+fn differential_context_vs_legacy_evaluation() {
+    for seed in 0..200u64 {
+        let mut rng = StdRng::seed_from_u64(5000 + seed);
+        let program = random_stratified_program(&mut rng);
+        let edb = random_edb(&mut rng);
+        let ctx = Evaluator::from_database(&edb);
+
+        let via_legacy = legacy::evaluate(&program, &edb).expect("legacy evaluates");
+        let via_wrapper = evaluate(&program, &edb).expect("wrapper evaluates");
+        let via_context = ctx.eval(&program).expect("context evaluates");
+
+        assert_eq!(
+            via_context, via_legacy,
+            "seed {seed} diverged (context vs legacy) on:\n{program}\nEDB:\n{edb}"
+        );
+        assert_eq!(
+            via_wrapper, via_legacy,
+            "seed {seed} diverged (wrapper vs legacy) on:\n{program}\nEDB:\n{edb}"
+        );
+    }
+}
+
+/// Re-using one context for many programs matches fresh one-shot
+/// evaluation for every program (index caches must not leak state
+/// between candidate programs).
+#[test]
+fn differential_context_reuse_many_candidates() {
+    for seed in 0..20u64 {
+        let mut rng = StdRng::seed_from_u64(6000 + seed);
+        let edb = random_edb(&mut rng);
+        let ctx = Evaluator::from_database(&edb);
+        for k in 0..10 {
+            let program = random_stratified_program(&mut rng);
+            let via_context = ctx.eval(&program).expect("context evaluates");
+            let via_legacy = legacy::evaluate(&program, &edb).expect("legacy evaluates");
+            assert_eq!(
+                via_context, via_legacy,
+                "seed {seed} candidate {k} diverged on:\n{program}\nEDB:\n{edb}"
+            );
         }
     }
 }
