@@ -1,7 +1,7 @@
 //! An Eirene-like baseline for relational→relational mapping inference
 //! (Figure 10).
 //!
-//! Eirene [6] fits a GLAV mapping to data examples by building the
+//! Eirene \[6\] fits a GLAV mapping to data examples by building the
 //! *canonical most-specific* st-tgd per target tuple and then merging
 //! isomorphic ones. This re-creation follows that recipe: for a target
 //! relation it takes a witness output tuple, pulls in every source tuple
@@ -82,13 +82,13 @@ pub fn synthesize_eirene(
                 for t in tuples.iter() {
                     let already = included
                         .iter()
-                        .any(|(r, vs)| r == rel && vs.as_slice() == t.as_ref());
+                        .any(|(r, vs)| r == rel && t == vs.as_slice());
                     if already {
                         continue;
                     }
-                    if t.iter().any(|v| frontier.contains(v)) {
+                    if t.iter().any(|v| frontier.contains(&v)) {
                         included.push((rel.to_string(), t.to_vec()));
-                        next_frontier.extend(t.iter().cloned());
+                        next_frontier.extend(t.iter());
                     }
                 }
             }

@@ -1,6 +1,6 @@
 //! A Mitra-like baseline for document→relational synthesis (Figure 9b).
 //!
-//! Mitra [48] enumerates tree-to-table extraction programs in a
+//! Mitra \[48\] enumerates tree-to-table extraction programs in a
 //! type-directed DSL and validates candidates against the example. This
 //! re-creation keeps that structure: for each target table it anchors on a
 //! source record type, enumerates type-compatible column assignments over

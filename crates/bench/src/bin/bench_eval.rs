@@ -9,12 +9,14 @@
 //!
 //! Usage: `cargo run --release -p dynamite-bench --bin bench_eval [out.json]`
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use dynamite_bench_suite::by_name;
 use dynamite_core::{synthesize, SynthesisConfig};
 use dynamite_datalog::{legacy, Evaluator, Program};
-use dynamite_instance::{to_facts, Database};
+use dynamite_instance::hash::FxHashMap;
+use dynamite_instance::{to_facts, ColumnIndex, Database, TupleStore, Value};
 
 struct EvalCase {
     name: String,
@@ -177,6 +179,62 @@ fn repeated_candidates(facts: &Database, programs: &[Program]) -> RepeatedCase {
     }
 }
 
+struct IndexBuildCase {
+    rows: usize,
+    key_cols: Vec<usize>,
+    reps: usize,
+    row_secs: f64,
+    columnar_secs: f64,
+}
+
+impl IndexBuildCase {
+    fn speedup(&self) -> f64 {
+        self.row_secs / self.columnar_secs.max(1e-12)
+    }
+}
+
+/// Index-build microbenchmark: the columnar `ColumnIndex::build` sweep
+/// over `TupleStore` column slices vs the former row-oriented layout
+/// (`Arc<[Value]>` tuples, one pointer chase per tuple per key column).
+fn index_build_case(store: &TupleStore, key_cols: &[usize], reps: usize) -> IndexBuildCase {
+    // Materialize the old representation once, outside the timed region.
+    let row_tuples: Vec<Arc<[Value]>> = store.iter().map(|r| Arc::from(r.to_vec())).collect();
+
+    let columnar_secs = time_reps(reps, || {
+        std::hint::black_box(ColumnIndex::build(store, key_cols));
+    });
+    let row_secs = time_reps(reps, || {
+        // The pre-columnar build: iterate shared tuples, chase each
+        // pointer, gather the key per tuple.
+        let mut map: FxHashMap<Vec<Value>, Vec<usize>> = FxHashMap::default();
+        for (i, t) in row_tuples.iter().enumerate() {
+            let key: Vec<Value> = key_cols.iter().map(|&c| t[c]).collect();
+            map.entry(key).or_default().push(i);
+        }
+        std::hint::black_box(map);
+    });
+    IndexBuildCase {
+        rows: store.len(),
+        key_cols: key_cols.to_vec(),
+        reps,
+        row_secs,
+        columnar_secs,
+    }
+}
+
+/// A join-shaped relation for the index-build microbenchmark, loaded
+/// through the bulk columnar path.
+fn index_build_store(rows: usize) -> TupleStore {
+    let strings = ["chemical", "electric", "mixed", "unknown"];
+    let cols: Vec<Vec<Value>> = vec![
+        (0..rows).map(|i| Value::Int((i % 97) as i64)).collect(),
+        (0..rows).map(|i| Value::str(strings[i % 4])).collect(),
+        (0..rows).map(|i| Value::Id((i % 53) as u64)).collect(),
+        (0..rows).map(|i| Value::Int(i as i64)).collect(),
+    ];
+    TupleStore::from_columns(cols)
+}
+
 struct SynthCase {
     name: String,
     secs: f64,
@@ -222,12 +280,15 @@ fn main() {
     )
     .expect("parses");
     let mut edges = Database::new();
-    for i in 0..400i64 {
-        edges.insert("Edge", vec![i.into(), (i + 1).into()]);
-        if i % 7 == 0 {
-            edges.insert("Edge", vec![i.into(), ((i + 13) % 400).into()]);
-        }
-    }
+    edges.extend_rows(
+        "Edge",
+        2,
+        (0..400i64).flat_map(|i| {
+            let chain = vec![i.into(), (i + 1).into()];
+            let skip = (i % 7 == 0).then(|| vec![i.into(), ((i + 13) % 400).into()]);
+            std::iter::once(chain).chain(skip)
+        }),
+    );
     eval_cases.push(eval_case(
         "datalog/transitive_closure_400",
         &closure,
@@ -251,6 +312,21 @@ fn main() {
         repeated.candidates,
         repeated.facts_in
     );
+
+    // --- index builds: columnar sweep vs the former row-oriented chase.
+    let store = index_build_store(50_000);
+    let index_cases: Vec<IndexBuildCase> = [vec![0usize], vec![0, 2], vec![1, 2, 3]]
+        .into_iter()
+        .map(|cols| {
+            let c = index_build_case(&store, &cols, 40);
+            eprintln!(
+                "index_build cols {:?}: {:.2}x columnar speedup",
+                c.key_cols,
+                c.speedup()
+            );
+            c
+        })
+        .collect();
 
     // --- synthesis end-to-end (the consumer of all of the above).
     let synth_cases: Vec<SynthCase> = ["Tencent-1", "Bike-3", "MLB-1"]
@@ -296,6 +372,30 @@ fn main() {
         repeated.context_secs,
         repeated.legacy_secs / repeated.context_secs.max(1e-12),
     ));
+    j.push_str("  \"index_build\": [\n");
+    for (i, c) in index_cases.iter().enumerate() {
+        let cols: Vec<String> = c.key_cols.iter().map(usize::to_string).collect();
+        j.push_str(&format!(
+            "    {{\"rows\": {}, \"key_cols\": [{}], \"reps\": {}, \
+             \"row_secs_per_build\": {:.6}, \"columnar_secs_per_build\": {:.6}, \
+             \"speedup\": {:.2}}}{}\n",
+            c.rows,
+            cols.join(", "),
+            c.reps,
+            c.row_secs,
+            c.columnar_secs,
+            c.speedup(),
+            if i + 1 < index_cases.len() { "," } else { "" }
+        ));
+    }
+    j.push_str("  ],\n");
+    // Perf trajectory: earlier PRs' headline numbers, kept verbatim so a
+    // fresh run of this binary still records where the engine came from.
+    j.push_str(
+        "  \"history\": [\n    {\"pr\": 1, \"storage\": \"row (Arc<[Value]>)\", \
+         \"repeated_candidates_context_secs\": 0.003963, \
+         \"repeated_candidates_speedup\": 3.90}\n  ],\n",
+    );
     j.push_str("  \"synthesis\": [\n");
     for (i, c) in synth_cases.iter().enumerate() {
         j.push_str(&format!(

@@ -514,7 +514,12 @@ impl<'a> RuleSolver<'a> {
     }
 
     /// Evaluates a candidate on every example.
-    fn check(&self, rule: &Rule) -> CheckResult {
+    ///
+    /// On failure the expected flattening is handed back as a borrow of
+    /// the synthesizer's precomputed `expected_flats` — the CEGIS loop
+    /// rejects hundreds of candidates, and cloning the full expected
+    /// table set per rejection was pure overhead.
+    fn check(&self, rule: &Rule) -> CheckResult<'a> {
         let prog = Program::new(vec![rule.clone()]);
         for (ctx, expected) in self
             .synth
@@ -536,7 +541,7 @@ impl<'a> RuleSolver<'a> {
                 .any(|rt| actual.table(rt) != expected.table(rt));
             if differs {
                 return CheckResult::Failed {
-                    actual: Some((actual, expected.clone())),
+                    actual: Some((actual, expected)),
                 };
             }
         }
@@ -547,7 +552,7 @@ impl<'a> RuleSolver<'a> {
     fn block_failure(
         &mut self,
         assignment: &[DomainElem],
-        failure: Option<&(Flattened, Flattened)>,
+        failure: Option<&(Flattened, &Flattened)>,
     ) {
         match (self.synth.config.strategy, failure) {
             (Strategy::MdpGuided, Some((actual, expected))) => {
@@ -629,12 +634,13 @@ impl<'a> RuleSolver<'a> {
     }
 }
 
-enum CheckResult {
+enum CheckResult<'s> {
     Consistent,
     Failed {
         /// `(actual, expected)` flattenings of the first failing example,
-        /// when the candidate evaluated cleanly.
-        actual: Option<(Flattened, Flattened)>,
+        /// when the candidate evaluated cleanly; `expected` borrows the
+        /// synthesizer's precomputed flattening.
+        actual: Option<(Flattened, &'s Flattened)>,
     },
 }
 

@@ -1,5 +1,5 @@
 //! Reusable evaluation contexts with persistent, incrementally maintained
-//! join indexes.
+//! join indexes over columnar tuple storage.
 //!
 //! [`Evaluator`] is constructed once per fact database and amortizes all
 //! per-database work across every program evaluated against it — the
@@ -10,22 +10,33 @@
 //!   **never cloned** per evaluation; derived facts live in a per-call
 //!   overlay, so each relation is the union of an immutable EDB part and
 //!   a growing IDB part (copy-on-write layering);
+//! - relations are columnar ([`TupleStore`](dynamite_instance::TupleStore)):
+//!   index builds sweep contiguous column slices, and the join loop sees
+//!   rows as borrowed [`RowRef`](dynamite_instance::RowRef) views — no
+//!   per-tuple allocation or pointer chase anywhere on the hot path;
 //! - join indexes on EDB relations are keyed by `(relation, column set)`
 //!   and cached inside the context, so candidate #2 onwards reuses the
 //!   indexes candidate #1 built;
-//! - overlay indexes are maintained **incrementally**: `absorb` only
-//!   appends, so an index extends to cover new tuples instead of being
-//!   rebuilt from scratch every fixpoint round;
+//! - overlay indexes are maintained **eagerly**: `absorb` extends every
+//!   caught-up index of a relation as each delta tuple lands, so
+//!   recursion-heavy workloads skip the per-rule-variant catch-up scan
+//!   (indexes first requested mid-evaluation still catch up lazily);
 //! - each rule is compiled once per evaluation (variable layout, join
 //!   order, slot layouts, index column sets) including all semi-naive
 //!   delta variants, instead of once per rule per round;
 //! - negated literals probe an index on their bound columns instead of
 //!   scanning the whole relation per emitted tuple.
+//!
+//! One-shot callers go through [`Evaluator::eval_once`], which borrows the
+//! EDB (no snapshot clone) and swaps the shared `RwLock` index cache for a
+//! single-use local cache — the wrapper `evaluate()` can never amortize a
+//! shared cache, so it should not pay for one.
 
+use std::cell::RefCell;
 use std::sync::{Arc, RwLock};
 
 use dynamite_instance::hash::FxHashMap;
-use dynamite_instance::{ColumnIndex, Database, Relation, Value};
+use dynamite_instance::{ColumnIndex, Database, Relation, RowRef, Value};
 
 use crate::ast::{Literal, Program, Rule, Term};
 use crate::eval::{check_arities, rule_stratum, stratify, EvalError};
@@ -93,8 +104,48 @@ impl Evaluator {
     /// Extensional relations missing from the snapshot are treated as
     /// empty.
     pub fn eval(&self, program: &Program) -> Result<Database, EvalError> {
+        EvalRun {
+            edb: &self.ctx.edb,
+            indexes: IndexSource::Shared(&self.ctx.indexes),
+        }
+        .eval(program)
+    }
+
+    /// Evaluates `program` on a borrowed `edb` without building a shared
+    /// context: no snapshot clone, no `RwLock` around the index cache.
+    ///
+    /// This is the single-use path behind the classic `evaluate` wrapper —
+    /// a one-shot call can never amortize the shared cache, so it should
+    /// not pay the setup and synchronization cost. EDB indexes are still
+    /// cached *within* the call (a recursive fixpoint reuses them every
+    /// round); the cache is simply dropped on return.
+    pub fn eval_once(program: &Program, edb: &Database) -> Result<Database, EvalError> {
+        EvalRun {
+            edb,
+            indexes: IndexSource::Local(RefCell::new(FxHashMap::default())),
+        }
+        .eval(program)
+    }
+}
+
+/// Where one evaluation's EDB-side indexes live.
+enum IndexSource<'e> {
+    /// The context's persistent cache, shared across evaluations.
+    Shared(&'e RwLock<IndexCache>),
+    /// A single-use cache owned by this evaluation (no lock).
+    Local(RefCell<IndexCache>),
+}
+
+/// One evaluation of one program: a borrowed EDB plus an index source.
+struct EvalRun<'e> {
+    edb: &'e Database,
+    indexes: IndexSource<'e>,
+}
+
+impl EvalRun<'_> {
+    fn eval(&self, program: &Program) -> Result<Database, EvalError> {
         program.check_well_formed()?;
-        let arities = check_arities(program, &self.ctx.edb)?;
+        let arities = check_arities(program, self.edb)?;
         let idb: Vec<&str> = program.intensional().into_iter().collect();
         let strata = stratify(program, &idb)?;
         let max_stratum = strata.values().copied().max().unwrap_or(0);
@@ -141,7 +192,7 @@ impl Evaluator {
         }
         for rule in rules {
             let derived = self.eval_variant(rule, &rule.naive, None, idb);
-            absorb(rule, derived, &self.ctx.edb, idb, &mut delta);
+            absorb(rule, derived, self.edb, idb, &mut delta);
         }
 
         // Fixpoint rounds: one delta variant per same-stratum occurrence.
@@ -160,7 +211,7 @@ impl Evaluator {
                         continue;
                     }
                     let derived = self.eval_variant(rule, &dv.variant, Some((dv.body_pos, d)), idb);
-                    if absorb(rule, derived, &self.ctx.edb, idb, &mut new_delta) {
+                    if absorb(rule, derived, self.edb, idb, &mut new_delta) {
                         any = true;
                     }
                 }
@@ -175,26 +226,50 @@ impl Evaluator {
     /// Returns (building and caching on first use) the EDB-side index of
     /// `rel` on `cols`; `None` when the snapshot has no such relation.
     fn edb_index(&self, rel: &str, cols: &[usize]) -> Option<Arc<ColumnIndex>> {
-        let relation = self.ctx.edb.relation(rel)?;
-        if let Some(idx) = self
-            .ctx
-            .indexes
-            .read()
-            .expect("index cache poisoned")
-            .get(rel)
-            .and_then(|by_cols| by_cols.get(cols))
-        {
-            return Some(idx.clone());
+        let relation = self.edb.relation(rel)?;
+        match &self.indexes {
+            IndexSource::Shared(lock) => {
+                if let Some(idx) = lock
+                    .read()
+                    .expect("index cache poisoned")
+                    .get(rel)
+                    .and_then(|by_cols| by_cols.get(cols))
+                {
+                    return Some(idx.clone());
+                }
+                let built = Arc::new(ColumnIndex::build(relation, cols));
+                let mut w = lock.write().expect("index cache poisoned");
+                Some(
+                    w.entry(rel.to_string())
+                        .or_default()
+                        .entry(cols.to_vec())
+                        .or_insert(built)
+                        .clone(),
+                )
+            }
+            IndexSource::Local(cache) => {
+                // Same borrowed-key hit path as the shared arm: a cache
+                // hit must not allocate the owned `String`/`Vec` keys the
+                // entry API would demand.
+                if let Some(idx) = cache
+                    .borrow()
+                    .get(rel)
+                    .and_then(|by_cols| by_cols.get(cols))
+                {
+                    return Some(idx.clone());
+                }
+                let built = Arc::new(ColumnIndex::build(relation, cols));
+                Some(
+                    cache
+                        .borrow_mut()
+                        .entry(rel.to_string())
+                        .or_default()
+                        .entry(cols.to_vec())
+                        .or_insert(built)
+                        .clone(),
+                )
+            }
         }
-        let built = Arc::new(ColumnIndex::build(relation, cols));
-        let mut w = self.ctx.indexes.write().expect("index cache poisoned");
-        Some(
-            w.entry(rel.to_string())
-                .or_default()
-                .entry(cols.to_vec())
-                .or_insert(built)
-                .clone(),
-        )
     }
 
     /// Evaluates one compiled join order. `delta` carries the body
@@ -208,8 +283,9 @@ impl Evaluator {
     ) -> Vec<(usize, Vec<Value>)> {
         let delta_pos = delta.map(|(p, _)| p);
 
-        // Mutable prep phase: pin EDB indexes and extend overlay indexes
-        // to cover tuples absorbed since the last use.
+        // Mutable prep phase: pin EDB indexes and register overlay indexes
+        // (catch-up only runs for indexes created after absorption started;
+        // established indexes are extended eagerly by `absorb`).
         let mut edb_arcs: Vec<Option<Arc<ColumnIndex>>> = Vec::with_capacity(variant.lits.len());
         for lit in &variant.lits {
             let indexed = Some(lit.body_pos) != delta_pos && !lit.key_cols.is_empty();
@@ -238,13 +314,13 @@ impl Evaluator {
                     }
                 } else if lit.key_cols.is_empty() {
                     ScanSrc::Scan {
-                        parts: [self.ctx.edb.relation(&lit.rel), idb.relation(&lit.rel)],
+                        parts: [self.edb.relation(&lit.rel), idb.relation(&lit.rel)],
                     }
                 } else {
                     ScanSrc::Indexed {
                         edb: edb_arc
                             .as_deref()
-                            .and_then(|ix| Some((self.ctx.edb.relation(&lit.rel)?, ix))),
+                            .and_then(|ix| Some((self.edb.relation(&lit.rel)?, ix))),
                         idb: idb.indexed(&lit.rel, &lit.key_cols),
                     }
                 };
@@ -264,7 +340,7 @@ impl Evaluator {
                 } else {
                     self.edb_index(&neg.rel, &neg.key_cols)
                 },
-                edb_rel: self.ctx.edb.relation(&neg.rel),
+                edb_rel: self.edb.relation(&neg.rel),
                 idb: if neg.key_cols.is_empty() {
                     None
                 } else {
@@ -541,7 +617,9 @@ impl IdbState {
         self.rels.get(name)
     }
 
-    /// Registers (or catches up) the overlay index of `rel` on `cols`.
+    /// Registers the overlay index of `rel` on `cols`, catching it up over
+    /// any rows absorbed before it existed. Once caught up, `absorb` keeps
+    /// it current eagerly, so re-registration is a cheap no-op.
     fn ensure_index(&mut self, rel: &str, cols: &[usize]) {
         let Some(relation) = self.rels.get(rel) else {
             return; // purely extensional: no overlay side
@@ -560,12 +638,15 @@ impl IdbState {
             );
         }
         let idx = by_cols.get_mut(cols).expect("just ensured");
-        for i in idx.covered..relation.len() {
-            let t = relation.get(i).expect("in range");
-            let key: Vec<Value> = cols.iter().map(|&c| t[c]).collect();
-            idx.map.entry(key).or_default().push(i);
+        if idx.covered < relation.len() {
+            // Columnar catch-up: gather keys from contiguous column slices.
+            let slices: Vec<&[Value]> = cols.iter().map(|&c| relation.column(c)).collect();
+            for i in idx.covered..relation.len() {
+                let key: Vec<Value> = slices.iter().map(|s| s[i]).collect();
+                idx.map.entry(key).or_default().push(i);
+            }
+            idx.covered = relation.len();
         }
-        idx.covered = relation.len();
     }
 
     /// The overlay relation and its (previously ensured) index.
@@ -582,6 +663,12 @@ impl IdbState {
 
 /// Inserts derived facts; returns `true` if anything was new. A fact is
 /// new when it is in neither the EDB snapshot nor the overlay.
+///
+/// Index maintenance is delta-driven (eager): every overlay index of the
+/// head relation that is already caught up extends itself with the new
+/// row immediately, so recursion-heavy fixpoints never re-scan the
+/// overlay per rule variant. Indexes created later (mid-evaluation) start
+/// behind and catch up once in [`IdbState::ensure_index`].
 fn absorb(
     rule: &CompiledRule,
     derived: Vec<(usize, Vec<Value>)>,
@@ -590,19 +677,26 @@ fn absorb(
     delta: &mut FxHashMap<String, Relation>,
 ) -> bool {
     let mut any = false;
+    let IdbState { rels, indexes } = idb;
     for (head_idx, tuple) in derived {
         let rel = rule.heads[head_idx].0.as_str();
         if edb.relation(rel).is_some_and(|r| r.contains(&tuple)) {
             continue;
         }
-        let overlay = idb
-            .rels
-            .get_mut(rel)
-            .expect("head relations are intensional");
-        let shared: dynamite_instance::Tuple = Arc::from(tuple);
-        if overlay.insert(shared.clone()) {
+        let overlay = rels.get_mut(rel).expect("head relations are intensional");
+        if overlay.insert(&tuple) {
+            let row = overlay.len() - 1;
+            if let Some(by_cols) = indexes.get_mut(rel) {
+                for (cols, idx) in by_cols.iter_mut() {
+                    if idx.covered == row {
+                        let key: Vec<Value> = cols.iter().map(|&c| tuple[c]).collect();
+                        idx.map.entry(key).or_default().push(row);
+                        idx.covered = row + 1;
+                    }
+                }
+            }
             if let Some(d) = delta.get_mut(rel) {
-                d.insert(shared);
+                d.insert(&tuple);
             }
             any = true;
         }
@@ -683,13 +777,13 @@ struct JoinRun<'a> {
 }
 
 impl JoinRun<'_> {
-    /// Binds `t` against `slots`, extending `env`; records newly bound
+    /// Binds row `t` against `slots`, extending `env`; records newly bound
     /// variables in `newly`, restoring `env` on mismatch.
     fn try_tuple(
         env: &mut [Option<Value>],
         newly: &mut Vec<usize>,
         slots: &[Slot],
-        t: &[Value],
+        t: RowRef<'_>,
     ) -> bool {
         newly.clear();
         let undo = |newly: &[usize], env: &mut [Option<Value>]| {
@@ -700,7 +794,7 @@ impl JoinRun<'_> {
         for (i, s) in slots.iter().enumerate() {
             match s {
                 Slot::Const(c) => {
-                    if &t[i] != c {
+                    if t[i] != *c {
                         undo(newly, env);
                         return false;
                     }

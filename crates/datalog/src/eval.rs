@@ -77,13 +77,15 @@ impl From<WellFormedError> for EvalError {
 ///
 /// Extensional relations missing from `input` are treated as empty.
 ///
-/// This is the compatibility entry point: it snapshots `input` into a
-/// fresh [`Evaluator`](crate::Evaluator) per call. Workloads that
-/// evaluate many candidate programs against one database (the synthesis
-/// loop) should build the context once and call
-/// [`Evaluator::eval`](crate::Evaluator::eval) repeatedly.
+/// This is the compatibility entry point: it runs the engine's
+/// lightweight single-use path ([`Evaluator::eval_once`]), which borrows
+/// `input` (no snapshot clone) and keeps its index cache local to the
+/// call (no `RwLock`) — a one-shot evaluation can never amortize shared
+/// context setup. Workloads that evaluate many candidate programs against
+/// one database (the synthesis loop) should build the context once and
+/// call [`Evaluator::eval`](crate::Evaluator::eval) repeatedly.
 pub fn evaluate(program: &Program, input: &Database) -> Result<Database, EvalError> {
-    Evaluator::from_database(input).eval(program)
+    Evaluator::eval_once(program, input)
 }
 
 /// Relation arities as used by `program`, validated against `input`.
@@ -395,6 +397,39 @@ mod tests {
             assert_eq!(
                 ctx.eval(&p).unwrap(),
                 evaluate(&p, &input).unwrap(),
+                "{src}"
+            );
+        }
+    }
+
+    #[test]
+    fn eval_once_matches_shared_context() {
+        // The single-use path (borrowed EDB, local index cache, no
+        // RwLock) must agree with the shared-context path on programs
+        // exercising joins, recursion, and negation.
+        let mut input = db(&[
+            ("Edge", &[1, 2]),
+            ("Edge", &[2, 3]),
+            ("Edge", &[3, 1]),
+            ("Node", &[1]),
+            ("Node", &[2]),
+            ("Node", &[3]),
+            ("Node", &[4]),
+        ]);
+        input.insert("Start", vec![Value::Int(1)]);
+        let ctx = Evaluator::from_database(&input);
+        for src in [
+            "Q(x, z) :- Edge(x, y), Edge(y, z).",
+            "Path(x, y) :- Edge(x, y).
+             Path(x, z) :- Path(x, y), Edge(y, z).",
+            "Reach(x) :- Start(x).
+             Reach(y) :- Reach(x), Edge(x, y).
+             Unreach(x) :- Node(x), !Reach(x).",
+        ] {
+            let p = Program::parse(src).unwrap();
+            assert_eq!(
+                Evaluator::eval_once(&p, &input).unwrap(),
+                ctx.eval(&p).unwrap(),
                 "{src}"
             );
         }

@@ -13,7 +13,7 @@
 //!   engine's speedup over this baseline (`BENCH_eval.json`).
 
 use dynamite_instance::hash::FxHashMap;
-use dynamite_instance::{Database, Relation, Value};
+use dynamite_instance::{Database, Relation, RowRef, Value};
 
 use crate::ast::{Literal, Program, Rule, Term};
 use crate::eval::{check_arities, rule_stratum, stratify, EvalError};
@@ -263,14 +263,14 @@ fn eval_compiled(
                 for (i, term) in lit.atom.terms.iter().enumerate() {
                     match term {
                         Term::Const(c) => {
-                            if &t[i] != c {
+                            if t[i] != *c {
                                 continue 't;
                             }
                         }
                         Term::Var(v) => {
                             let idx = compiled.var_index[v.as_str()];
-                            let val = env[idx].as_ref().expect("negated vars bound");
-                            if &t[i] != val {
+                            let val = env[idx].expect("negated vars bound");
+                            if t[i] != val {
                                 continue 't;
                             }
                         }
@@ -321,12 +321,16 @@ fn eval_compiled(
             return;
         }
         let (slots, rel) = &layouts[depth];
-        let try_tuple = |t: &[Value], env: &mut Vec<Option<Value>>| -> Option<Vec<usize>> {
+        // Rows arrive as borrowed `RowRef` views into the columnar store;
+        // the matcher reads values through the view without materializing
+        // the tuple, which keeps this interpreter's behaviour (and its
+        // role as differential oracle) unchanged across the storage swap.
+        let try_tuple = |t: RowRef<'_>, env: &mut Vec<Option<Value>>| -> Option<Vec<usize>> {
             let mut newly = Vec::new();
             for (i, s) in slots.iter().enumerate() {
                 match s {
                     Slot::Const(c) => {
-                        if &t[i] != c {
+                        if t[i] != *c {
                             for &n in &newly {
                                 env[n] = None;
                             }
@@ -334,7 +338,7 @@ fn eval_compiled(
                         }
                     }
                     Slot::Bound(v) => {
-                        if env[*v].as_ref() != Some(&t[i]) {
+                        if env[*v] != Some(t[i]) {
                             for &n in &newly {
                                 env[n] = None;
                             }
@@ -346,7 +350,7 @@ fn eval_compiled(
                         // (e.g. R(x, x) with x first bound here).
                         match &env[*v] {
                             Some(existing) => {
-                                if existing != &t[i] {
+                                if *existing != t[i] {
                                     for &n in &newly {
                                         env[n] = None;
                                     }
@@ -376,8 +380,8 @@ fn eval_compiled(
                     })
                     .collect();
                 for &ti in index.get(&key) {
-                    let t = rel.get(ti).expect("index in range").clone();
-                    if let Some(newly) = try_tuple(&t, env) {
+                    let t = rel.get(ti).expect("index in range");
+                    if let Some(newly) = try_tuple(t, env) {
                         join(compiled, layouts, indexes, total, depth + 1, env, results);
                         for n in newly {
                             env[n] = None;
@@ -387,8 +391,7 @@ fn eval_compiled(
             }
             None => {
                 for t in rel.iter() {
-                    let t = t.clone();
-                    if let Some(newly) = try_tuple(&t, env) {
+                    if let Some(newly) = try_tuple(t, env) {
                         join(compiled, layouts, indexes, total, depth + 1, env, results);
                         for n in newly {
                             env[n] = None;

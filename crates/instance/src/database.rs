@@ -1,129 +1,22 @@
 use std::collections::hash_map::Entry;
 use std::collections::{BTreeMap, HashSet};
 
-use crate::hash::{FxHashMap, FxHashSet};
+use crate::hash::FxHashMap;
 use std::fmt;
-use std::sync::Arc;
 
+use crate::tuple_store::TupleStore;
 use crate::value::Value;
-
-/// A tuple of constants. `Arc` makes tuples cheap to share between the
-/// deduplication set, the insertion-ordered list, and join indices.
-pub type Tuple = Arc<[Value]>;
 
 /// A set of tuples of fixed arity with insertion-ordered, deduplicated
 /// iteration. This is both the extensional input and the intensional output
 /// format of the Datalog engine.
-#[derive(Debug, Clone, Default)]
-pub struct Relation {
-    arity: usize,
-    set: FxHashSet<Tuple>,
-    order: Vec<Tuple>,
-}
-
-impl Relation {
-    /// Creates an empty relation of the given arity.
-    pub fn new(arity: usize) -> Relation {
-        Relation {
-            arity,
-            set: FxHashSet::default(),
-            order: Vec::new(),
-        }
-    }
-
-    /// The number of columns.
-    pub fn arity(&self) -> usize {
-        self.arity
-    }
-
-    /// The number of (distinct) tuples.
-    pub fn len(&self) -> usize {
-        self.order.len()
-    }
-
-    /// Returns `true` if the relation holds no tuples.
-    pub fn is_empty(&self) -> bool {
-        self.order.is_empty()
-    }
-
-    /// Inserts a tuple; returns `true` if it was new.
-    ///
-    /// # Panics
-    /// Panics if the tuple's arity does not match the relation's.
-    pub fn insert(&mut self, tuple: Tuple) -> bool {
-        assert_eq!(
-            tuple.len(),
-            self.arity,
-            "tuple arity {} does not match relation arity {}",
-            tuple.len(),
-            self.arity
-        );
-        if self.set.insert(tuple.clone()) {
-            self.order.push(tuple);
-            true
-        } else {
-            false
-        }
-    }
-
-    /// Inserts a tuple built from a vector of values.
-    pub fn insert_values(&mut self, values: Vec<Value>) -> bool {
-        self.insert(Arc::from(values))
-    }
-
-    /// Membership test.
-    pub fn contains(&self, tuple: &[Value]) -> bool {
-        self.set.contains(tuple)
-    }
-
-    /// Iterates tuples in insertion order.
-    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
-        self.order.iter()
-    }
-
-    /// The `i`-th tuple in insertion order.
-    pub fn get(&self, i: usize) -> Option<&Tuple> {
-        self.order.get(i)
-    }
-
-    /// Set equality (ignores insertion order).
-    pub fn set_eq(&self, other: &Relation) -> bool {
-        self.arity == other.arity && self.set == other.set
-    }
-
-    /// Returns the set of distinct values appearing in column `col`.
-    pub fn column_values(&self, col: usize) -> HashSet<&Value> {
-        self.order.iter().map(|t| &t[col]).collect()
-    }
-
-    /// Projects onto the given columns, returning the set of projected rows.
-    pub fn project(&self, cols: &[usize]) -> HashSet<Vec<Value>> {
-        self.order
-            .iter()
-            .map(|t| cols.iter().map(|&c| t[c]).collect())
-            .collect()
-    }
-}
-
-impl PartialEq for Relation {
-    fn eq(&self, other: &Self) -> bool {
-        self.set_eq(other)
-    }
-}
-
-impl Eq for Relation {}
-
-impl FromIterator<Vec<Value>> for Relation {
-    fn from_iter<I: IntoIterator<Item = Vec<Value>>>(iter: I) -> Relation {
-        let mut it = iter.into_iter().peekable();
-        let arity = it.peek().map_or(0, Vec::len);
-        let mut rel = Relation::new(arity);
-        for t in it {
-            rel.insert_values(t);
-        }
-        rel
-    }
-}
+///
+/// `Relation` is a semantic alias for the columnar [`TupleStore`]: the
+/// storage layer (one `Vec<Value>` per column, row-hash dedup, borrowed
+/// [`RowRef`](crate::RowRef) row views) lives in
+/// [`tuple_store`](crate::TupleStore), while this module layers the
+/// database vocabulary — named relations, join indexes — on top of it.
+pub type Relation = TupleStore;
 
 /// A collection of named relations: the uniform format for Datalog inputs
 /// (extensional facts) and outputs (intensional facts).
@@ -170,7 +63,16 @@ impl Database {
     /// Inserts a fact `name(values…)`, creating the relation on demand.
     pub fn insert(&mut self, name: &str, values: Vec<Value>) -> bool {
         let arity = values.len();
-        self.relation_mut(name, arity).insert_values(values)
+        self.relation_mut(name, arity).insert(&values)
+    }
+
+    /// Bulk-inserts rows into relation `name` (created on demand with the
+    /// given arity) — the columnar loading path for dataset builders.
+    pub fn extend_rows<I>(&mut self, name: &str, arity: usize, rows: I)
+    where
+        I: IntoIterator<Item = Vec<Value>>,
+    {
+        self.relation_mut(name, arity).extend_rows(rows);
     }
 
     /// Iterates `(name, relation)` pairs in name order.
@@ -193,7 +95,7 @@ impl Database {
         for (name, rel) in other.iter() {
             let dst = self.relation_mut(name, rel.arity());
             for t in rel.iter() {
-                dst.insert(t.clone());
+                dst.insert_row(t);
             }
         }
     }
@@ -239,14 +141,38 @@ pub struct ColumnIndex {
 
 impl ColumnIndex {
     /// Builds an index of `rel` on the given key columns.
+    ///
+    /// With columnar storage this is a contiguous sweep over the key
+    /// columns' value slices — no per-tuple pointer chase.
     pub fn build(rel: &Relation, cols: &[usize]) -> ColumnIndex {
+        // Callers may index a stand-in empty relation whose arity does not
+        // cover `cols` (missing EDB relations are treated as empty).
+        if rel.is_empty() {
+            return ColumnIndex::default();
+        }
         let mut map: FxHashMap<Vec<Value>, Vec<usize>> = FxHashMap::default();
-        for (i, t) in rel.iter().enumerate() {
-            let key: Vec<Value> = cols.iter().map(|&c| t[c]).collect();
-            match map.entry(key) {
-                Entry::Occupied(mut e) => e.get_mut().push(i),
-                Entry::Vacant(e) => {
-                    e.insert(vec![i]);
+        match cols {
+            // Single-column fast path: one slice, one value per key.
+            [c] => {
+                for (i, &v) in rel.column(*c).iter().enumerate() {
+                    match map.entry(vec![v]) {
+                        Entry::Occupied(mut e) => e.get_mut().push(i),
+                        Entry::Vacant(e) => {
+                            e.insert(vec![i]);
+                        }
+                    }
+                }
+            }
+            _ => {
+                let slices: Vec<&[Value]> = cols.iter().map(|&c| rel.column(c)).collect();
+                for i in 0..rel.len() {
+                    let key: Vec<Value> = slices.iter().map(|s| s[i]).collect();
+                    match map.entry(key) {
+                        Entry::Occupied(mut e) => e.get_mut().push(i),
+                        Entry::Vacant(e) => {
+                            e.insert(vec![i]);
+                        }
+                    }
                 }
             }
         }
@@ -270,9 +196,9 @@ mod tests {
     #[test]
     fn relation_dedupes_and_keeps_order() {
         let mut r = Relation::new(2);
-        assert!(r.insert_values(t(&[1, 2])));
-        assert!(r.insert_values(t(&[3, 4])));
-        assert!(!r.insert_values(t(&[1, 2])));
+        assert!(r.insert(&t(&[1, 2])));
+        assert!(r.insert(&t(&[3, 4])));
+        assert!(!r.insert(&t(&[1, 2])));
         assert_eq!(r.len(), 2);
         let rows: Vec<_> = r.iter().map(|x| x[0]).collect();
         assert_eq!(rows, vec![Value::Int(1), Value::Int(3)]);
@@ -282,25 +208,25 @@ mod tests {
     #[should_panic(expected = "arity")]
     fn arity_mismatch_panics() {
         let mut r = Relation::new(2);
-        r.insert_values(t(&[1]));
+        r.insert(&t(&[1]));
     }
 
     #[test]
     fn set_equality_ignores_order() {
         let mut a = Relation::new(1);
-        a.insert_values(t(&[1]));
-        a.insert_values(t(&[2]));
+        a.insert(&t(&[1]));
+        a.insert(&t(&[2]));
         let mut b = Relation::new(1);
-        b.insert_values(t(&[2]));
-        b.insert_values(t(&[1]));
+        b.insert(&t(&[2]));
+        b.insert(&t(&[1]));
         assert_eq!(a, b);
     }
 
     #[test]
     fn projection() {
         let mut r = Relation::new(3);
-        r.insert_values(t(&[1, 2, 3]));
-        r.insert_values(t(&[1, 5, 3]));
+        r.insert(&t(&[1, 2, 3]));
+        r.insert(&t(&[1, 5, 3]));
         let p = r.project(&[0, 2]);
         assert_eq!(p.len(), 1);
         assert!(p.contains(&t(&[1, 3])));
@@ -320,13 +246,33 @@ mod tests {
     #[test]
     fn column_index_lookup() {
         let mut r = Relation::new(2);
-        r.insert_values(t(&[1, 10]));
-        r.insert_values(t(&[1, 20]));
-        r.insert_values(t(&[2, 30]));
+        r.insert(&t(&[1, 10]));
+        r.insert(&t(&[1, 20]));
+        r.insert(&t(&[2, 30]));
         let idx = ColumnIndex::build(&r, &[0]);
         assert_eq!(idx.get(&t(&[1])).len(), 2);
         assert_eq!(idx.get(&t(&[2])).len(), 1);
         assert_eq!(idx.get(&t(&[9])).len(), 0);
+    }
+
+    #[test]
+    fn multi_column_index_lookup() {
+        let mut r = Relation::new(3);
+        r.insert(&t(&[1, 10, 5]));
+        r.insert(&t(&[1, 10, 6]));
+        r.insert(&t(&[1, 20, 7]));
+        let idx = ColumnIndex::build(&r, &[0, 1]);
+        assert_eq!(idx.get(&t(&[1, 10])), &[0, 1]);
+        assert_eq!(idx.get(&t(&[1, 20])), &[2]);
+    }
+
+    #[test]
+    fn bulk_extend_rows() {
+        let mut db = Database::new();
+        db.extend_rows("R", 2, (0..5i64).map(|i| t(&[i, i * 10])));
+        db.extend_rows("R", 2, [t(&[0, 0]), t(&[9, 9])]);
+        // (0, 0) is a duplicate of the first batch's row.
+        assert_eq!(db.relation("R").unwrap().len(), 6);
     }
 
     #[test]

@@ -19,6 +19,7 @@ use dynamite_schema::Schema;
 
 use crate::database::{ColumnIndex, Database, Relation};
 use crate::record::{Field, Instance, InstanceError, Record};
+use crate::tuple_store::RowRef;
 use crate::value::Value;
 
 /// Generator of fresh synthetic record identifiers.
@@ -115,8 +116,7 @@ pub fn to_facts_with(instance: &Instance, gen: &mut IdGen) -> Database {
                 Field::Children(_) => tuple.push(my_id),
             }
         }
-        db.relation_mut(record_type, tuple.len())
-            .insert_values(tuple);
+        db.relation_mut(record_type, tuple.len()).insert(&tuple);
         for (attr, field) in attrs.iter().zip(record.fields()) {
             if let Field::Children(children) = field {
                 for c in children {
@@ -171,16 +171,16 @@ pub fn from_facts(facts: &Database, schema: Arc<Schema>) -> Result<Instance, Fac
         facts: &Database,
         indices: &std::collections::HashMap<String, ColumnIndex>,
         record_type: &str,
-        tuple: &[Value],
+        tuple: RowRef<'_>,
         nested: bool,
     ) -> Record {
         let mut fields = Vec::new();
         for (col, attr) in (usize::from(nested)..).zip(schema.attrs(record_type)) {
             if schema.is_record(attr) {
-                let slot = &tuple[col];
+                let slot = tuple[col];
                 let children: Vec<Record> = match (facts.relation(attr), indices.get(attr)) {
                     (Some(rel), Some(idx)) => idx
-                        .get(std::slice::from_ref(slot))
+                        .get(&[slot])
                         .iter()
                         .map(|&i| {
                             let child = rel.get(i).expect("index in range");
@@ -261,9 +261,9 @@ mod tests {
         // Each Univ fact's third column is an id that exactly the right two
         // Admit facts reference in their first column.
         for u in univ.iter() {
-            let uid = &u[2];
+            let uid = u[2];
             assert!(uid.is_id());
-            let children: Vec<_> = admit.iter().filter(|a| &a[0] == uid).collect();
+            let children: Vec<_> = admit.iter().filter(|a| a[0] == uid).collect();
             assert_eq!(children.len(), 2);
         }
     }
@@ -285,7 +285,7 @@ mod tests {
             let mut db = Database::new();
             let univ = facts.relation("Univ").unwrap();
             for t in univ.iter() {
-                db.relation_mut("Univ", 3).insert(t.clone());
+                db.relation_mut("Univ", 3).insert_row(t);
             }
             db
         };

@@ -3,8 +3,11 @@
 //! This crate provides:
 //!
 //! - [`Value`]: primitive constants plus synthetic record identifiers;
-//! - [`Database`] / [`Relation`]: insertion-ordered, deduplicated tuple
-//!   stores shared with the Datalog engine;
+//! - [`TupleStore`] / [`RowRef`]: columnar tuple storage (one value vector
+//!   per column, row-hash dedup, borrowed row views);
+//! - [`Database`] / [`Relation`]: named, insertion-ordered, deduplicated
+//!   tuple stores shared with the Datalog engine — `Relation` is the
+//!   columnar [`TupleStore`];
 //! - [`Instance`] / [`Record`]: nested record forests covering relational,
 //!   document, and graph databases uniformly;
 //! - [`to_facts`] / [`from_facts`]: the instance ⇄ fact translation of
@@ -54,13 +57,15 @@ pub mod hash;
 mod intern;
 mod json;
 mod record;
+mod tuple_store;
 mod value;
 
-pub use database::{ColumnIndex, Database, Relation, Tuple};
+pub use database::{ColumnIndex, Database, Relation};
 pub use facts::{from_facts, to_facts, FactsError, IdGen};
 pub use flatten::{FlatTable, Flattened};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use intern::Symbol;
 pub use json::{parse_document, write_document, JsonError};
 pub use record::{Field, Instance, InstanceError, Record};
+pub use tuple_store::{RowRef, TupleStore};
 pub use value::Value;

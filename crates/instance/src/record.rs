@@ -212,7 +212,7 @@ impl Instance {
     }
 
     /// Canonical equality: equal iff the two instances have the same
-    /// [flattening](crate::flatten). This is invariant to record order,
+    /// [flattening](crate::Flattened). This is invariant to record order,
     /// duplicate records, and synthetic identifier values, which makes it
     /// the right notion for comparing migration outputs (§4.1's
     /// `O′ = O` test).

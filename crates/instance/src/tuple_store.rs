@@ -1,0 +1,520 @@
+//! Columnar tuple storage.
+//!
+//! [`TupleStore`] keeps a relation's tuples column-major: one `Vec<Value>`
+//! per column, all of equal length, plus a compact row-hash deduplication
+//! table that maps a 64-bit row hash to the row indices bearing that hash.
+//! Because [`Value`] is `Copy`, a tuple is never materialized on insert or
+//! lookup — the store is the only owner of the data, and every consumer
+//! sees rows through the borrowed [`RowRef`] view.
+//!
+//! Compared with the previous row-oriented layout (`FxHashSet<Arc<[Value]>>`
+//! for dedup plus an insertion-ordered `Vec<Arc<[Value]>>`, storing every
+//! tuple twice behind two pointer indirections), this layout:
+//!
+//! - stores each value exactly once, contiguously per column;
+//! - makes index builds and projections a sweep over column slices
+//!   ([`TupleStore::column`]) instead of a pointer chase per tuple;
+//! - deduplicates through a `u64 → row id` table whose entries are a
+//!   single word in the common (collision-free) case — no per-tuple
+//!   allocation anywhere on the insert path.
+//!
+//! Insertion order is preserved: row `i` is the `i`-th distinct tuple ever
+//! inserted, so existing row indices (join indexes, parent-id indexes)
+//! stay stable as the store grows — the property the Datalog engine's
+//! incrementally extended overlay indexes rely on.
+
+use std::collections::hash_map::Entry;
+use std::collections::HashSet;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::Index;
+
+use crate::hash::{FxHashMap, FxHasher};
+use crate::value::Value;
+
+/// Hash of one row, independent of storage layout.
+fn hash_values(values: impl Iterator<Item = Value>) -> u64 {
+    let mut h = FxHasher::default();
+    for v in values {
+        v.hash(&mut h);
+    }
+    h.finish()
+}
+
+/// The row indices behind one row hash. Collisions are rare, so the table
+/// almost always holds the inline single-row form.
+#[derive(Debug, Clone)]
+enum RowSlot {
+    /// Exactly one row bears this hash (the overwhelmingly common case).
+    One(u32),
+    /// Hash collision: several distinct rows share the hash.
+    Many(Vec<u32>),
+}
+
+/// A deduplicated, insertion-ordered set of fixed-arity tuples, stored
+/// column-major.
+///
+/// This is the storage layer beneath [`Relation`](crate::Relation): the
+/// extensional input and intensional output format of the Datalog engine,
+/// the fact representation of §3.3, and the unit the synthesizer's
+/// example-evaluation loop iterates over.
+///
+/// ```
+/// use dynamite_instance::{TupleStore, Value};
+///
+/// let mut s = TupleStore::new(2);
+/// assert!(s.insert(&[Value::Int(1), Value::Int(10)]));
+/// assert!(s.insert(&[Value::Int(2), Value::Int(20)]));
+/// assert!(!s.insert(&[Value::Int(1), Value::Int(10)])); // duplicate
+/// assert_eq!(s.len(), 2);
+/// assert_eq!(s.column(1), &[Value::Int(10), Value::Int(20)]);
+/// let first = s.get(0).unwrap();
+/// assert_eq!(first[0], Value::Int(1));
+/// ```
+#[derive(Clone, Default)]
+pub struct TupleStore {
+    arity: usize,
+    /// Number of (distinct) rows. Tracked separately because an arity-0
+    /// store has no columns to measure.
+    rows: usize,
+    /// One vector per column; all of length `rows`.
+    cols: Vec<Vec<Value>>,
+    /// Row-hash deduplication table: row hash → row indices.
+    dedup: FxHashMap<u64, RowSlot>,
+}
+
+impl TupleStore {
+    /// Creates an empty store of the given arity.
+    pub fn new(arity: usize) -> TupleStore {
+        TupleStore {
+            arity,
+            rows: 0,
+            cols: vec![Vec::new(); arity],
+            dedup: FxHashMap::default(),
+        }
+    }
+
+    /// Creates an empty store with room for `rows` tuples per column.
+    pub fn with_capacity(arity: usize, rows: usize) -> TupleStore {
+        TupleStore {
+            arity,
+            rows: 0,
+            // Not `vec![Vec::with_capacity(rows); arity]`: cloning an
+            // empty Vec copies its contents, not its capacity.
+            cols: (0..arity).map(|_| Vec::with_capacity(rows)).collect(),
+            dedup: FxHashMap::default(),
+        }
+    }
+
+    /// Builds a store directly from column vectors (bulk columnar loading).
+    /// Rows are deduplicated; later duplicates are dropped.
+    ///
+    /// # Panics
+    /// Panics if the columns have unequal lengths.
+    pub fn from_columns(cols: Vec<Vec<Value>>) -> TupleStore {
+        let rows = cols.first().map_or(0, Vec::len);
+        assert!(
+            cols.iter().all(|c| c.len() == rows),
+            "columns have unequal lengths"
+        );
+        let mut store = TupleStore::with_capacity(cols.len(), rows);
+        for r in 0..rows {
+            let row = || cols.iter().map(|c| c[r]);
+            let hash = hash_values(row());
+            if store.locate(hash, row()).is_none() {
+                store.push_row(hash, row());
+            }
+        }
+        store
+    }
+
+    /// The number of columns.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// The number of (distinct) rows.
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// Returns `true` if the store holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// The contiguous value slice of column `c` — the unit of columnar
+    /// index builds, projections, and (future) SIMD filtering.
+    ///
+    /// # Panics
+    /// Panics if `c` is out of range.
+    pub fn column(&self, c: usize) -> &[Value] {
+        &self.cols[c]
+    }
+
+    /// Locates the stored row whose values equal `probe` (with `hash`
+    /// precomputed over the same values) — the one dedup lookup shared by
+    /// every insert/membership entry point.
+    fn locate(&self, hash: u64, probe: impl Iterator<Item = Value> + Clone) -> Option<usize> {
+        let eq = |r: usize| self.cols.iter().map(|c| c[r]).eq(probe.clone());
+        match self.dedup.get(&hash)? {
+            RowSlot::One(r) => {
+                let r = *r as usize;
+                eq(r).then_some(r)
+            }
+            RowSlot::Many(rs) => rs.iter().map(|&r| r as usize).find(|&r| eq(r)),
+        }
+    }
+
+    /// Appends a row known to be absent; `values` must yield `arity` items.
+    fn push_row(&mut self, hash: u64, values: impl Iterator<Item = Value>) {
+        let id = u32::try_from(self.rows).expect("TupleStore exceeds u32 rows");
+        let mut pushed = 0;
+        for (c, v) in values.enumerate() {
+            self.cols[c].push(v);
+            pushed += 1;
+        }
+        debug_assert_eq!(pushed, self.arity, "row arity mismatch in push_row");
+        self.rows += 1;
+        match self.dedup.entry(hash) {
+            Entry::Vacant(e) => {
+                e.insert(RowSlot::One(id));
+            }
+            Entry::Occupied(mut e) => match e.get_mut() {
+                RowSlot::One(first) => {
+                    let first = *first;
+                    *e.get_mut() = RowSlot::Many(vec![first, id]);
+                }
+                RowSlot::Many(rs) => rs.push(id),
+            },
+        }
+    }
+
+    /// Inserts a row; returns `true` if it was new.
+    ///
+    /// # Panics
+    /// Panics if the row's arity does not match the store's.
+    pub fn insert(&mut self, row: &[Value]) -> bool {
+        assert_eq!(
+            row.len(),
+            self.arity,
+            "tuple arity {} does not match relation arity {}",
+            row.len(),
+            self.arity
+        );
+        let hash = hash_values(row.iter().copied());
+        if self.locate(hash, row.iter().copied()).is_some() {
+            return false;
+        }
+        self.push_row(hash, row.iter().copied());
+        true
+    }
+
+    /// Inserts a row built from a vector of values.
+    pub fn insert_values(&mut self, values: Vec<Value>) -> bool {
+        self.insert(&values)
+    }
+
+    /// Inserts a row viewed in another store (no intermediate allocation).
+    ///
+    /// # Panics
+    /// Panics if the row's arity does not match the store's.
+    pub fn insert_row(&mut self, row: RowRef<'_>) -> bool {
+        assert_eq!(
+            row.len(),
+            self.arity,
+            "tuple arity {} does not match relation arity {}",
+            row.len(),
+            self.arity
+        );
+        let hash = hash_values(row.iter());
+        if self.locate(hash, row.iter()).is_some() {
+            return false;
+        }
+        self.push_row(hash, row.iter());
+        true
+    }
+
+    /// Bulk-inserts rows (deduplicating as usual).
+    pub fn extend_rows<I>(&mut self, rows: I)
+    where
+        I: IntoIterator<Item = Vec<Value>>,
+    {
+        for row in rows {
+            self.insert(&row);
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, row: &[Value]) -> bool {
+        if row.len() != self.arity {
+            return false;
+        }
+        let hash = hash_values(row.iter().copied());
+        self.locate(hash, row.iter().copied()).is_some()
+    }
+
+    /// Membership test against a row viewed in another store.
+    pub fn contains_row(&self, row: RowRef<'_>) -> bool {
+        if row.len() != self.arity {
+            return false;
+        }
+        let hash = hash_values(row.iter());
+        self.locate(hash, row.iter()).is_some()
+    }
+
+    /// The `i`-th row in insertion order.
+    pub fn get(&self, i: usize) -> Option<RowRef<'_>> {
+        (i < self.rows).then_some(RowRef {
+            store: self,
+            row: i,
+        })
+    }
+
+    /// Iterates rows in insertion order as borrowed [`RowRef`] views.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = RowRef<'_>> + Clone {
+        (0..self.rows).map(move |row| RowRef { store: self, row })
+    }
+
+    /// Set equality (ignores insertion order).
+    pub fn set_eq(&self, other: &TupleStore) -> bool {
+        self.arity == other.arity
+            && self.rows == other.rows
+            && self.iter().all(|r| other.contains_row(r))
+    }
+
+    /// Returns the set of distinct values appearing in column `col`.
+    pub fn column_values(&self, col: usize) -> HashSet<Value> {
+        self.cols[col].iter().copied().collect()
+    }
+
+    /// Projects onto the given columns, returning the set of projected
+    /// rows. The gather is a contiguous sweep over the column slices.
+    pub fn project(&self, cols: &[usize]) -> HashSet<Vec<Value>> {
+        let slices: Vec<&[Value]> = cols.iter().map(|&c| self.column(c)).collect();
+        (0..self.rows)
+            .map(|r| slices.iter().map(|s| s[r]).collect())
+            .collect()
+    }
+}
+
+impl PartialEq for TupleStore {
+    fn eq(&self, other: &Self) -> bool {
+        self.set_eq(other)
+    }
+}
+
+impl Eq for TupleStore {}
+
+impl FromIterator<Vec<Value>> for TupleStore {
+    fn from_iter<I: IntoIterator<Item = Vec<Value>>>(iter: I) -> TupleStore {
+        let mut it = iter.into_iter().peekable();
+        let arity = it.peek().map_or(0, Vec::len);
+        let mut store = TupleStore::new(arity);
+        store.extend_rows(it);
+        store
+    }
+}
+
+impl fmt::Debug for TupleStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TupleStore")
+            .field("arity", &self.arity)
+            .field("rows", &self.iter().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+/// A borrowed view of one row of a [`TupleStore`].
+///
+/// `RowRef` is two words (store pointer + row index) and `Copy`; indexing
+/// resolves through the column vectors, so no tuple is ever materialized.
+#[derive(Clone, Copy)]
+pub struct RowRef<'a> {
+    store: &'a TupleStore,
+    row: usize,
+}
+
+impl<'a> RowRef<'a> {
+    /// The number of columns.
+    pub fn len(&self) -> usize {
+        self.store.arity
+    }
+
+    /// `true` for rows of an arity-0 store.
+    pub fn is_empty(&self) -> bool {
+        self.store.arity == 0
+    }
+
+    /// The value in column `c`, or `None` when out of range.
+    pub fn get(&self, c: usize) -> Option<Value> {
+        (c < self.store.arity).then(|| self.store.cols[c][self.row])
+    }
+
+    /// Iterates the row's values in column order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = Value> + Clone + 'a {
+        let RowRef { store, row } = *self;
+        store.cols.iter().map(move |c| c[row])
+    }
+
+    /// Materializes the row as an owned vector.
+    pub fn to_vec(&self) -> Vec<Value> {
+        self.iter().collect()
+    }
+}
+
+impl Index<usize> for RowRef<'_> {
+    type Output = Value;
+
+    fn index(&self, c: usize) -> &Value {
+        &self.store.cols[c][self.row]
+    }
+}
+
+impl PartialEq for RowRef<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && self.iter().eq(other.iter())
+    }
+}
+
+impl Eq for RowRef<'_> {}
+
+impl PartialEq<[Value]> for RowRef<'_> {
+    fn eq(&self, other: &[Value]) -> bool {
+        self.len() == other.len() && self.iter().eq(other.iter().copied())
+    }
+}
+
+impl PartialEq<&[Value]> for RowRef<'_> {
+    fn eq(&self, other: &&[Value]) -> bool {
+        *self == **other
+    }
+}
+
+impl PartialEq<Vec<Value>> for RowRef<'_> {
+    fn eq(&self, other: &Vec<Value>) -> bool {
+        *self == other.as_slice()
+    }
+}
+
+impl fmt::Debug for RowRef<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(vals: &[i64]) -> Vec<Value> {
+        vals.iter().map(|&v| Value::Int(v)).collect()
+    }
+
+    #[test]
+    fn insert_dedups_and_keeps_order() {
+        let mut s = TupleStore::new(2);
+        assert!(s.insert(&t(&[1, 2])));
+        assert!(s.insert(&t(&[3, 4])));
+        assert!(!s.insert(&t(&[1, 2])));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.column(0), &[Value::Int(1), Value::Int(3)][..]);
+        assert_eq!(s.column(1), &[Value::Int(2), Value::Int(4)][..]);
+        let rows: Vec<Vec<Value>> = s.iter().map(|r| r.to_vec()).collect();
+        assert_eq!(rows, vec![t(&[1, 2]), t(&[3, 4])]);
+    }
+
+    #[test]
+    fn row_ref_access() {
+        let mut s = TupleStore::new(3);
+        s.insert(&t(&[7, 8, 9]));
+        let r = s.get(0).unwrap();
+        assert_eq!(r.len(), 3);
+        assert_eq!(r[1], Value::Int(8));
+        assert_eq!(r.get(2), Some(Value::Int(9)));
+        assert_eq!(r.get(3), None);
+        assert_eq!(r, t(&[7, 8, 9]));
+        assert!(s.get(1).is_none());
+    }
+
+    #[test]
+    fn contains_row_across_stores() {
+        let mut a = TupleStore::new(2);
+        a.insert(&t(&[1, 2]));
+        let mut b = TupleStore::new(2);
+        b.insert(&t(&[1, 2]));
+        b.insert(&t(&[3, 4]));
+        assert!(b.contains_row(a.get(0).unwrap()));
+        assert!(!a.contains_row(b.get(1).unwrap()));
+    }
+
+    #[test]
+    fn insert_row_copies_across_stores() {
+        let mut a = TupleStore::new(2);
+        a.insert(&t(&[1, 2]));
+        a.insert(&t(&[3, 4]));
+        let mut b = TupleStore::new(2);
+        b.insert(&t(&[3, 4]));
+        for r in a.iter() {
+            b.insert_row(r);
+        }
+        assert_eq!(b.len(), 2);
+        // b keeps its own insertion order: [3,4] first.
+        assert_eq!(b.get(0).unwrap(), t(&[3, 4]));
+        assert_eq!(b.get(1).unwrap(), t(&[1, 2]));
+    }
+
+    #[test]
+    fn zero_arity_store_holds_at_most_one_row() {
+        let mut s = TupleStore::new(0);
+        assert!(s.insert(&[]));
+        assert!(!s.insert(&[]));
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(&[]));
+        assert!(s.get(0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn from_columns_bulk_load() {
+        let s = TupleStore::from_columns(vec![t(&[1, 1, 2]), t(&[10, 10, 20])]);
+        assert_eq!(s.arity(), 2);
+        assert_eq!(s.len(), 2); // (1,10) deduplicated
+        assert!(s.contains(&t(&[1, 10])));
+        assert!(s.contains(&t(&[2, 20])));
+    }
+
+    #[test]
+    #[should_panic(expected = "unequal lengths")]
+    fn from_columns_rejects_ragged_input() {
+        TupleStore::from_columns(vec![t(&[1]), t(&[1, 2])]);
+    }
+
+    #[test]
+    fn arity_mismatch_contains_is_false_not_panic() {
+        let mut s = TupleStore::new(2);
+        s.insert(&t(&[1, 2]));
+        assert!(!s.contains(&t(&[1])));
+    }
+
+    #[test]
+    fn set_equality_ignores_order() {
+        let mut a = TupleStore::new(1);
+        a.extend_rows([t(&[1]), t(&[2])]);
+        let mut b = TupleStore::new(1);
+        b.extend_rows([t(&[2]), t(&[1])]);
+        assert_eq!(a, b);
+        b.insert(&t(&[3]));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn projection_gathers_columns() {
+        let mut s = TupleStore::new(3);
+        s.insert(&t(&[1, 2, 3]));
+        s.insert(&t(&[1, 5, 3]));
+        let p = s.project(&[0, 2]);
+        assert_eq!(p.len(), 1);
+        assert!(p.contains(&t(&[1, 3])));
+        assert_eq!(s.column_values(1).len(), 2);
+    }
+}

@@ -11,7 +11,8 @@
 //!
 //! [`synthesize_and_migrate`] composes this with the synthesizer, and
 //! [`writers`] renders target instances as JSON documents, CSV tables, or
-//! graph node/edge lists.
+//! graph node/edge lists, and fact databases as Soufflé-style `.facts`
+//! files.
 //!
 //! ```
 //! use dynamite_core::test_fixtures::motivating;

@@ -3,8 +3,9 @@
 //! lists).
 
 use std::collections::BTreeMap;
+use std::fmt::Write as _;
 
-use dynamite_instance::{write_document, Field, Instance, Value};
+use dynamite_instance::{write_document, Database, Field, Instance, Value};
 use dynamite_schema::DbKind;
 
 /// Renders `instance` according to its schema's [`DbKind`]: one output
@@ -46,6 +47,45 @@ fn render_tables(instance: &Instance, ext: &str) -> BTreeMap<String, String> {
             s.push('\n');
         }
         out.insert(format!("{record_type}.{ext}"), s);
+    }
+    out
+}
+
+/// Renders a fact database in Soufflé's tab-separated `.facts` format,
+/// one "file" per relation (the export format of the paper's backend).
+/// Rows stream straight off the columnar store's row views.
+pub fn render_facts(db: &Database) -> BTreeMap<String, String> {
+    let mut out = BTreeMap::new();
+    for (name, rel) in db.iter() {
+        let mut s = String::new();
+        for row in rel.iter() {
+            for (i, v) in row.iter().enumerate() {
+                if i > 0 {
+                    s.push('\t');
+                }
+                match v {
+                    // Bare string content, Soufflé-style (no quotes), but
+                    // with the format's structural characters escaped so a
+                    // tab or newline inside the value cannot change the
+                    // row/column shape of the file.
+                    Value::Str(sym) => {
+                        for ch in sym.as_str().chars() {
+                            match ch {
+                                '\\' => s.push_str("\\\\"),
+                                '\t' => s.push_str("\\t"),
+                                '\n' => s.push_str("\\n"),
+                                c => s.push(c),
+                            }
+                        }
+                    }
+                    other => {
+                        let _ = write!(s, "{other}");
+                    }
+                }
+            }
+            s.push('\n');
+        }
+        out.insert(format!("{name}.facts"), s);
     }
     out
 }
@@ -92,6 +132,25 @@ mod tests {
         assert!(files.contains_key("document.json"));
         let parsed = dynamite_instance::parse_document(&files["document.json"], schema).unwrap();
         assert!(parsed.canon_eq(&inst));
+    }
+
+    #[test]
+    fn facts_render_souffle_style() {
+        let mut db = Database::new();
+        db.insert("Univ", vec![1.into(), "U1".into(), Value::Id(100)]);
+        db.insert("Univ", vec![2.into(), "U2".into(), Value::Id(200)]);
+        db.insert("Admit", vec![Value::Id(100), 2.into(), 50.into()]);
+        let files = render_facts(&db);
+        assert_eq!(files["Univ.facts"], "1\tU1\t#100\n2\tU2\t#200\n");
+        assert_eq!(files["Admit.facts"], "#100\t2\t50\n");
+    }
+
+    #[test]
+    fn facts_escape_structural_characters() {
+        let mut db = Database::new();
+        db.insert("R", vec!["a\tb".into(), "c\nd\\e".into()]);
+        let files = render_facts(&db);
+        assert_eq!(files["R.facts"], "a\\tb\tc\\nd\\\\e\n");
     }
 
     #[test]

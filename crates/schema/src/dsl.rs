@@ -16,7 +16,7 @@ use std::collections::HashMap;
 use crate::error::SchemaError;
 use crate::types::{DbKind, PrimType, Schema, TypeDef};
 
-/// Parses the schema DSL. See the [module docs](self) for the grammar.
+/// Parses the schema DSL. See the module-level documentation for the grammar.
 pub fn parse_schema(input: &str) -> Result<Schema, SchemaError> {
     let mut p = Parser {
         src: input.as_bytes(),

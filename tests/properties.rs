@@ -10,7 +10,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use dynamite::datalog::{evaluate, legacy, Evaluator, Program};
-use dynamite::instance::{from_facts, to_facts, Database, Instance, Record, Value};
+use dynamite::instance::{from_facts, to_facts, Database, Instance, Record, TupleStore, Value};
 use dynamite::schema::Schema;
 use dynamite::smt::{FdLit, FdSolver, Lit, SatSolver};
 use std::sync::Arc;
@@ -136,6 +136,99 @@ fn fd_models_satisfy_clauses() {
     }
 }
 
+// ------------------------------------------------------- tuple store --
+
+/// A random row over a small mixed domain (collision-prone on purpose so
+/// the dedup table's hash-bucket handling is exercised).
+fn random_row(rng: &mut StdRng, arity: usize) -> Vec<Value> {
+    (0..arity)
+        .map(|_| match rng.gen_range(0..4) {
+            0 => Value::str(if rng.gen_bool(0.5) { "a" } else { "b" }),
+            1 => Value::Bool(rng.gen_bool(0.5)),
+            2 => Value::Id(rng.gen_range(0u64..4)),
+            _ => Value::Int(rng.gen_range(0i64..4)),
+        })
+        .collect()
+}
+
+/// The columnar `TupleStore` round-trips insertion order and dedup
+/// decisions against the obvious `Vec` + `HashSet` model.
+#[test]
+fn tuple_store_matches_vec_set_model() {
+    for seed in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(7000 + seed);
+        let arity = rng.gen_range(1usize..5);
+        let mut store = TupleStore::new(arity);
+        let mut model_order: Vec<Vec<Value>> = Vec::new();
+        let mut model_set: std::collections::HashSet<Vec<Value>> = std::collections::HashSet::new();
+        for _ in 0..rng.gen_range(0..60) {
+            let row = random_row(&mut rng, arity);
+            let fresh = store.insert(&row);
+            assert_eq!(fresh, model_set.insert(row.clone()), "seed {seed}");
+            if fresh {
+                model_order.push(row);
+            }
+        }
+        // Same cardinality, same insertion order, same membership.
+        assert_eq!(store.len(), model_order.len(), "seed {seed}");
+        for (i, row) in model_order.iter().enumerate() {
+            assert_eq!(store.get(i).expect("in range"), *row, "seed {seed} row {i}");
+            assert!(store.contains(row), "seed {seed}");
+        }
+        let via_iter: Vec<Vec<Value>> = store.iter().map(|r| r.to_vec()).collect();
+        assert_eq!(via_iter, model_order, "seed {seed}");
+        // Column slices are exactly the per-column transpose of the rows.
+        for c in 0..arity {
+            let expect: Vec<Value> = model_order.iter().map(|r| r[c]).collect();
+            assert_eq!(store.column(c), expect.as_slice(), "seed {seed} col {c}");
+        }
+        // Absent rows are reported absent.
+        for _ in 0..10 {
+            let probe = random_row(&mut rng, arity);
+            assert_eq!(
+                store.contains(&probe),
+                model_set.contains(&probe),
+                "seed {seed}"
+            );
+        }
+    }
+}
+
+/// Projection over the columnar store agrees with projecting the row
+/// model, and `from_columns` bulk loading equals row-by-row insertion.
+#[test]
+fn tuple_store_projection_and_bulk_load_agree() {
+    for seed in 0..32u64 {
+        let mut rng = StdRng::seed_from_u64(7500 + seed);
+        let arity = rng.gen_range(1usize..4);
+        let rows: Vec<Vec<Value>> = (0..rng.gen_range(1..40))
+            .map(|_| random_row(&mut rng, arity))
+            .collect();
+        let mut store = TupleStore::new(arity);
+        for r in &rows {
+            store.insert(r);
+        }
+        // Random projection column set.
+        let cols: Vec<usize> = (0..arity).filter(|_| rng.gen_bool(0.6)).collect();
+        if !cols.is_empty() {
+            let expect: std::collections::HashSet<Vec<Value>> = rows
+                .iter()
+                .map(|r| cols.iter().map(|&c| r[c]).collect())
+                .collect();
+            assert_eq!(store.project(&cols), expect, "seed {seed}");
+        }
+        // Bulk columnar load of the same data is the same store.
+        let columns: Vec<Vec<Value>> = (0..arity)
+            .map(|c| rows.iter().map(|r| r[c]).collect())
+            .collect();
+        let bulk = TupleStore::from_columns(columns);
+        assert_eq!(bulk, store, "seed {seed}");
+        let bulk_rows: Vec<Vec<Value>> = bulk.iter().map(|r| r.to_vec()).collect();
+        let store_rows: Vec<Vec<Value>> = store.iter().map(|r| r.to_vec()).collect();
+        assert_eq!(bulk_rows, store_rows, "seed {seed} (insertion order)");
+    }
+}
+
 // ----------------------------------------------------- instance/facts --
 
 fn random_nested_instance(rng: &mut StdRng, schema: &Arc<Schema>) -> Instance {
@@ -175,7 +268,17 @@ fn facts_round_trip() {
     for seed in 0..64u64 {
         let mut rng = StdRng::seed_from_u64(2000 + seed);
         let inst = random_nested_instance(&mut rng, &schema);
-        let back = from_facts(&to_facts(&inst), inst.schema().clone()).expect("round trip");
+        let facts = to_facts(&inst);
+        // The columnar fact relations are internally consistent: every
+        // row view agrees with the column slices it is gathered from.
+        for (_, rel) in facts.iter() {
+            for (i, row) in rel.iter().enumerate() {
+                for c in 0..rel.arity() {
+                    assert_eq!(row[c], rel.column(c)[i], "seed {seed}");
+                }
+            }
+        }
+        let back = from_facts(&facts, inst.schema().clone()).expect("round trip");
         assert!(inst.canon_eq(&back), "seed {seed}");
     }
 }
@@ -209,7 +312,7 @@ fn datalog_monotone() {
         let out_big = evaluate(&program, &big).expect("eval");
         for t in out_small.relation("Path").expect("path").iter() {
             assert!(
-                out_big.relation("Path").expect("path").contains(t),
+                out_big.relation("Path").expect("path").contains_row(t),
                 "seed {seed}"
             );
         }
