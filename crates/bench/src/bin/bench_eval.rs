@@ -1,11 +1,12 @@
 //! Evaluation-pipeline microbenchmarks with JSON output.
 //!
 //! Runs the `datalog/golden` evaluation cases, a recursive-closure case,
-//! the synthesis microbenchmarks, and the repeated-candidate workload the
+//! the synthesis microbenchmarks, the repeated-candidate workload the
 //! synthesizer's CEGIS loop exercises (one EDB, many candidate programs),
-//! comparing the reusable [`Evaluator`] context against the legacy
-//! one-shot interpreter. Writes `BENCH_eval.json` so later PRs have a
-//! perf trajectory to compare against.
+//! and a parallel-scaling sweep of the worker-pool fixpoint (threads =
+//! 1/2/4/8), comparing the reusable [`Evaluator`] context against the
+//! legacy one-shot interpreter. Writes `BENCH_eval.json` so later PRs
+//! have a perf trajectory to compare against.
 //!
 //! Usage: `cargo run --release -p dynamite-bench --bin bench_eval [out.json]`
 
@@ -14,7 +15,7 @@ use std::time::{Duration, Instant};
 
 use dynamite_bench_suite::by_name;
 use dynamite_core::{synthesize, SynthesisConfig};
-use dynamite_datalog::{legacy, Evaluator, Program};
+use dynamite_datalog::{legacy, Evaluator, Program, WorkerPool};
 use dynamite_instance::hash::FxHashMap;
 use dynamite_instance::{to_facts, ColumnIndex, Database, TupleStore, Value};
 
@@ -235,6 +236,50 @@ fn index_build_store(rows: usize) -> TupleStore {
     TupleStore::from_columns(cols)
 }
 
+struct ScalingCase {
+    workload: &'static str,
+    threads: usize,
+    secs: f64,
+}
+
+/// Thread-scaling sweep over explicit pools: the recursive-closure
+/// fixpoint (partitioned outer scans) and the repeated-candidate sweep
+/// (whole-variant fan-out), at 1/2/4/8 workers. `threads = 1` is the
+/// sequential fallback and doubles as its regression guard.
+fn parallel_scaling(
+    closure: &Program,
+    edges: &Database,
+    facts: &Database,
+    programs: &[Program],
+) -> Vec<ScalingCase> {
+    let mut out = Vec::new();
+    for threads in [1usize, 2, 4, 8] {
+        let pool = Arc::new(WorkerPool::new(threads));
+        let ctx = Evaluator::with_pool(edges.clone(), pool.clone());
+        let secs = time_reps(5, || {
+            ctx.eval(closure).expect("evaluates");
+        });
+        out.push(ScalingCase {
+            workload: "transitive_closure_400",
+            threads,
+            secs,
+        });
+        let ctx = Evaluator::with_pool(facts.clone(), pool);
+        let secs = time_reps(5, || {
+            for p in programs {
+                ctx.eval(p).expect("candidate evaluates");
+            }
+        });
+        out.push(ScalingCase {
+            workload: "repeated_candidates_sweep",
+            threads,
+            secs,
+        });
+        eprintln!("parallel_scaling threads={threads} done");
+    }
+    out
+}
+
 struct SynthCase {
     name: String,
     secs: f64,
@@ -313,6 +358,9 @@ fn main() {
         repeated.facts_in
     );
 
+    // --- parallel scaling: pool fan-out at 1/2/4/8 workers.
+    let scaling = parallel_scaling(&closure, &edges, &facts, &programs);
+
     // --- index builds: columnar sweep vs the former row-oriented chase.
     let store = index_build_store(50_000);
     let index_cases: Vec<IndexBuildCase> = [vec![0usize], vec![0, 2], vec![1, 2, 3]]
@@ -389,13 +437,38 @@ fn main() {
         ));
     }
     j.push_str("  ],\n");
-    // Perf trajectory: earlier PRs' headline numbers, kept verbatim so a
-    // fresh run of this binary still records where the engine came from.
+    j.push_str(&format!(
+        "  \"parallel_scaling\": {{\"hardware_threads\": {}, \"cases\": [\n",
+        std::thread::available_parallelism().map_or(1, usize::from)
+    ));
+    for (i, c) in scaling.iter().enumerate() {
+        j.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"threads\": {}, \"secs\": {:.6}}}{}\n",
+            c.workload,
+            c.threads,
+            c.secs,
+            if i + 1 < scaling.len() { "," } else { "" }
+        ));
+    }
+    j.push_str("  ]},\n");
+    // Perf trajectory: earlier PRs' headline numbers kept verbatim (so a
+    // fresh run still records where the engine came from), plus this PR's
+    // measured headline.
     j.push_str(
         "  \"history\": [\n    {\"pr\": 1, \"storage\": \"row (Arc<[Value]>)\", \
          \"repeated_candidates_context_secs\": 0.003963, \
-         \"repeated_candidates_speedup\": 3.90}\n  ],\n",
+         \"repeated_candidates_speedup\": 3.90},\n    {\"pr\": 2, \
+         \"storage\": \"columnar (TupleStore)\", \
+         \"repeated_candidates_context_secs\": 0.002964, \
+         \"repeated_candidates_speedup\": 3.91},\n",
     );
+    j.push_str(&format!(
+        "    {{\"pr\": 3, \"storage\": \"columnar + worker pool\", \
+         \"repeated_candidates_context_secs\": {:.6}, \
+         \"repeated_candidates_speedup\": {:.2}}}\n  ],\n",
+        repeated.context_secs,
+        repeated.legacy_secs / repeated.context_secs.max(1e-12),
+    ));
     j.push_str("  \"synthesis\": [\n");
     for (i, c) in synth_cases.iter().enumerate() {
         j.push_str(&format!(

@@ -11,10 +11,12 @@
 
 use std::collections::{BTreeSet, HashSet};
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use dynamite_datalog::{Evaluator, Program, Rule};
+use dynamite_datalog::pool::{self, WorkerPool};
+use dynamite_datalog::{Evaluator, Program, Rule, RuleCacheHandle};
 use dynamite_instance::hash::FxHashMap;
 use dynamite_instance::{from_facts, to_facts, Flattened};
 use dynamite_schema::Schema;
@@ -27,6 +29,11 @@ use crate::simplify::simplify_rule;
 use crate::sketch::{
     generate_sketch, BodySlot, DomainElem, HoleKind, RuleSketch, Sketch, SketchOptions,
 };
+
+/// Below this many total example-input facts a candidate check runs the
+/// plain sequential sweep (with its first-failure early exit) — the
+/// per-candidate fan-out dispatch would cost more than the evals.
+const PAR_CHECK_MIN_FACTS: usize = 512;
 
 /// Sketch-completion strategy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -54,6 +61,11 @@ pub struct SynthesisConfig {
     pub mdp_budget: usize,
     /// Apply basic simplification to accepted rules (§2).
     pub simplify: bool,
+    /// Worker threads for candidate checking and fixpoint evaluation.
+    /// `None` defers to the `DYNAMITE_THREADS` environment variable (or,
+    /// absent that, the available parallelism); the env var overrides an
+    /// explicit setting either way. `1` is the fully sequential path.
+    pub threads: Option<usize>,
 }
 
 impl Default for SynthesisConfig {
@@ -65,6 +77,7 @@ impl Default for SynthesisConfig {
             sketch: SketchOptions::default(),
             mdp_budget: 20_000,
             simplify: true,
+            threads: None,
         }
     }
 }
@@ -187,6 +200,14 @@ pub struct Synthesizer {
     /// snapshotted once and its join indexes are shared by every candidate
     /// program evaluated against it (the CEGIS loop's hot path).
     input_contexts: Vec<Evaluator>,
+    /// The worker pool shared by every context (and by the parallel
+    /// candidate check), sized by `SynthesisConfig::threads`.
+    pool: Arc<WorkerPool>,
+    /// Whether candidate checks fan examples out to the pool. Mirrors
+    /// the engine's own fan-out gate: parallel dispatch per rejected
+    /// candidate only pays off with multiple workers, multiple examples,
+    /// and enough facts per check to amortize it.
+    parallel_check: bool,
     expected_flats: Vec<Flattened>,
     psi: AttrMapping,
     sketch: Sketch,
@@ -214,16 +235,29 @@ impl Synthesizer {
         }
         let psi = infer_attr_mapping(&source, &target, &examples);
         let sketch = generate_sketch(&psi, &source, &target, &examples, &config.sketch);
-        let input_contexts = examples
+        let pool = pool::with_threads(config.threads);
+        // One compiled-rule memo across all example contexts: compiled
+        // plans are EDB-independent, so a candidate compiled while
+        // checking example 1 is a cache hit on examples 2..N.
+        let rules = RuleCacheHandle::default();
+        let input_contexts: Vec<Evaluator> = examples
             .iter()
-            .map(|e| Evaluator::new(to_facts(&e.input)))
+            .map(|e| Evaluator::with_shared(to_facts(&e.input), pool.clone(), rules.clone()))
             .collect();
+        let total_facts: usize = input_contexts
+            .iter()
+            .map(|c| c.database().num_facts())
+            .sum();
+        let parallel_check =
+            pool.threads() > 1 && input_contexts.len() > 1 && total_facts >= PAR_CHECK_MIN_FACTS;
         let expected_flats = examples.iter().map(|e| e.output.flatten()).collect();
         Ok(Synthesizer {
             source,
             target,
             examples,
             input_contexts,
+            pool,
+            parallel_check,
             expected_flats,
             psi,
             sketch,
@@ -254,6 +288,11 @@ impl Synthesizer {
     /// The examples this problem was prepared with.
     pub fn examples(&self) -> &[Example] {
         &self.examples
+    }
+
+    /// The worker pool candidate checks and evaluations fan out on.
+    pub fn pool(&self) -> &Arc<WorkerPool> {
+        &self.pool
     }
 
     /// Creates the per-rule solver for rule index `i`.
@@ -513,7 +552,13 @@ impl<'a> RuleSolver<'a> {
         }
     }
 
-    /// Evaluates a candidate on every example.
+    /// Evaluates a candidate on every example — concurrently when the
+    /// pool has workers, one job per example, with early cancellation:
+    /// a failing example publishes its index and jobs for higher-indexed
+    /// examples skip. The reported counterexample is always the one the
+    /// sequential sweep would find (the lowest failing index — every
+    /// lower-indexed example ran to completion and passed), so MDP
+    /// blocking sees identical failures at any thread count.
     ///
     /// On failure the expected flattening is handed back as a borrow of
     /// the synthesizer's precomputed `expected_flats` — the CEGIS loop
@@ -521,28 +566,53 @@ impl<'a> RuleSolver<'a> {
     /// table set per rejection was pure overhead.
     fn check(&self, rule: &Rule) -> CheckResult<'a> {
         let prog = Program::new(vec![rule.clone()]);
-        for (ctx, expected) in self
-            .synth
-            .input_contexts
-            .iter()
-            .zip(&self.synth.expected_flats)
-        {
-            let Ok(out) = ctx.eval(&prog) else {
-                return CheckResult::Failed { actual: None };
-            };
-            let Ok(inst) = from_facts(&out, self.synth.target.clone()) else {
-                return CheckResult::Failed { actual: None };
-            };
-            let actual = inst.flatten();
-            let differs = self
-                .sketch
-                .record_types
-                .iter()
-                .any(|rt| actual.table(rt) != expected.table(rt));
-            if differs {
-                return CheckResult::Failed {
-                    actual: Some((actual, expected)),
-                };
+        let contexts = &self.synth.input_contexts;
+        let expected = &self.synth.expected_flats;
+        let target = &self.synth.target;
+        let record_types = &self.sketch.record_types;
+
+        let outcomes: Vec<ExampleCheck> = if !self.synth.parallel_check {
+            // Sequential sweep, stopping at the first failure.
+            let mut out = Vec::with_capacity(contexts.len());
+            for ctx in contexts {
+                let i = out.len();
+                let o = check_example(ctx, &prog, target, record_types, &expected[i]);
+                let failed = !matches!(o, ExampleCheck::Pass);
+                out.push(o);
+                if failed {
+                    break;
+                }
+            }
+            out
+        } else {
+            let first_fail = AtomicUsize::new(usize::MAX);
+            self.synth
+                .pool
+                .run(contexts.iter().enumerate().map(|(i, ctx)| {
+                    let prog = &prog;
+                    let first_fail = &first_fail;
+                    move || {
+                        if first_fail.load(Ordering::Relaxed) < i {
+                            return ExampleCheck::Skipped;
+                        }
+                        let o = check_example(ctx, prog, target, record_types, &expected[i]);
+                        if !matches!(o, ExampleCheck::Pass) {
+                            first_fail.fetch_min(i, Ordering::Relaxed);
+                        }
+                        o
+                    }
+                }))
+        };
+
+        for (i, outcome) in outcomes.into_iter().enumerate() {
+            match outcome {
+                ExampleCheck::Pass | ExampleCheck::Skipped => {}
+                ExampleCheck::Error => return CheckResult::Failed { actual: None },
+                ExampleCheck::Mismatch(actual) => {
+                    return CheckResult::Failed {
+                        actual: Some((actual, &expected[i])),
+                    }
+                }
             }
         }
         CheckResult::Consistent
@@ -631,6 +701,42 @@ impl<'a> RuleSolver<'a> {
                 }
             })
             .collect()
+    }
+}
+
+/// One example's verdict on a candidate program.
+enum ExampleCheck {
+    Pass,
+    /// Evaluation or fact-translation failed (no flattening to report).
+    Error,
+    /// The candidate's output differs from the expected flattening.
+    Mismatch(Flattened),
+    /// Cancelled: a lower-indexed example had already failed.
+    Skipped,
+}
+
+/// Checks one candidate against one example (runs on a pool worker).
+fn check_example(
+    ctx: &Evaluator,
+    prog: &Program,
+    target: &Arc<Schema>,
+    record_types: &[String],
+    expected: &Flattened,
+) -> ExampleCheck {
+    let Ok(out) = ctx.eval(prog) else {
+        return ExampleCheck::Error;
+    };
+    let Ok(inst) = from_facts(&out, target.clone()) else {
+        return ExampleCheck::Error;
+    };
+    let actual = inst.flatten();
+    if record_types
+        .iter()
+        .any(|rt| actual.table(rt) != expected.table(rt))
+    {
+        ExampleCheck::Mismatch(actual)
+    } else {
+        ExampleCheck::Pass
     }
 }
 

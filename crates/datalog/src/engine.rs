@@ -1,5 +1,6 @@
 //! Reusable evaluation contexts with persistent, incrementally maintained
-//! join indexes over columnar tuple storage.
+//! join indexes over columnar tuple storage, and a parallel semi-naive
+//! fixpoint over a scoped worker pool.
 //!
 //! [`Evaluator`] is constructed once per fact database and amortizes all
 //! per-database work across every program evaluated against it — the
@@ -21,11 +22,28 @@
 //!   caught-up index of a relation as each delta tuple lands, so
 //!   recursion-heavy workloads skip the per-rule-variant catch-up scan
 //!   (indexes first requested mid-evaluation still catch up lazily);
-//! - each rule is compiled once per evaluation (variable layout, join
-//!   order, slot layouts, index column sets) including all semi-naive
-//!   delta variants, instead of once per rule per round;
+//! - compiled rules are memoized **across** evaluations by a normalized
+//!   rule key, so CEGIS candidates sharing rule bodies skip recompilation;
+//! - outermost literals bound only by constants take a columnar pre-scan
+//!   fast path: the constant columns' contiguous slices are filtered to a
+//!   candidate row-id list before the join descends (deeper literals keep
+//!   the cached index probe);
 //! - negated literals probe an index on their bound columns instead of
 //!   scanning the whole relation per emitted tuple.
+//!
+//! # Parallel fixpoint
+//!
+//! Each semi-naive round fans its rule variants — and, for large outer
+//! scans, contiguous row-range partitions of a variant — out to the
+//! context's [`WorkerPool`]. Every job of a round evaluates against the
+//! *frozen* pre-round state and emits into its own thread-local buffer;
+//! the buffers are then absorbed sequentially in a fixed job order
+//! (variant order, then ascending partition range). Because partitions
+//! tile the outer scan in ascending row order, the concatenated buffers
+//! equal the sequential scan's emission order exactly, so the resulting
+//! [`Database`] — contents *and* row insertion order — is bit-identical
+//! for every thread count, including the sequential `threads == 1`
+//! fallback.
 //!
 //! One-shot callers go through [`Evaluator::eval_once`], which borrows the
 //! EDB (no snapshot clone) and swaps the shared `RwLock` index cache for a
@@ -38,8 +56,9 @@ use std::sync::{Arc, RwLock};
 use dynamite_instance::hash::FxHashMap;
 use dynamite_instance::{ColumnIndex, Database, Relation, RowRef, Value};
 
-use crate::ast::{Literal, Program, Rule, Term};
+use crate::ast::{Atom, Literal, Program, Rule, Term};
 use crate::eval::{check_arities, rule_stratum, stratify, EvalError};
+use crate::pool::{self, WorkerPool};
 
 /// A reusable evaluation context over one fact database.
 ///
@@ -70,19 +89,77 @@ pub struct Evaluator {
 /// borrowed keys only (no per-probe allocation).
 type IndexCache = FxHashMap<String, FxHashMap<Vec<usize>, Arc<ColumnIndex>>>;
 
-/// The shared, immutable EDB snapshot plus its lazily built index cache.
+/// Compiled rules memoized across evaluations, keyed by normalized rule
+/// identity (see [`RuleKey`]).
+type RuleCache = FxHashMap<RuleKey, Arc<CompiledRule>>;
+
+/// Entry cap for a [`RuleCacheHandle`]: a CEGIS run rejecting thousands
+/// of distinct candidates must not grow the memo without bound. Past the
+/// cap, rules still compile — they just are not retained.
+const RULE_CACHE_CAP: usize = 4096;
+
+/// A shareable compiled-rule memo. Compiled plans depend only on the
+/// rule and its stratification — never on the fact database — so one
+/// cache can safely serve every [`Evaluator`] of a synthesis problem
+/// (one per example), turning each candidate's recompilation on examples
+/// 2..N into cache hits.
+#[derive(Clone, Default)]
+pub struct RuleCacheHandle {
+    inner: Arc<RwLock<RuleCache>>,
+}
+
+/// The shared, immutable EDB snapshot plus its lazily built caches and
+/// the worker pool its evaluations fan out on.
 struct EdbContext {
     edb: Database,
     indexes: RwLock<IndexCache>,
+    rules: RuleCacheHandle,
+    pool: ContextPool,
+}
+
+/// Which pool a context fans out on. `Global` defers to the process-wide
+/// pool *lazily* — worker threads are only spawned if an evaluation
+/// actually reaches the fan-out gate, so ambient contexts over small
+/// databases stay thread-free.
+enum ContextPool {
+    Ready(Arc<WorkerPool>),
+    Global,
 }
 
 impl Evaluator {
-    /// Builds a context that owns `edb` as its immutable snapshot.
+    /// Builds a context that owns `edb` as its immutable snapshot and
+    /// evaluates on the process-wide shared pool (sized by
+    /// `DYNAMITE_THREADS`, defaulting to the available parallelism). The
+    /// global pool is instantiated lazily, on the first round that
+    /// actually fans out.
     pub fn new(edb: Database) -> Evaluator {
         Evaluator {
             ctx: Arc::new(EdbContext {
                 edb,
                 indexes: RwLock::new(FxHashMap::default()),
+                rules: RuleCacheHandle::default(),
+                pool: ContextPool::Global,
+            }),
+        }
+    }
+
+    /// Builds a context that evaluates on an explicit worker pool. A pool
+    /// of 1 thread runs every fixpoint round inline, sequentially.
+    pub fn with_pool(edb: Database, pool: Arc<WorkerPool>) -> Evaluator {
+        Evaluator::with_shared(edb, pool, RuleCacheHandle::default())
+    }
+
+    /// Builds a context that additionally shares a compiled-rule memo
+    /// with other contexts — the synthesizer hands one handle to every
+    /// example's context, so a candidate compiled for example 1 is a
+    /// cache hit on examples 2..N.
+    pub fn with_shared(edb: Database, pool: Arc<WorkerPool>, rules: RuleCacheHandle) -> Evaluator {
+        Evaluator {
+            ctx: Arc::new(EdbContext {
+                edb,
+                indexes: RwLock::new(FxHashMap::default()),
+                rules,
+                pool: ContextPool::Ready(pool),
             }),
         }
     }
@@ -98,6 +175,15 @@ impl Evaluator {
         &self.ctx.edb
     }
 
+    /// The worker pool this context's evaluations fan out on
+    /// (instantiates the global pool if this context defers to it).
+    pub fn pool(&self) -> &Arc<WorkerPool> {
+        match &self.ctx.pool {
+            ContextPool::Ready(p) => p,
+            ContextPool::Global => pool::global(),
+        }
+    }
+
     /// Evaluates `program`, returning the derived intensional relations
     /// (the least Herbrand model restricted to IDB relations; §3.2).
     ///
@@ -107,15 +193,21 @@ impl Evaluator {
         EvalRun {
             edb: &self.ctx.edb,
             indexes: IndexSource::Shared(&self.ctx.indexes),
+            rules: Some(&self.ctx.rules.inner),
+            pool: match &self.ctx.pool {
+                ContextPool::Ready(p) => PoolSource::Ready(p),
+                ContextPool::Global => PoolSource::Lazy,
+            },
         }
         .eval(program)
     }
 
     /// Evaluates `program` on a borrowed `edb` without building a shared
-    /// context: no snapshot clone, no `RwLock` around the index cache.
+    /// context: no snapshot clone, no `RwLock` around the index cache, no
+    /// cross-evaluation rule memo.
     ///
     /// This is the single-use path behind the classic `evaluate` wrapper —
-    /// a one-shot call can never amortize the shared cache, so it should
+    /// a one-shot call can never amortize the shared caches, so it should
     /// not pay the setup and synchronization cost. EDB indexes are still
     /// cached *within* the call (a recursive fixpoint reuses them every
     /// round); the cache is simply dropped on return.
@@ -123,6 +215,8 @@ impl Evaluator {
         EvalRun {
             edb,
             indexes: IndexSource::Local(RefCell::new(FxHashMap::default())),
+            rules: None,
+            pool: PoolSource::Lazy,
         }
         .eval(program)
     }
@@ -136,11 +230,47 @@ enum IndexSource<'e> {
     Local(RefCell<IndexCache>),
 }
 
-/// One evaluation of one program: a borrowed EDB plus an index source.
+/// One evaluation of one program: a borrowed EDB, an index source, an
+/// optional cross-evaluation rule memo, and the pool to fan rounds out on.
 struct EvalRun<'e> {
     edb: &'e Database,
     indexes: IndexSource<'e>,
+    rules: Option<&'e RwLock<RuleCache>>,
+    pool: PoolSource<'e>,
 }
+
+/// The pool an evaluation fans out on. One-shot evaluations resolve the
+/// process-global pool *lazily* — only when a round actually fans out —
+/// so a small `evaluate()` call never spawns worker threads.
+enum PoolSource<'e> {
+    Ready(&'e WorkerPool),
+    Lazy,
+}
+
+impl PoolSource<'_> {
+    /// The worker count without forcing pool creation.
+    fn threads(&self) -> usize {
+        match self {
+            PoolSource::Ready(p) => p.threads(),
+            PoolSource::Lazy => pool::default_threads(),
+        }
+    }
+
+    /// The pool itself (instantiating the global pool if lazy).
+    fn get(&self) -> &WorkerPool {
+        match self {
+            PoolSource::Ready(p) => p,
+            PoolSource::Lazy => pool::global(),
+        }
+    }
+}
+
+/// One variant of one rule scheduled into a round, before partitioning.
+type Spec<'r> = (&'r CompiledRule, &'r Variant, Option<&'r Relation>);
+
+/// An outer scan shorter than this is never partitioned — below it the
+/// fan-out overhead outweighs the work.
+const PAR_MIN_ROWS: usize = 256;
 
 impl EvalRun<'_> {
     fn eval(&self, program: &Program) -> Result<Database, EvalError> {
@@ -150,20 +280,24 @@ impl EvalRun<'_> {
         let strata = stratify(program, &idb)?;
         let max_stratum = strata.values().copied().max().unwrap_or(0);
 
-        // Compile every rule once: variable layout, join orders for the
-        // naive variant and each same-stratum delta variant, index column
-        // sets, and negation probes.
-        let compiled: Vec<CompiledRule> = program
+        // Compile every rule (variable layout, join orders for the naive
+        // variant and each same-stratum delta variant, index column sets,
+        // negation probes) — served from the cross-evaluation memo when
+        // an earlier candidate already compiled an identical rule.
+        let compiled: Vec<Arc<CompiledRule>> = program
             .rules
             .iter()
-            .map(|r| CompiledRule::compile(r, &strata))
+            .map(|r| self.compiled(r, &strata))
             .collect();
 
         let mut idb_state = IdbState::new(idb.iter().map(|&r| (r, arities[r])));
 
         for s in 0..=max_stratum {
-            let stratum_rules: Vec<&CompiledRule> =
-                compiled.iter().filter(|c| c.stratum == s).collect();
+            let stratum_rules: Vec<&CompiledRule> = compiled
+                .iter()
+                .map(Arc::as_ref)
+                .filter(|c| c.stratum == s)
+                .collect();
             if stratum_rules.is_empty() {
                 continue;
             }
@@ -177,7 +311,33 @@ impl EvalRun<'_> {
         Ok(idb_state.into_database())
     }
 
-    /// Semi-naive fixpoint for one stratum.
+    /// Returns the compiled form of `rule`, from the memo when available.
+    fn compiled(
+        &self,
+        rule: &Rule,
+        strata: &std::collections::HashMap<String, usize>,
+    ) -> Arc<CompiledRule> {
+        let Some(lock) = self.rules else {
+            return Arc::new(CompiledRule::compile(rule, strata));
+        };
+        let Some(key) = RuleKey::of(rule, strata) else {
+            return Arc::new(CompiledRule::compile(rule, strata));
+        };
+        if let Some(c) = lock.read().expect("rule cache poisoned").get(&key) {
+            return c.clone();
+        }
+        let built = Arc::new(CompiledRule::compile(rule, strata));
+        let mut w = lock.write().expect("rule cache poisoned");
+        if w.len() >= RULE_CACHE_CAP && !w.contains_key(&key) {
+            return built; // full: serve uncached rather than grow
+        }
+        w.entry(key).or_insert(built).clone()
+    }
+
+    /// Semi-naive fixpoint for one stratum, evaluated round-by-round:
+    /// every variant of a round runs against the frozen pre-round state,
+    /// and the per-job buffers are absorbed in fixed job order, so the
+    /// fixpoint is deterministic for any thread count.
     fn run_stratum(
         &self,
         rules: &[&CompiledRule],
@@ -185,42 +345,174 @@ impl EvalRun<'_> {
         idb: &mut IdbState,
         arities: &std::collections::HashMap<&str, usize>,
     ) {
+        let fresh_delta = || -> FxHashMap<String, Relation> {
+            in_stratum
+                .iter()
+                .map(|&r| (r.to_string(), Relation::new(arities[r])))
+                .collect()
+        };
+
         // Initial round: naive evaluation of every rule.
-        let mut delta: FxHashMap<String, Relation> = FxHashMap::default();
-        for &r in in_stratum {
-            delta.insert(r.to_string(), Relation::new(arities[r]));
-        }
-        for rule in rules {
-            let derived = self.eval_variant(rule, &rule.naive, None, idb);
-            absorb(rule, derived, self.edb, idb, &mut delta);
-        }
+        let mut delta = fresh_delta();
+        let specs: Vec<Spec<'_>> = rules.iter().map(|&r| (r, &r.naive, None)).collect();
+        self.eval_round(&specs, idb, &mut delta);
 
         // Fixpoint rounds: one delta variant per same-stratum occurrence.
         loop {
-            let mut new_delta: FxHashMap<String, Relation> = FxHashMap::default();
-            for &r in in_stratum {
-                new_delta.insert(r.to_string(), Relation::new(arities[r]));
+            let delta_ref = &delta;
+            let specs: Vec<Spec<'_>> = rules
+                .iter()
+                .flat_map(|&rule| {
+                    rule.deltas.iter().filter_map(move |dv| {
+                        let d = delta_ref.get(dv.relation.as_str())?;
+                        (!d.is_empty()).then_some((rule, &dv.variant, Some(d)))
+                    })
+                })
+                .collect();
+            if specs.is_empty() {
+                break;
             }
-            let mut any = false;
-            for rule in rules {
-                for dv in &rule.deltas {
-                    let Some(d) = delta.get(dv.relation.as_str()) else {
-                        continue;
-                    };
-                    if d.is_empty() {
-                        continue;
-                    }
-                    let derived = self.eval_variant(rule, &dv.variant, Some((dv.body_pos, d)), idb);
-                    if absorb(rule, derived, self.edb, idb, &mut new_delta) {
-                        any = true;
-                    }
-                }
-            }
-            delta = new_delta;
+            let mut next = fresh_delta();
+            let any = self.eval_round(&specs, idb, &mut next);
+            delta = next;
             if !any {
                 break;
             }
         }
+    }
+
+    /// Evaluates one round's variants (fanned out to the pool), then
+    /// merges the per-job delta buffers into the overlay in job order —
+    /// the deterministic merge step.
+    fn eval_round(
+        &self,
+        specs: &[Spec<'_>],
+        idb: &mut IdbState,
+        delta_out: &mut FxHashMap<String, Relation>,
+    ) -> bool {
+        let (jobs, outer_rows) = self.partition_jobs(specs, idb);
+
+        // Mutable prep phase (sequential): register overlay indexes and
+        // pin EDB index Arcs once per *spec* — partitions of one variant
+        // share their prep. Established overlay indexes are extended
+        // eagerly by `absorb`; `ensure_index` only catches up
+        // late-created ones.
+        let preps: Vec<JobPrep> = specs
+            .iter()
+            .map(|&(rule, variant, _)| self.prepare(rule, variant, idb))
+            .collect();
+
+        // Immutable join phase: every job sees the same frozen overlay
+        // and emits into its own buffer. Fan out only when the round has
+        // enough outer rows to amortize the dispatch (tiny rounds — the
+        // bulk of CEGIS candidate evals — run inline, in the same job
+        // order, so results are identical either way).
+        let edb = self.edb;
+        let idb_frozen: &IdbState = idb;
+        let fan_out = jobs.len() > 1 && self.pool.threads() > 1 && outer_rows >= PAR_MIN_ROWS;
+        let preps = &preps;
+        let results: Vec<Vec<(usize, Vec<Value>)>> = if fan_out {
+            self.pool.get().run(
+                jobs.iter()
+                    .map(|job| move || join_job(edb, job, &preps[job.spec], idb_frozen)),
+            )
+        } else {
+            jobs.iter()
+                .map(|job| join_job(edb, job, &preps[job.spec], idb_frozen))
+                .collect()
+        };
+
+        // Deterministic merge: absorb in job order.
+        let mut any = false;
+        for (job, derived) in jobs.iter().zip(results) {
+            if absorb(job.rule, derived, self.edb, idb, delta_out) {
+                any = true;
+            }
+        }
+        any
+    }
+
+    /// Expands specs into jobs, splitting large outer scans into
+    /// contiguous row-range partitions, and returns the round's total
+    /// outer-row count (the fan-out heuristic). Partition boundaries
+    /// never affect the result (partitions tile the scan in ascending
+    /// order), so the chunk count is free to depend on the pool size.
+    fn partition_jobs<'r>(&self, specs: &[Spec<'r>], idb: &IdbState) -> (Vec<RoundJob<'r>>, usize) {
+        let threads = self.pool.threads();
+        let mut outer_rows = 0usize;
+        let mut jobs = Vec::with_capacity(specs.len());
+        for (spec, &(rule, variant, delta)) in specs.iter().enumerate() {
+            // Partitionable only when depth 0 is a scan (plain or
+            // constant-filtered); index-probed outer literals stay whole.
+            let rows = variant.lits.first().and_then(|lit| match lit.access {
+                Access::Scan | Access::Prescan => Some(match delta {
+                    Some(d) => d.len(),
+                    None => {
+                        self.edb.relation(&lit.rel).map_or(0, Relation::len)
+                            + idb.relation(&lit.rel).map_or(0, Relation::len)
+                    }
+                }),
+                Access::Indexed => None,
+            });
+            outer_rows += rows.unwrap_or(0);
+            let chunks = match rows {
+                Some(n) if threads > 1 && n >= PAR_MIN_ROWS => {
+                    (threads * 2).min(n / (PAR_MIN_ROWS / 2)).max(1)
+                }
+                _ => 1,
+            };
+            if chunks <= 1 {
+                jobs.push(RoundJob {
+                    rule,
+                    variant,
+                    delta,
+                    spec,
+                    range: (0, usize::MAX),
+                });
+            } else {
+                let n = rows.unwrap_or(0);
+                for c in 0..chunks {
+                    jobs.push(RoundJob {
+                        rule,
+                        variant,
+                        delta,
+                        spec,
+                        range: (c * n / chunks, (c + 1) * n / chunks),
+                    });
+                }
+            }
+        }
+        (jobs, outer_rows)
+    }
+
+    /// The sequential prep step for one variant: registers overlay
+    /// indexes and pins the EDB-side index Arcs the parallel join will
+    /// probe. Shared by every partition of the variant.
+    fn prepare(&self, rule: &CompiledRule, variant: &Variant, idb: &mut IdbState) -> JobPrep {
+        let lit_edb = variant
+            .lits
+            .iter()
+            .map(|lit| match lit.access {
+                Access::Indexed => {
+                    idb.ensure_index(&lit.rel, &lit.key_cols);
+                    self.edb_index(&lit.rel, &lit.key_cols)
+                }
+                Access::Scan | Access::Prescan => None,
+            })
+            .collect();
+        let neg_edb = rule
+            .negs
+            .iter()
+            .map(|neg| {
+                if neg.key_cols.is_empty() {
+                    None
+                } else {
+                    idb.ensure_index(&neg.rel, &neg.key_cols);
+                    self.edb_index(&neg.rel, &neg.key_cols)
+                }
+            })
+            .collect();
+        JobPrep { lit_edb, neg_edb }
     }
 
     /// Returns (building and caching on first use) the EDB-side index of
@@ -271,99 +563,139 @@ impl EvalRun<'_> {
             }
         }
     }
+}
 
-    /// Evaluates one compiled join order. `delta` carries the body
-    /// position that ranges over the delta relation and that relation.
-    fn eval_variant(
-        &self,
-        rule: &CompiledRule,
-        variant: &Variant,
-        delta: Option<(usize, &Relation)>,
-        idb: &mut IdbState,
-    ) -> Vec<(usize, Vec<Value>)> {
-        let delta_pos = delta.map(|(p, _)| p);
+/// One parallel unit of round work: a single join-order variant of one
+/// rule, optionally restricted to a contiguous partition of its outermost
+/// scan (`range` is in the concatenated row space of the scan's parts).
+struct RoundJob<'r> {
+    rule: &'r CompiledRule,
+    variant: &'r Variant,
+    delta: Option<&'r Relation>,
+    /// Index of the spec this job partitions (its slot in the shared
+    /// prep vector).
+    spec: usize,
+    range: (usize, usize),
+}
 
-        // Mutable prep phase: pin EDB indexes and register overlay indexes
-        // (catch-up only runs for indexes created after absorption started;
-        // established indexes are extended eagerly by `absorb`).
-        let mut edb_arcs: Vec<Option<Arc<ColumnIndex>>> = Vec::with_capacity(variant.lits.len());
-        for lit in &variant.lits {
-            let indexed = Some(lit.body_pos) != delta_pos && !lit.key_cols.is_empty();
-            if indexed {
-                idb.ensure_index(&lit.rel, &lit.key_cols);
-                edb_arcs.push(self.edb_index(&lit.rel, &lit.key_cols));
+/// EDB-side index Arcs pinned for one job during the sequential prep
+/// phase, so the parallel join never touches the index cache.
+struct JobPrep {
+    lit_edb: Vec<Option<Arc<ColumnIndex>>>,
+    neg_edb: Vec<Option<Arc<ColumnIndex>>>,
+}
+
+/// Executes one job's join against the frozen round state, emitting into
+/// a job-local buffer. Runs on a pool worker: everything it touches is
+/// immutable shared state or the job's own scratch.
+fn join_job(
+    edb: &Database,
+    job: &RoundJob<'_>,
+    prep: &JobPrep,
+    idb: &IdbState,
+) -> Vec<(usize, Vec<Value>)> {
+    let rule = job.rule;
+    let execs: Vec<LitExec<'_>> = job
+        .variant
+        .lits
+        .iter()
+        .enumerate()
+        .zip(&prep.lit_edb)
+        .map(|((depth, lit), edb_arc)| {
+            let range = if depth == 0 {
+                job.range
             } else {
-                edb_arcs.push(None);
-            }
-        }
-        for neg in &rule.negs {
-            if !neg.key_cols.is_empty() {
-                idb.ensure_index(&neg.rel, &neg.key_cols);
-            }
-        }
-
-        // Immutable join phase.
-        let execs: Vec<LitExec<'_>> = variant
-            .lits
-            .iter()
-            .zip(&edb_arcs)
-            .map(|(lit, edb_arc)| {
-                let src = if Some(lit.body_pos) == delta_pos {
-                    ScanSrc::Scan {
-                        parts: [delta.map(|(_, d)| d), None],
-                    }
-                } else if lit.key_cols.is_empty() {
-                    ScanSrc::Scan {
-                        parts: [self.edb.relation(&lit.rel), idb.relation(&lit.rel)],
-                    }
+                (0, usize::MAX)
+            };
+            let parts = || -> [Option<&Relation>; 2] {
+                if depth == 0 && job.delta.is_some() {
+                    [job.delta, None]
                 } else {
-                    ScanSrc::Indexed {
-                        edb: edb_arc
-                            .as_deref()
-                            .and_then(|ix| Some((self.edb.relation(&lit.rel)?, ix))),
-                        idb: idb.indexed(&lit.rel, &lit.key_cols),
-                    }
-                };
-                LitExec {
-                    slots: &lit.slots,
-                    src,
+                    [edb.relation(&lit.rel), idb.relation(&lit.rel)]
                 }
-            })
-            .collect();
-        let negs: Vec<NegExec<'_>> = rule
-            .negs
-            .iter()
-            .map(|neg| NegExec {
-                plan: neg,
-                edb: if neg.key_cols.is_empty() {
-                    None
-                } else {
-                    self.edb_index(&neg.rel, &neg.key_cols)
+            };
+            let src = match lit.access {
+                Access::Scan => ScanSrc::Scan {
+                    parts: parts(),
+                    range,
                 },
-                edb_rel: self.edb.relation(&neg.rel),
-                idb: if neg.key_cols.is_empty() {
-                    None
-                } else {
-                    idb.indexed(&neg.rel, &neg.key_cols).map(|(_, ix)| ix)
+                Access::Prescan => ScanSrc::Filtered {
+                    parts: prescan(parts(), &lit.const_cols, range),
                 },
-                idb_rel: idb.relation(&neg.rel),
-            })
-            .collect();
+                Access::Indexed => ScanSrc::Indexed {
+                    edb: edb_arc
+                        .as_deref()
+                        .and_then(|ix| Some((edb.relation(&lit.rel)?, ix))),
+                    idb: idb.indexed(&lit.rel, &lit.key_cols),
+                },
+            };
+            LitExec {
+                slots: &lit.slots,
+                src,
+            }
+        })
+        .collect();
+    let negs: Vec<NegExec<'_>> = rule
+        .negs
+        .iter()
+        .zip(&prep.neg_edb)
+        .map(|(neg, edb_arc)| NegExec {
+            plan: neg,
+            edb: edb_arc.as_deref(),
+            edb_rel: edb.relation(&neg.rel),
+            idb: if neg.key_cols.is_empty() {
+                None
+            } else {
+                idb.indexed(&neg.rel, &neg.key_cols).map(|(_, ix)| ix)
+            },
+            idb_rel: idb.relation(&neg.rel),
+        })
+        .collect();
 
-        let depths = execs.len();
-        let mut run = JoinRun {
-            rule,
-            execs: &execs,
-            negs: &negs,
-            env: vec![None; rule.nvars],
-            newly: vec![Vec::new(); depths],
-            keys: vec![Vec::new(); depths],
-            negkey: Vec::new(),
-            results: Vec::new(),
-        };
-        run.descend(0);
-        run.results
-    }
+    let depths = execs.len();
+    let mut run = JoinRun {
+        rule,
+        execs: &execs,
+        negs: &negs,
+        env: vec![None; rule.nvars],
+        newly: vec![Vec::new(); depths],
+        keys: vec![Vec::new(); depths],
+        negkey: Vec::new(),
+        results: Vec::new(),
+    };
+    run.descend(0);
+    run.results
+}
+
+/// The constant-filter pre-scan: sweeps the constant-bound columns'
+/// contiguous slices within `range` (concatenated row space), producing
+/// per-part candidate row-id lists before the join descends. Ids ascend
+/// within each part, so iteration order matches a plain scan's.
+fn prescan<'a>(
+    parts: [Option<&'a Relation>; 2],
+    const_cols: &[(usize, Value)],
+    range: (usize, usize),
+) -> [Option<(&'a Relation, Vec<u32>)>; 2] {
+    let (mut start, mut end) = range;
+    parts.map(|part| {
+        let part = part?;
+        let n = part.len();
+        let (s, e) = (start.min(n), end.min(n));
+        start = start.saturating_sub(n);
+        end = end.saturating_sub(n);
+        let (c0, v0) = const_cols[0];
+        let mut ids: Vec<u32> = part.column(c0)[s..e]
+            .iter()
+            .enumerate()
+            .filter(|&(_, v)| *v == v0)
+            .map(|(i, _)| (s + i) as u32)
+            .collect();
+        for &(c, v) in &const_cols[1..] {
+            let col = part.column(c);
+            ids.retain(|&i| col[i as usize] == v);
+        }
+        Some((part, ids))
+    })
 }
 
 // ------------------------------------------------------------ compiled --
@@ -383,7 +715,6 @@ struct CompiledRule {
 /// One semi-naive variant: the delta occurrence joined first.
 struct DeltaVariant {
     relation: String,
-    body_pos: usize,
     variant: Variant,
 }
 
@@ -392,14 +723,28 @@ struct Variant {
     lits: Vec<LitPlan>,
 }
 
+/// How a literal's tuples are reached at its join depth.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Access {
+    /// Full scan (delta occurrences and unconstrained literals).
+    Scan,
+    /// Constant-filter pre-scan: every key column is a constant, so the
+    /// candidate row ids are gathered once from the column slices.
+    Prescan,
+    /// Index probe on the bound key columns.
+    Indexed,
+}
+
 /// One positive literal in a join order.
 struct LitPlan {
     rel: String,
-    body_pos: usize,
     slots: Vec<Slot>,
     /// Columns bound before this literal joins (consts and earlier-bound
     /// variables, in column order) — the index key. Empty means scan.
     key_cols: Vec<usize>,
+    /// Constant-bound columns, in column order (the pre-scan filter).
+    const_cols: Vec<(usize, Value)>,
+    access: Access,
 }
 
 enum Slot {
@@ -427,6 +772,79 @@ enum NegTerm {
     Const(Value),
     Var(usize),
     Wild,
+}
+
+/// Normalized identity of a compiled rule: everything
+/// [`CompiledRule::compile`] depends on. Two AST rules with equal keys
+/// compile to interchangeable plans, so the key gates the
+/// cross-evaluation memo. `Value` constants are identified by their debug
+/// form (interned symbol ids are process-global, so the text is stable
+/// and collision-free across variants of the `Value` enum).
+#[derive(PartialEq, Eq, Hash)]
+struct RuleKey {
+    text: String,
+    stratum: usize,
+    /// Bit `i` set ⇔ body literal `i` ranges over a same-stratum relation
+    /// (and therefore gets a delta variant).
+    delta_mask: u64,
+}
+
+impl RuleKey {
+    fn of(rule: &Rule, strata: &std::collections::HashMap<String, usize>) -> Option<RuleKey> {
+        use std::fmt::Write;
+        if rule.body.len() > 64 {
+            return None; // mask would overflow; compile uncached
+        }
+        let stratum = rule_stratum(rule, strata);
+        let mut delta_mask = 0u64;
+        for (i, l) in rule.body.iter().enumerate() {
+            if !l.negated && strata.get(&l.atom.relation).copied() == Some(stratum) {
+                delta_mask |= 1 << i;
+            }
+        }
+        let mut text = String::new();
+        // Names are length-prefixed so the serialization is injective
+        // even for programmatically built rules whose names contain the
+        // delimiter characters (`Rule`'s fields are public).
+        let name = |text: &mut String, n: &str| {
+            let _ = write!(text, "{}#{}", n.len(), n);
+        };
+        let atom = move |text: &mut String, a: &Atom| {
+            name(text, &a.relation);
+            text.push('(');
+            for t in &a.terms {
+                match t {
+                    Term::Const(v) => {
+                        let _ = write!(text, "{v:?}");
+                    }
+                    Term::Var(v) => {
+                        text.push('$');
+                        name(text, v);
+                    }
+                    Term::Wildcard => text.push('_'),
+                }
+                text.push(',');
+            }
+            text.push(')');
+        };
+        for h in &rule.heads {
+            atom(&mut text, h);
+            text.push(';');
+        }
+        text.push_str(":-");
+        for l in &rule.body {
+            if l.negated {
+                text.push('!');
+            }
+            atom(&mut text, &l.atom);
+            text.push(';');
+        }
+        Some(RuleKey {
+            text,
+            stratum,
+            delta_mask,
+        })
+    }
 }
 
 impl CompiledRule {
@@ -498,7 +916,6 @@ impl CompiledRule {
             .filter(|(_, l)| strata.get(&l.atom.relation).copied() == Some(stratum))
             .map(|&(pos, l)| DeltaVariant {
                 relation: l.atom.relation.clone(),
-                body_pos: pos,
                 variant: Variant::compile(&positives, Some(pos), &var_index, nvars),
             })
             .collect();
@@ -516,7 +933,8 @@ impl CompiledRule {
 
 impl Variant {
     /// Compiles a join order: body order with the delta occurrence (if
-    /// any) moved first, slot layouts, and per-literal index key columns.
+    /// any) moved first, slot layouts, per-literal index key columns, and
+    /// the access path each literal takes at its depth.
     fn compile(
         positives: &[(usize, &Literal)],
         delta_pos: Option<usize>,
@@ -534,7 +952,7 @@ impl Variant {
         let lits = ordered
             .iter()
             .enumerate()
-            .map(|(join_i, &(pos, lit))| {
+            .map(|(join_i, &(_pos, lit))| {
                 let before = bound.clone();
                 let slots: Vec<Slot> = lit
                     .atom
@@ -554,10 +972,19 @@ impl Variant {
                         }
                     })
                     .collect();
+                let const_cols: Vec<(usize, Value)> = slots
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(c, s)| match s {
+                        Slot::Const(v) => Some((c, *v)),
+                        _ => None,
+                    })
+                    .collect();
                 // The first literal in the join order is a scan when it is
                 // the delta occurrence; otherwise consts (and, for later
                 // literals, bound variables) form the index key.
-                let key_cols: Vec<usize> = if join_i == 0 && delta_pos.is_some() {
+                let is_delta = join_i == 0 && delta_pos.is_some();
+                let key_cols: Vec<usize> = if is_delta {
                     Vec::new()
                 } else {
                     slots
@@ -567,11 +994,30 @@ impl Variant {
                         .map(|(c, _)| c)
                         .collect()
                 };
+                // Access path: the *outermost* literal executes exactly
+                // once per job, so when its key is made entirely of
+                // constants a one-off columnar pre-scan beats building a
+                // whole-relation index (the delta occurrence pre-scans
+                // its constants too). Deeper literals run once per outer
+                // binding and therefore keep the cached index probe even
+                // for all-constant keys.
+                let access = if is_delta || key_cols.is_empty() {
+                    if const_cols.is_empty() {
+                        Access::Scan
+                    } else {
+                        Access::Prescan
+                    }
+                } else if join_i == 0 && key_cols.len() == const_cols.len() {
+                    Access::Prescan
+                } else {
+                    Access::Indexed
+                };
                 LitPlan {
                     rel: lit.atom.relation.clone(),
-                    body_pos: pos,
                     slots,
                     key_cols,
+                    const_cols,
+                    access,
                 }
             })
             .collect();
@@ -714,8 +1160,17 @@ struct LitExec<'a> {
 }
 
 enum ScanSrc<'a> {
-    /// Full scan over up to two parts (EDB then overlay, or the delta).
-    Scan { parts: [Option<&'a Relation>; 2] },
+    /// Full scan over up to two parts (EDB then overlay, or the delta),
+    /// restricted to `range` in the parts' concatenated row space.
+    Scan {
+        parts: [Option<&'a Relation>; 2],
+        range: (usize, usize),
+    },
+    /// Constant-filtered scan: per part, the pre-scanned candidate row
+    /// ids (already range-restricted, ascending).
+    Filtered {
+        parts: [Option<(&'a Relation, Vec<u32>)>; 2],
+    },
     /// Index probe on the key columns, each side with its own index.
     Indexed {
         edb: Option<(&'a Relation, &'a ColumnIndex)>,
@@ -725,7 +1180,7 @@ enum ScanSrc<'a> {
 
 struct NegExec<'a> {
     plan: &'a NegPlan,
-    edb: Option<Arc<ColumnIndex>>,
+    edb: Option<&'a ColumnIndex>,
     edb_rel: Option<&'a Relation>,
     idb: Option<&'a IncIndex>,
     idb_rel: Option<&'a Relation>,
@@ -854,9 +1309,27 @@ impl JoinRun<'_> {
         let exec = &execs[depth];
         let mut newly = std::mem::take(&mut self.newly[depth]);
         match &exec.src {
-            ScanSrc::Scan { parts } => {
+            ScanSrc::Scan { parts, range } => {
+                let (mut start, mut end) = *range;
                 for part in parts.iter().flatten() {
-                    for t in part.iter() {
+                    let n = part.len();
+                    for i in start.min(n)..end.min(n) {
+                        let t = part.get(i).expect("scan in range");
+                        if Self::try_tuple(&mut self.env, &mut newly, exec.slots, t) {
+                            self.descend(depth + 1);
+                            for &n in &newly {
+                                self.env[n] = None;
+                            }
+                        }
+                    }
+                    start = start.saturating_sub(n);
+                    end = end.saturating_sub(n);
+                }
+            }
+            ScanSrc::Filtered { parts } => {
+                for (rel, ids) in parts.iter().flatten() {
+                    for &i in ids {
+                        let t = rel.get(i as usize).expect("prescan in range");
                         if Self::try_tuple(&mut self.env, &mut newly, exec.slots, t) {
                             self.descend(depth + 1);
                             for &n in &newly {

@@ -26,10 +26,12 @@ mod engine;
 mod eval;
 pub mod legacy;
 mod parse;
+pub mod pool;
 
 pub use ast::{
     alpha_equivalent, normalize_singletons, Atom, Literal, Program, Rule, Term, WellFormedError,
 };
-pub use engine::Evaluator;
+pub use engine::{Evaluator, RuleCacheHandle};
 pub use eval::{evaluate, EvalError};
 pub use parse::{parse_program, ParseError};
+pub use pool::WorkerPool;

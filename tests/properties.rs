@@ -9,7 +9,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use dynamite::datalog::{evaluate, legacy, Evaluator, Program};
+use dynamite::datalog::{evaluate, legacy, Evaluator, Program, WorkerPool};
 use dynamite::instance::{from_facts, to_facts, Database, Instance, Record, TupleStore, Value};
 use dynamite::schema::Schema;
 use dynamite::smt::{FdLit, FdSolver, Lit, SatSolver};
@@ -485,6 +485,103 @@ fn differential_context_vs_legacy_evaluation() {
         assert_eq!(
             via_wrapper, via_legacy,
             "seed {seed} diverged (wrapper vs legacy) on:\n{program}\nEDB:\n{edb}"
+        );
+    }
+}
+
+/// Exact-order equality of two evaluation results: every relation holds
+/// the same rows in the same insertion order (strictly stronger than
+/// `Database`'s set-semantics `==`).
+fn assert_identical_row_order(a: &Database, b: &Database, what: &str) {
+    let names_a: Vec<&str> = a.names().collect();
+    let names_b: Vec<&str> = b.names().collect();
+    assert_eq!(names_a, names_b, "{what}: relation sets differ");
+    for (name, rel_a) in a.iter() {
+        let rel_b = b.relation(name).expect("same names");
+        let rows_a: Vec<Vec<Value>> = rel_a.iter().map(|r| r.to_vec()).collect();
+        let rows_b: Vec<Vec<Value>> = rel_b.iter().map(|r| r.to_vec()).collect();
+        assert_eq!(rows_a, rows_b, "{what}: `{name}` row order diverged");
+    }
+}
+
+/// Parallel evaluation is deterministic: for any thread count the result
+/// `Database` is bit-identical — same relations, same rows, same
+/// insertion order — to the sequential (`threads = 1`) result.
+#[test]
+fn parallel_eval_is_deterministic() {
+    let pools: Vec<Arc<WorkerPool>> = [1usize, 2, 4]
+        .iter()
+        .map(|&n| Arc::new(WorkerPool::new(n)))
+        .collect();
+    for seed in 0..60u64 {
+        let mut rng = StdRng::seed_from_u64(8000 + seed);
+        let program = random_stratified_program(&mut rng);
+        let edb = random_edb(&mut rng);
+        let base = Evaluator::with_pool(edb.clone(), pools[0].clone())
+            .eval(&program)
+            .expect("sequential evaluates");
+        for pool in &pools[1..] {
+            let out = Evaluator::with_pool(edb.clone(), pool.clone())
+                .eval(&program)
+                .expect("parallel evaluates");
+            assert_identical_row_order(
+                &base,
+                &out,
+                &format!(
+                    "seed {seed}, {} threads, program:\n{program}",
+                    pool.threads()
+                ),
+            );
+        }
+    }
+}
+
+/// Same determinism pin on a recursive workload large enough to trigger
+/// the partitioned outer-scan path (delta relations of thousands of
+/// rows), which the small random EDBs above never reach.
+#[test]
+fn parallel_eval_deterministic_on_large_closure() {
+    let closure = Program::parse(
+        "Path(x, y) :- Edge(x, y).
+         Path(x, z) :- Path(x, y), Edge(y, z).",
+    )
+    .expect("parses");
+    let mut edb = Database::new();
+    for i in 0..500i64 {
+        edb.insert("Edge", vec![i.into(), (i + 1).into()]);
+        if i % 9 == 0 {
+            edb.insert("Edge", vec![i.into(), ((i + 37) % 500).into()]);
+        }
+    }
+    let base = Evaluator::with_pool(edb.clone(), Arc::new(WorkerPool::new(1)))
+        .eval(&closure)
+        .expect("sequential evaluates");
+    assert!(base.relation("Path").expect("path").len() > 100_000);
+    for threads in [2usize, 4] {
+        let out = Evaluator::with_pool(edb.clone(), Arc::new(WorkerPool::new(threads)))
+            .eval(&closure)
+            .expect("parallel evaluates");
+        assert_identical_row_order(&base, &out, &format!("{threads} threads"));
+    }
+}
+
+/// The parallel path agrees with the legacy one-shot interpreter (set
+/// semantics) on random stratified programs — fan-out, partitioning, and
+/// the deterministic merge must not drift the model computed.
+#[test]
+fn differential_parallel_vs_legacy_evaluation() {
+    let pool = Arc::new(WorkerPool::new(3));
+    for seed in 0..100u64 {
+        let mut rng = StdRng::seed_from_u64(9000 + seed);
+        let program = random_stratified_program(&mut rng);
+        let edb = random_edb(&mut rng);
+        let via_legacy = legacy::evaluate(&program, &edb).expect("legacy evaluates");
+        let via_parallel = Evaluator::with_pool(edb.clone(), pool.clone())
+            .eval(&program)
+            .expect("parallel evaluates");
+        assert_eq!(
+            via_parallel, via_legacy,
+            "seed {seed} diverged (parallel vs legacy) on:\n{program}\nEDB:\n{edb}"
         );
     }
 }
