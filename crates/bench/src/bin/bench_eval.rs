@@ -3,8 +3,11 @@
 //! Runs the `datalog/golden` evaluation cases, a recursive-closure case,
 //! the synthesis microbenchmarks, the repeated-candidate workload the
 //! synthesizer's CEGIS loop exercises (one EDB, many candidate programs),
-//! and a parallel-scaling sweep of the worker-pool fixpoint (threads =
-//! 1/2/4/8), comparing the reusable [`Evaluator`] context against the
+//! the adversarially ordered `join_ordering` workload (cost-based planner
+//! vs body-order plans), the `batch_filter` kernel microbench (scalar
+//! pre-scan vs the batched mask kernel), and a parallel-scaling sweep of
+//! the worker-pool fixpoint (threads = 1/2/4/8, skipped on single-core
+//! hardware), comparing the reusable [`Evaluator`] context against the
 //! legacy one-shot interpreter. Writes `BENCH_eval.json` so later PRs
 //! have a perf trajectory to compare against.
 //!
@@ -15,7 +18,7 @@ use std::time::{Duration, Instant};
 
 use dynamite_bench_suite::by_name;
 use dynamite_core::{synthesize, SynthesisConfig};
-use dynamite_datalog::{legacy, Evaluator, Program, WorkerPool};
+use dynamite_datalog::{legacy, Evaluator, Program, RuleCacheHandle, WorkerPool};
 use dynamite_instance::hash::FxHashMap;
 use dynamite_instance::{to_facts, ColumnIndex, Database, TupleStore, Value};
 
@@ -242,18 +245,180 @@ struct ScalingCase {
     secs: f64,
 }
 
+struct JoinOrderingCase {
+    candidates: usize,
+    facts_in: usize,
+    planner_secs: f64,
+    body_order_secs: f64,
+}
+
+impl JoinOrderingCase {
+    fn speedup(&self) -> f64 {
+        self.body_order_secs / self.planner_secs.max(1e-12)
+    }
+}
+
+/// The cost-based-planner acceptance workload: candidate bodies written
+/// in adversarial order — the largest relation first, the selective
+/// constant literal last — exactly the worst case a machine-generated
+/// CEGIS body can hand the engine. Evaluated through two contexts over
+/// the same EDB: one with the planner, one pinned to body order.
+fn join_ordering() -> JoinOrderingCase {
+    let mut db = Database::new();
+    db.extend_rows(
+        "Big",
+        2,
+        (0..20_000i64).map(|i| vec![i.into(), (i % 2000).into()]),
+    );
+    db.extend_rows(
+        "Mid",
+        2,
+        (0..2000i64).map(|i| vec![i.into(), (i % 200).into()]),
+    );
+    db.extend_rows(
+        "Sel",
+        2,
+        (0..200i64).map(|i| vec![i.into(), (i % 40).into()]),
+    );
+    let programs: Vec<Program> = [7i64, 13, 29]
+        .iter()
+        .map(|k| {
+            Program::parse(&format!("Out(x) :- Big(x, y), Mid(y, z), Sel(z, {k})."))
+                .expect("parses")
+        })
+        .collect();
+    let pool = Arc::new(WorkerPool::new(1));
+    let planner =
+        Evaluator::with_config(db.clone(), pool.clone(), RuleCacheHandle::default(), true);
+    let body_order = Evaluator::with_config(db.clone(), pool, RuleCacheHandle::default(), false);
+    // Same answers through both plans, before timing anything.
+    for p in &programs {
+        assert_eq!(
+            planner.eval(p).expect("evaluates"),
+            body_order.eval(p).expect("evaluates")
+        );
+    }
+    let planner_secs = time_reps(20, || {
+        for p in &programs {
+            planner.eval(p).expect("evaluates");
+        }
+    });
+    let body_order_secs = time_reps(20, || {
+        for p in &programs {
+            body_order.eval(p).expect("evaluates");
+        }
+    });
+    JoinOrderingCase {
+        candidates: programs.len(),
+        facts_in: db.num_facts(),
+        planner_secs,
+        body_order_secs,
+    }
+}
+
+struct BatchFilterCase {
+    rows: usize,
+    consts: usize,
+    reps: usize,
+    scalar_secs: f64,
+    batched_secs: f64,
+}
+
+impl BatchFilterCase {
+    fn speedup(&self) -> f64 {
+        self.scalar_secs / self.batched_secs.max(1e-12)
+    }
+}
+
+/// The scalar constant-filter pre-scan exactly as PR 3 shipped it:
+/// enumerate-filter the first constant column, then `retain` per
+/// additional constant.
+fn scalar_prescan(store: &TupleStore, consts: &[(usize, Value)]) -> Vec<u32> {
+    let (c0, v0) = consts[0];
+    let mut ids: Vec<u32> = store
+        .column(c0)
+        .iter()
+        .enumerate()
+        .filter(|&(_, v)| *v == v0)
+        .map(|(i, _)| i as u32)
+        .collect();
+    for &(c, v) in &consts[1..] {
+        let col = store.column(c);
+        ids.retain(|&i| col[i as usize] == v);
+    }
+    ids
+}
+
+/// A filter-shaped relation with *shuffled* column contents. The cyclic
+/// `i % k` columns of `index_build_store` would let the branch predictor
+/// learn the scalar pre-scan's append branch perfectly, which real
+/// (unordered) data never does — the unpredictability is exactly what the
+/// batched kernel's branch-free dense path is for.
+fn filter_store(rows: usize) -> TupleStore {
+    let mut state = 0x2545_f491_4f6c_dd1du64;
+    let mut rnd = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let strings = ["chemical", "electric", "mixed", "unknown"];
+    TupleStore::from_columns(vec![
+        (0..rows).map(|_| Value::Int((rnd() % 97) as i64)).collect(),
+        (0..rows)
+            .map(|_| Value::str(strings[(rnd() % 4) as usize]))
+            .collect(),
+        (0..rows).map(|_| Value::Id(rnd() % 53)).collect(),
+        (0..rows).map(|i| Value::Int(i as i64)).collect(),
+    ])
+}
+
+/// Scalar pre-scan (PR 3's code, column order, always-conditional) vs the
+/// batched adaptive kernel (`TupleStore::filter_const_rows`) over the
+/// same store and constants.
+fn batch_filter_case(
+    store: &TupleStore,
+    consts: &[(usize, Value)],
+    reps: usize,
+) -> BatchFilterCase {
+    let expect = scalar_prescan(store, consts);
+    assert_eq!(
+        store.filter_const_rows(consts, 0, usize::MAX),
+        expect,
+        "kernel disagrees with the scalar sweep"
+    );
+    let scalar_secs = time_reps(reps, || {
+        std::hint::black_box(scalar_prescan(store, consts));
+    });
+    let batched_secs = time_reps(reps, || {
+        std::hint::black_box(store.filter_const_rows(consts, 0, usize::MAX));
+    });
+    BatchFilterCase {
+        rows: store.len(),
+        consts: consts.len(),
+        reps,
+        scalar_secs,
+        batched_secs,
+    }
+}
+
 /// Thread-scaling sweep over explicit pools: the recursive-closure
 /// fixpoint (partitioned outer scans) and the repeated-candidate sweep
 /// (whole-variant fan-out), at 1/2/4/8 workers. `threads = 1` is the
 /// sequential fallback and doubles as its regression guard.
+///
+/// On a single-hardware-thread machine the 2/4/8 rows can only measure
+/// fan-out overhead (every worker timeshares one core), so the sweep
+/// collapses to the `threads = 1` row and says so in the JSON `note`.
 fn parallel_scaling(
     closure: &Program,
     edges: &Database,
     facts: &Database,
     programs: &[Program],
+    thread_counts: &[usize],
 ) -> Vec<ScalingCase> {
     let mut out = Vec::new();
-    for threads in [1usize, 2, 4, 8] {
+    for &threads in thread_counts {
         let pool = Arc::new(WorkerPool::new(threads));
         let ctx = Evaluator::with_pool(edges.clone(), pool.clone());
         let secs = time_reps(5, || {
@@ -358,8 +523,54 @@ fn main() {
         repeated.facts_in
     );
 
-    // --- parallel scaling: pool fan-out at 1/2/4/8 workers.
-    let scaling = parallel_scaling(&closure, &edges, &facts, &programs);
+    // --- join ordering: adversarial bodies, planner vs body order.
+    let ordering = join_ordering();
+    eprintln!(
+        "join_ordering: {:.2}x planner speedup ({:.6}s vs {:.6}s body-order)",
+        ordering.speedup(),
+        ordering.planner_secs,
+        ordering.body_order_secs
+    );
+
+    // --- batch filter: scalar pre-scan vs the batched adaptive kernel,
+    // in both regimes (sparse ~1% hits, dense ~25% hits) plus the
+    // multi-constant staged path.
+    let batch_cases: Vec<BatchFilterCase> = [(10_000usize, 400usize), (100_000, 60)]
+        .into_iter()
+        .flat_map(|(rows, reps)| {
+            let store = filter_store(rows);
+            [
+                batch_filter_case(&store, &[(0, Value::Int(7))], reps),
+                batch_filter_case(&store, &[(1, Value::str("electric"))], reps),
+                batch_filter_case(
+                    &store,
+                    &[(1, Value::str("electric")), (0, Value::Int(7))],
+                    reps,
+                ),
+            ]
+        })
+        .collect();
+    for c in &batch_cases {
+        eprintln!(
+            "batch_filter rows={} consts={}: {:.2}x batched speedup",
+            c.rows,
+            c.consts,
+            c.speedup()
+        );
+    }
+
+    // --- parallel scaling: pool fan-out at 1/2/4/8 workers (collapsed
+    // to the sequential row when the hardware cannot scale anyway).
+    let hardware_threads = std::thread::available_parallelism().map_or(1, usize::from);
+    let thread_counts: &[usize] = if hardware_threads == 1 {
+        &[1]
+    } else {
+        &[1, 2, 4, 8]
+    };
+    if hardware_threads == 1 {
+        eprintln!("parallel_scaling: single hardware thread, recording threads=1 only");
+    }
+    let scaling = parallel_scaling(&closure, &edges, &facts, &programs, thread_counts);
 
     // --- index builds: columnar sweep vs the former row-oriented chase.
     let store = index_build_store(50_000);
@@ -438,8 +649,38 @@ fn main() {
     }
     j.push_str("  ],\n");
     j.push_str(&format!(
-        "  \"parallel_scaling\": {{\"hardware_threads\": {}, \"cases\": [\n",
-        std::thread::available_parallelism().map_or(1, usize::from)
+        "  \"join_ordering\": {{\"candidates\": {}, \"facts_in\": {}, \
+         \"planner_secs\": {:.6}, \"body_order_secs\": {:.6}, \"speedup\": {:.2}}},\n",
+        ordering.candidates,
+        ordering.facts_in,
+        ordering.planner_secs,
+        ordering.body_order_secs,
+        ordering.speedup(),
+    ));
+    j.push_str("  \"batch_filter\": [\n");
+    for (i, c) in batch_cases.iter().enumerate() {
+        j.push_str(&format!(
+            "    {{\"rows\": {}, \"consts\": {}, \"reps\": {}, \
+             \"scalar_secs_per_scan\": {:.9}, \"batched_secs_per_scan\": {:.9}, \
+             \"speedup\": {:.2}}}{}\n",
+            c.rows,
+            c.consts,
+            c.reps,
+            c.scalar_secs,
+            c.batched_secs,
+            c.speedup(),
+            if i + 1 < batch_cases.len() { "," } else { "" }
+        ));
+    }
+    j.push_str("  ],\n");
+    j.push_str(&format!(
+        "  \"parallel_scaling\": {{\"hardware_threads\": {hardware_threads},{} \"cases\": [\n",
+        if hardware_threads == 1 {
+            " \"note\": \"single hardware thread: threads>1 rows would measure fan-out \
+             overhead only, sweep collapsed to the sequential row\","
+        } else {
+            ""
+        }
     ));
     for (i, c) in scaling.iter().enumerate() {
         j.push_str(&format!(
@@ -460,14 +701,19 @@ fn main() {
          \"repeated_candidates_speedup\": 3.90},\n    {\"pr\": 2, \
          \"storage\": \"columnar (TupleStore)\", \
          \"repeated_candidates_context_secs\": 0.002964, \
-         \"repeated_candidates_speedup\": 3.91},\n",
+         \"repeated_candidates_speedup\": 3.91},\n    {\"pr\": 3, \
+         \"storage\": \"columnar + worker pool\", \
+         \"repeated_candidates_context_secs\": 0.002893, \
+         \"repeated_candidates_speedup\": 3.83},\n",
     );
     j.push_str(&format!(
-        "    {{\"pr\": 3, \"storage\": \"columnar + worker pool\", \
+        "    {{\"pr\": 4, \"storage\": \"columnar + planner + batched prescan\", \
          \"repeated_candidates_context_secs\": {:.6}, \
-         \"repeated_candidates_speedup\": {:.2}}}\n  ],\n",
+         \"repeated_candidates_speedup\": {:.2}, \
+         \"join_ordering_speedup\": {:.2}}}\n  ],\n",
         repeated.context_secs,
         repeated.legacy_secs / repeated.context_secs.max(1e-12),
+        ordering.speedup(),
     ));
     j.push_str("  \"synthesis\": [\n");
     for (i, c) in synth_cases.iter().enumerate() {

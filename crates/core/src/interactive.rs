@@ -17,7 +17,7 @@
 
 use std::sync::Arc;
 
-use dynamite_datalog::{evaluate, Evaluator, Program};
+use dynamite_datalog::{evaluate, pool, resolve_reorder, Evaluator, Program, RuleCacheHandle};
 use dynamite_instance::{from_facts, to_facts, Instance, Record};
 use dynamite_schema::Schema;
 
@@ -213,12 +213,20 @@ fn find_distinguishing_input(
         return None;
     }
     // One prepared context per candidate input; both programs probe the
-    // same snapshot and share its join indexes.
+    // same snapshot and share its join indexes. The contexts honour the
+    // session's synthesis configuration — thread count, compiled-plan
+    // sharing across candidate inputs, and the join-planner switch (so
+    // `SynthesisConfig::reorder` governs disambiguation queries too, not
+    // just the CEGIS loop).
+    let worker_pool = pool::with_threads(config.synthesis.threads);
+    let reorder = resolve_reorder(config.synthesis.reorder);
+    let rules = RuleCacheHandle::default();
     let run_pair = |input: &Instance| -> (
         Option<dynamite_instance::Flattened>,
         Option<dynamite_instance::Flattened>,
     ) {
-        let ctx = Evaluator::new(to_facts(input));
+        let ctx =
+            Evaluator::with_config(to_facts(input), worker_pool.clone(), rules.clone(), reorder);
         let run = |p: &Program| {
             let out = ctx.eval(p).ok()?;
             let inst = from_facts(&out, target.clone()).ok()?;

@@ -16,7 +16,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use dynamite_datalog::pool::{self, WorkerPool};
-use dynamite_datalog::{Evaluator, Program, Rule, RuleCacheHandle};
+use dynamite_datalog::{resolve_reorder, Evaluator, Program, Rule, RuleCacheHandle};
 use dynamite_instance::hash::FxHashMap;
 use dynamite_instance::{from_facts, to_facts, Flattened};
 use dynamite_schema::Schema;
@@ -66,6 +66,12 @@ pub struct SynthesisConfig {
     /// absent that, the available parallelism); the env var overrides an
     /// explicit setting either way. `1` is the fully sequential path.
     pub threads: Option<usize>,
+    /// Whether candidate evaluation uses the cost-based join planner.
+    /// `None` defers to the `DYNAMITE_NO_REORDER` environment variable
+    /// (default: enabled); the env var overrides an explicit setting
+    /// either way, so planner regressions stay bisectable from the
+    /// command line. `Some(false)` pins body-order plans.
+    pub reorder: Option<bool>,
 }
 
 impl Default for SynthesisConfig {
@@ -78,6 +84,7 @@ impl Default for SynthesisConfig {
             mdp_budget: 20_000,
             simplify: true,
             threads: None,
+            reorder: None,
         }
     }
 }
@@ -236,13 +243,18 @@ impl Synthesizer {
         let psi = infer_attr_mapping(&source, &target, &examples);
         let sketch = generate_sketch(&psi, &source, &target, &examples, &config.sketch);
         let pool = pool::with_threads(config.threads);
-        // One compiled-rule memo across all example contexts: compiled
-        // plans are EDB-independent, so a candidate compiled while
-        // checking example 1 is a cache hit on examples 2..N.
+        let reorder = resolve_reorder(config.reorder);
+        // One compiled-rule memo across all example contexts: a plan's
+        // join orders are part of its memo key, so a candidate compiled
+        // while checking example 1 is a cache hit on examples 2..N
+        // whenever their statistics agree on the orders — and never a
+        // wrong-order plan when they do not.
         let rules = RuleCacheHandle::default();
         let input_contexts: Vec<Evaluator> = examples
             .iter()
-            .map(|e| Evaluator::with_shared(to_facts(&e.input), pool.clone(), rules.clone()))
+            .map(|e| {
+                Evaluator::with_config(to_facts(&e.input), pool.clone(), rules.clone(), reorder)
+            })
             .collect();
         let total_facts: usize = input_contexts
             .iter()

@@ -24,10 +24,18 @@
 //!   (indexes first requested mid-evaluation still catch up lazily);
 //! - compiled rules are memoized **across** evaluations by a normalized
 //!   rule key, so CEGIS candidates sharing rule bodies skip recompilation;
+//! - positive body literals are **reordered by a cost-based planner**
+//!   ([`CostModel`]): machine-generated candidate bodies arrive in
+//!   arbitrary order, so each join order is chosen greedily by estimated
+//!   output cardinality from the EDB's incrementally maintained
+//!   [`ColumnStats`](dynamite_instance::ColumnStats) (delta literals stay
+//!   pinned outermost; `DYNAMITE_NO_REORDER=1` falls back to body order);
 //! - outermost literals bound only by constants take a columnar pre-scan
-//!   fast path: the constant columns' contiguous slices are filtered to a
-//!   candidate row-id list before the join descends (deeper literals keep
-//!   the cached index probe);
+//!   fast path: the constant columns' contiguous slices are swept by the
+//!   batched, statistics-driven adaptive filter kernel
+//!   ([`TupleStore::filter_const_rows`](dynamite_instance::TupleStore::filter_const_rows))
+//!   into a candidate row-id list before the join descends (deeper
+//!   literals keep the cached index probe);
 //! - negated literals probe an index on their bound columns instead of
 //!   scanning the whole relation per emitted tuple.
 //!
@@ -51,7 +59,7 @@
 //! shared cache, so it should not pay for one.
 
 use std::cell::RefCell;
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, OnceLock, RwLock};
 
 use dynamite_instance::hash::FxHashMap;
 use dynamite_instance::{ColumnIndex, Database, Relation, RowRef, Value};
@@ -114,7 +122,15 @@ struct EdbContext {
     edb: Database,
     indexes: RwLock<IndexCache>,
     rules: RuleCacheHandle,
+    /// Per-context plan cache, keyed by *order-free* rule identity.
+    /// Within one context the statistics — and therefore the planned
+    /// join orders — are fixed, so a repeat evaluation can skip the
+    /// planning pass entirely and pay exactly what the pre-planner
+    /// memo paid: one key build and one map probe per rule.
+    plans: RwLock<FxHashMap<RuleKey, Arc<CompiledRule>>>,
     pool: ContextPool,
+    /// Whether the cost-based join planner reorders body literals.
+    reorder: bool,
 }
 
 /// Which pool a context fans out on. `Global` defers to the process-wide
@@ -124,6 +140,37 @@ struct EdbContext {
 enum ContextPool {
     Ready(Arc<WorkerPool>),
     Global,
+}
+
+/// The `DYNAMITE_NO_REORDER` environment override: `Some(true)` disables
+/// the cost-based join planner (body-order plans), `Some(false)` forces
+/// it on, `None` (unset or unrecognized) defers to the caller. Read once
+/// per process, mirroring `DYNAMITE_THREADS`.
+fn env_no_reorder() -> Option<bool> {
+    static ENV: OnceLock<Option<bool>> = OnceLock::new();
+    *ENV.get_or_init(|| match std::env::var("DYNAMITE_NO_REORDER").ok()?.trim() {
+        "1" | "true" | "yes" => Some(true),
+        "0" | "false" | "no" => Some(false),
+        _ => None,
+    })
+}
+
+/// Whether ambient contexts ([`Evaluator::new`], [`Evaluator::eval_once`])
+/// run the cost-based join planner: on unless `DYNAMITE_NO_REORDER`
+/// disables it.
+pub fn reorder_default() -> bool {
+    resolve_reorder(None)
+}
+
+/// Resolves a configured planner preference: a *valid*
+/// `DYNAMITE_NO_REORDER` environment override wins (so planner
+/// regressions are bisectable without touching code), then the explicit
+/// request, then the default (planner on).
+pub fn resolve_reorder(requested: Option<bool>) -> bool {
+    match env_no_reorder() {
+        Some(no) => !no,
+        None => requested.unwrap_or(true),
+    }
 }
 
 impl Evaluator {
@@ -138,7 +185,9 @@ impl Evaluator {
                 edb,
                 indexes: RwLock::new(FxHashMap::default()),
                 rules: RuleCacheHandle::default(),
+                plans: RwLock::new(FxHashMap::default()),
                 pool: ContextPool::Global,
+                reorder: reorder_default(),
             }),
         }
     }
@@ -152,14 +201,33 @@ impl Evaluator {
     /// Builds a context that additionally shares a compiled-rule memo
     /// with other contexts — the synthesizer hands one handle to every
     /// example's context, so a candidate compiled for example 1 is a
-    /// cache hit on examples 2..N.
+    /// cache hit on examples 2..N. (Sharing stays sound under the
+    /// cost-based planner because each plan's join orders are part of its
+    /// memo key.)
     pub fn with_shared(edb: Database, pool: Arc<WorkerPool>, rules: RuleCacheHandle) -> Evaluator {
+        Evaluator::with_config(edb, pool, rules, reorder_default())
+    }
+
+    /// [`Evaluator::with_shared`] with an explicit join-planner switch:
+    /// `reorder = false` pins body-order plans (the pre-planner
+    /// behaviour). Unlike the ambient constructors this is **not**
+    /// overridden by `DYNAMITE_NO_REORDER` — like an explicit
+    /// [`WorkerPool`] size, an explicit choice here is deliberate
+    /// (benchmarks compare the two modes side by side).
+    pub fn with_config(
+        edb: Database,
+        pool: Arc<WorkerPool>,
+        rules: RuleCacheHandle,
+        reorder: bool,
+    ) -> Evaluator {
         Evaluator {
             ctx: Arc::new(EdbContext {
                 edb,
                 indexes: RwLock::new(FxHashMap::default()),
                 rules,
+                plans: RwLock::new(FxHashMap::default()),
                 pool: ContextPool::Ready(pool),
+                reorder,
             }),
         }
     }
@@ -190,16 +258,30 @@ impl Evaluator {
     /// Extensional relations missing from the snapshot are treated as
     /// empty.
     pub fn eval(&self, program: &Program) -> Result<Database, EvalError> {
+        self.run().eval(program)
+    }
+
+    /// Renders the join plan the planner picks for each rule of `program`
+    /// against this context's statistics — one line per rule, naive
+    /// variant, literals in execution order with their access paths
+    /// (`EXPLAIN` for the cost-based planner). Goes through the same
+    /// compile path (and rule memo) as [`Evaluator::eval`].
+    pub fn explain(&self, program: &Program) -> Result<Vec<String>, EvalError> {
+        self.run().explain(program)
+    }
+
+    fn run(&self) -> EvalRun<'_> {
         EvalRun {
             edb: &self.ctx.edb,
             indexes: IndexSource::Shared(&self.ctx.indexes),
             rules: Some(&self.ctx.rules.inner),
+            plans: Some(&self.ctx.plans),
             pool: match &self.ctx.pool {
                 ContextPool::Ready(p) => PoolSource::Ready(p),
                 ContextPool::Global => PoolSource::Lazy,
             },
+            reorder: self.ctx.reorder,
         }
-        .eval(program)
     }
 
     /// Evaluates `program` on a borrowed `edb` without building a shared
@@ -216,7 +298,9 @@ impl Evaluator {
             edb,
             indexes: IndexSource::Local(RefCell::new(FxHashMap::default())),
             rules: None,
+            plans: None,
             pool: PoolSource::Lazy,
+            reorder: reorder_default(),
         }
         .eval(program)
     }
@@ -236,7 +320,13 @@ struct EvalRun<'e> {
     edb: &'e Database,
     indexes: IndexSource<'e>,
     rules: Option<&'e RwLock<RuleCache>>,
+    /// The owning context's per-context plan cache (fast path), absent
+    /// for one-shot runs.
+    plans: Option<&'e RwLock<FxHashMap<RuleKey, Arc<CompiledRule>>>>,
     pool: PoolSource<'e>,
+    /// Whether join orders come from the cost-based planner (`true`) or
+    /// follow body order (`false`).
+    reorder: bool,
 }
 
 /// The pool an evaluation fans out on. One-shot evaluations resolve the
@@ -280,15 +370,12 @@ impl EvalRun<'_> {
         let strata = stratify(program, &idb)?;
         let max_stratum = strata.values().copied().max().unwrap_or(0);
 
-        // Compile every rule (variable layout, join orders for the naive
-        // variant and each same-stratum delta variant, index column sets,
-        // negation probes) — served from the cross-evaluation memo when
-        // an earlier candidate already compiled an identical rule.
-        let compiled: Vec<Arc<CompiledRule>> = program
-            .rules
-            .iter()
-            .map(|r| self.compiled(r, &strata))
-            .collect();
+        // Compile every rule (variable layout, planner-chosen join orders
+        // for the naive variant and each same-stratum delta variant,
+        // index column sets, negation probes) — served from the
+        // cross-evaluation memo when an earlier candidate already
+        // compiled an identical rule *with identical join orders*.
+        let compiled = self.compile_program(program, &strata);
 
         let mut idb_state = IdbState::new(idb.iter().map(|&r| (r, arities[r])));
 
@@ -311,27 +398,88 @@ impl EvalRun<'_> {
         Ok(idb_state.into_database())
     }
 
-    /// Returns the compiled form of `rule`, from the memo when available.
+    /// Compiles every rule of `program` under this run's planner mode.
+    fn compile_program(
+        &self,
+        program: &Program,
+        strata: &std::collections::HashMap<String, usize>,
+    ) -> Vec<Arc<CompiledRule>> {
+        let model = self.reorder.then_some(CostModel { edb: self.edb });
+        program
+            .rules
+            .iter()
+            .map(|r| self.compiled(r, strata, model.as_ref()))
+            .collect()
+    }
+
+    /// Renders each rule's naive-variant plan (see [`Evaluator::explain`]).
+    fn explain(&self, program: &Program) -> Result<Vec<String>, EvalError> {
+        program.check_well_formed()?;
+        check_arities(program, self.edb)?;
+        let idb: Vec<&str> = program.intensional().into_iter().collect();
+        let strata = stratify(program, &idb)?;
+        Ok(self
+            .compile_program(program, &strata)
+            .iter()
+            .map(|c| c.describe())
+            .collect())
+    }
+
+    /// Returns the compiled form of `rule`.
+    ///
+    /// Two cache layers sit in front of compilation:
+    ///
+    /// - the **per-context plan cache**, keyed by order-free rule
+    ///   identity. A context's statistics are fixed, so its planned
+    ///   orders are too — a hit skips even the planning pass, making a
+    ///   repeat evaluation cost exactly what the pre-planner memo cost
+    ///   (one key build, one probe);
+    /// - the **shared cross-context memo**, keyed by rule identity
+    ///   *plus* the planned orders (planned before the lookup). A
+    ///   context whose statistics would order a join differently
+    ///   produces a different key and can never be served another
+    ///   context's plan, while contexts that agree on the orders (the
+    ///   common cross-example case) still share one compilation.
     fn compiled(
         &self,
         rule: &Rule,
         strata: &std::collections::HashMap<String, usize>,
+        model: Option<&CostModel<'_>>,
     ) -> Arc<CompiledRule> {
-        let Some(lock) = self.rules else {
-            return Arc::new(CompiledRule::compile(rule, strata));
-        };
-        let Some(key) = RuleKey::of(rule, strata) else {
-            return Arc::new(CompiledRule::compile(rule, strata));
-        };
-        if let Some(c) = lock.read().expect("rule cache poisoned").get(&key) {
-            return c.clone();
+        let base = RuleKey::of(rule, strata);
+        if let (Some(plans), Some(base)) = (self.plans, &base) {
+            if let Some(c) = plans.read().expect("plan cache poisoned").get(base) {
+                return c.clone();
+            }
         }
-        let built = Arc::new(CompiledRule::compile(rule, strata));
-        let mut w = lock.write().expect("rule cache poisoned");
-        if w.len() >= RULE_CACHE_CAP && !w.contains_key(&key) {
-            return built; // full: serve uncached rather than grow
+        let orders = PlanOrders::of(rule, strata, model);
+        let Some(base) = base else {
+            return Arc::new(CompiledRule::compile(rule, strata, &orders));
+        };
+        let context_key = self.plans.map(|_| base.clone());
+        let mut key = base;
+        orders.encode_into(&mut key.text);
+        let built = match self.rules {
+            None => Arc::new(CompiledRule::compile(rule, strata, &orders)),
+            Some(lock) => 'shared: {
+                if let Some(c) = lock.read().expect("rule cache poisoned").get(&key) {
+                    break 'shared c.clone();
+                }
+                let built = Arc::new(CompiledRule::compile(rule, strata, &orders));
+                let mut w = lock.write().expect("rule cache poisoned");
+                if w.len() >= RULE_CACHE_CAP && !w.contains_key(&key) {
+                    break 'shared built; // full: serve uncached rather than grow
+                }
+                w.entry(key).or_insert(built).clone()
+            }
+        };
+        if let (Some(plans), Some(k)) = (self.plans, context_key) {
+            let mut w = plans.write().expect("plan cache poisoned");
+            if w.len() < RULE_CACHE_CAP {
+                w.entry(k).or_insert_with(|| built.clone());
+            }
         }
-        w.entry(key).or_insert(built).clone()
+        built
     }
 
     /// Semi-naive fixpoint for one stratum, evaluated round-by-round:
@@ -345,10 +493,13 @@ impl EvalRun<'_> {
         idb: &mut IdbState,
         arities: &std::collections::HashMap<&str, usize>,
     ) {
+        // Deltas (like the IDB overlay) are untracked: their statistics
+        // are never consulted, and the absorb path inserts every derived
+        // fact of every round.
         let fresh_delta = || -> FxHashMap<String, Relation> {
             in_stratum
                 .iter()
-                .map(|&r| (r.to_string(), Relation::new(arities[r])))
+                .map(|&r| (r.to_string(), Relation::new_untracked(arities[r])))
                 .collect()
         };
 
@@ -667,10 +818,16 @@ fn join_job(
     run.results
 }
 
-/// The constant-filter pre-scan: sweeps the constant-bound columns'
-/// contiguous slices within `range` (concatenated row space), producing
-/// per-part candidate row-id lists before the join descends. Ids ascend
-/// within each part, so iteration order matches a plain scan's.
+/// The constant-filter pre-scan: runs the batched filter kernel
+/// ([`TupleStore::filter_const_rows`](dynamite_instance::TupleStore::filter_const_rows))
+/// over each part within `range` (concatenated row space), producing
+/// per-part candidate row-id lists before the join descends. The kernel
+/// sweeps the estimated most-selective constant's contiguous column
+/// slice first — conditionally for sparse hits, by branch-free
+/// compaction for dense ones — re-checks survivors against the
+/// remaining constants, and short-circuits entirely for constants
+/// outside a column's observed range; ids ascend within each part, so
+/// iteration order matches a plain scan's.
 fn prescan<'a>(
     parts: [Option<&'a Relation>; 2],
     const_cols: &[(usize, Value)],
@@ -680,22 +837,249 @@ fn prescan<'a>(
     parts.map(|part| {
         let part = part?;
         let n = part.len();
-        let (s, e) = (start.min(n), end.min(n));
+        let ids = part.filter_const_rows(const_cols, start.min(n), end.min(n));
         start = start.saturating_sub(n);
         end = end.saturating_sub(n);
-        let (c0, v0) = const_cols[0];
-        let mut ids: Vec<u32> = part.column(c0)[s..e]
-            .iter()
-            .enumerate()
-            .filter(|&(_, v)| *v == v0)
-            .map(|(i, _)| (s + i) as u32)
-            .collect();
-        for &(c, v) in &const_cols[1..] {
-            let col = part.column(c);
-            ids.retain(|&i| col[i as usize] == v);
-        }
         Some((part, ids))
     })
+}
+
+// ------------------------------------------------------------- planner --
+
+/// Assumed size of a relation the cost model knows nothing about (IDB
+/// relations and delta occurrences have no statistics at compile time):
+/// large enough that a literal over a *known*-small relation is preferred,
+/// small enough that a known-huge scan is still pushed behind it.
+const UNKNOWN_ROWS: f64 = 1024.0;
+
+/// Assumed per-column distinct count of an unknown relation — a bound
+/// column still buys a healthy selectivity factor.
+const UNKNOWN_DISTINCT: f64 = 32.0;
+
+/// The cost model behind join planning: a view over the EDB snapshot's
+/// per-relation row counts and per-column [`ColumnStats`] (distinct
+/// sketches and value bounds), maintained incrementally by
+/// [`TupleStore`](dynamite_instance::TupleStore).
+///
+/// [`ColumnStats`]: dynamite_instance::ColumnStats
+struct CostModel<'e> {
+    edb: &'e Database,
+}
+
+impl CostModel<'_> {
+    /// Greedily orders the positive body literals by estimated output
+    /// cardinality: starting from the pinned `first` literal (the delta
+    /// occurrence) or from nothing, repeatedly picks the literal whose
+    /// estimated matching-row count under the currently bound variables
+    /// is smallest (ties break toward body order, keeping the plan
+    /// deterministic and the no-information case identical to the
+    /// legacy order). Returns indices into `positives`.
+    ///
+    /// Two guards temper the raw estimates:
+    ///
+    /// - **Connectivity**: a literal sharing no variable with the bound
+    ///   set (or, before anything is bound, with any other literal) is a
+    ///   pure Cartesian multiplier — it inflates every later depth by
+    ///   its own cardinality, so however small it looks it is deferred
+    ///   until only disconnected literals remain. Two exceptions go
+    ///   first regardless: a literal estimated *empty* (it ends the
+    ///   whole join instantly), and a *ground* literal (all terms
+    ///   constants — rows are deduplicated, so it matches at most one
+    ///   row: a pure guard that multiplies nothing). A variable-free
+    ///   literal with wildcards is **not** ground — it can match many
+    ///   rows while binding nothing, the worst multiplier of all.
+    /// - **`empty` hint**: literals for which `empty` holds cost zero —
+    ///   used by naive variants, whose same-stratum IDB literals are
+    ///   provably empty in round 1; ordering them outermost both ends
+    ///   the round instantly and avoids registering an overlay index
+    ///   that the fixpoint's eager maintenance would then pay for on
+    ///   every absorbed row.
+    fn greedy(
+        &self,
+        positives: &[&Literal],
+        first: Option<usize>,
+        empty: &impl Fn(&Literal) -> bool,
+    ) -> Vec<usize> {
+        let n = positives.len();
+        // Bodies are tiny (a handful of literals, a handful of vars), and
+        // this runs per rule per evaluation: linear scans over small Vecs
+        // beat hash sets here.
+        // A variable occurring in ≥ 2 literals can connect them; a
+        // literal with none of those is isolated from the whole body.
+        let isolated: Vec<bool> = positives
+            .iter()
+            .enumerate()
+            .map(|(i, lit)| {
+                lit.atom.vars().all(|v| {
+                    !positives
+                        .iter()
+                        .enumerate()
+                        .any(|(j, other)| j != i && other.atom.vars().any(|w| w == v))
+                })
+            })
+            .collect();
+        let ground: Vec<bool> = positives
+            .iter()
+            .map(|lit| lit.atom.terms.iter().all(|t| matches!(t, Term::Const(_))))
+            .collect();
+
+        fn bind<'p>(lit: &'p Literal, bound: &mut Vec<&'p str>) {
+            for v in lit.atom.vars() {
+                if !bound.contains(&v) {
+                    bound.push(v);
+                }
+            }
+        }
+        let mut order = Vec::with_capacity(n);
+        let mut used = vec![false; n];
+        let mut bound: Vec<&str> = Vec::new();
+        if let Some(f) = first {
+            order.push(f);
+            used[f] = true;
+            bind(positives[f], &mut bound);
+        }
+        while order.len() < n {
+            let mut best = usize::MAX;
+            let mut best_cost = f64::INFINITY;
+            let mut best_connected = false;
+            for (i, lit) in positives.iter().enumerate() {
+                if used[i] {
+                    continue;
+                }
+                let cost = if empty(lit) {
+                    0.0
+                } else {
+                    self.estimate(lit, &bound)
+                };
+                // Empty and ground literals always qualify; otherwise a
+                // candidate is "connected" if it shares a bound variable
+                // — or, while nothing is bound yet, if it is not
+                // isolated.
+                let connected = cost == 0.0
+                    || ground[i]
+                    || if bound.is_empty() {
+                        !isolated[i]
+                    } else {
+                        lit.atom.vars().any(|v| bound.contains(&v))
+                    };
+                // Connected candidates always beat disconnected ones;
+                // within a class, smaller estimate wins (ties: body
+                // order).
+                let better = match (connected, best_connected) {
+                    (true, false) => true,
+                    (false, true) => false,
+                    _ => cost < best_cost,
+                };
+                if better {
+                    best_cost = cost;
+                    best = i;
+                    best_connected = connected;
+                }
+            }
+            order.push(best);
+            used[best] = true;
+            bind(positives[best], &mut bound);
+        }
+        order
+    }
+
+    /// Estimated number of rows of `lit`'s relation matching the already
+    /// bound variables: row count divided by the distinct-count estimate
+    /// of every constant-bound or variable-bound column (independence
+    /// assumption), zero when a constant provably lies outside a column's
+    /// observed range.
+    fn estimate(&self, lit: &Literal, bound: &[&str]) -> f64 {
+        let rel = self.edb.relation(&lit.atom.relation);
+        let mut est = match rel {
+            Some(r) => r.len() as f64,
+            None => UNKNOWN_ROWS,
+        };
+        let stats = |c: usize| rel.and_then(|r| r.column_stats(c));
+        let distinct = |c: usize| match (rel, stats(c)) {
+            (Some(r), Some(st)) => st.distinct_estimate(r.len()).max(1) as f64,
+            _ => UNKNOWN_DISTINCT,
+        };
+        for (c, t) in lit.atom.terms.iter().enumerate() {
+            match t {
+                Term::Const(v) => {
+                    if stats(c).is_some_and(|st| st.excludes(*v)) {
+                        return 0.0;
+                    }
+                    est /= distinct(c);
+                }
+                Term::Var(name) if bound.contains(&name.as_str()) => est /= distinct(c),
+                _ => {}
+            }
+        }
+        est
+    }
+}
+
+/// The join orders chosen for one rule — indices into its positive-literal
+/// list, one permutation for the naive variant and one per same-stratum
+/// delta occurrence (delta pinned first). This is everything the planner
+/// contributes to compilation, and therefore exactly what [`RuleKey`]
+/// must carry for the cross-evaluation memo to stay sound.
+struct PlanOrders {
+    naive: Vec<usize>,
+    /// In the order the delta occurrences appear in the body.
+    deltas: Vec<Vec<usize>>,
+}
+
+impl PlanOrders {
+    /// Plans `rule` under `model`, or reproduces the legacy body order
+    /// (delta occurrence hoisted first) when the planner is disabled.
+    fn of(
+        rule: &Rule,
+        strata: &std::collections::HashMap<String, usize>,
+        model: Option<&CostModel<'_>>,
+    ) -> PlanOrders {
+        let stratum = rule_stratum(rule, strata);
+        let positives: Vec<&Literal> = rule.body.iter().filter(|l| !l.negated).collect();
+        let n = positives.len();
+        let delta_idxs: Vec<usize> = (0..n)
+            .filter(|&i| strata.get(&positives[i].atom.relation).copied() == Some(stratum))
+            .collect();
+        let same_stratum = |l: &Literal| strata.get(&l.atom.relation).copied() == Some(stratum);
+        match model {
+            // Single-literal bodies have exactly one order; skip the
+            // planner machinery (candidate sweeps are full of them).
+            Some(m) if n > 1 => PlanOrders {
+                // Round 1 evaluates every naive variant against the
+                // stratum's still-empty overlay, so same-stratum IDB
+                // literals are empty by construction.
+                naive: m.greedy(&positives, None, &same_stratum),
+                deltas: delta_idxs
+                    .iter()
+                    .map(|&d| m.greedy(&positives, Some(d), &|_| false))
+                    .collect(),
+            },
+            _ => PlanOrders {
+                naive: (0..n).collect(),
+                deltas: delta_idxs
+                    .iter()
+                    .map(|&d| {
+                        std::iter::once(d)
+                            .chain((0..n).filter(|&i| i != d))
+                            .collect()
+                    })
+                    .collect(),
+            },
+        }
+    }
+
+    /// Appends a flat textual encoding to a memo-key string (no extra
+    /// allocation; literal counts are ≤ 64 — see [`RuleKey::of`] — so
+    /// two decimal digits per index always suffice).
+    fn encode_into(&self, text: &mut String) {
+        use std::fmt::Write;
+        for order in std::iter::once(&self.naive).chain(&self.deltas) {
+            text.push('|');
+            for &i in order {
+                let _ = write!(text, "{i},");
+            }
+        }
+    }
 }
 
 // ------------------------------------------------------------ compiled --
@@ -780,8 +1164,20 @@ enum NegTerm {
 /// cross-evaluation memo. `Value` constants are identified by their debug
 /// form (interned symbol ids are process-global, so the text is stable
 /// and collision-free across variants of the `Value` enum).
-#[derive(PartialEq, Eq, Hash)]
+///
+/// Since the cost-based planner, compiled plans also depend on the
+/// database statistics *through* the chosen join orders. [`RuleKey::of`]
+/// builds the *order-free* identity (the per-context plan cache's key —
+/// orders are a function of the context); the shared cross-context memo
+/// appends the planned [`PlanOrders`] to `text` (the statistics' entire
+/// footprint on compilation), so a context whose statistics would order
+/// a join differently can never be served another context's plan, while
+/// contexts that agree on the orders (the usual cross-example case, and
+/// trivially all body-order plans) still share one compilation.
+#[derive(Clone, PartialEq, Eq, Hash)]
 struct RuleKey {
+    /// Serialized heads and body; the shared memo appends the planned
+    /// [`PlanOrders`].
     text: String,
     stratum: usize,
     /// Bit `i` set ⇔ body literal `i` ranges over a same-stratum relation
@@ -848,7 +1244,11 @@ impl RuleKey {
 }
 
 impl CompiledRule {
-    fn compile(rule: &Rule, strata: &std::collections::HashMap<String, usize>) -> CompiledRule {
+    fn compile(
+        rule: &Rule,
+        strata: &std::collections::HashMap<String, usize>,
+        orders: &PlanOrders,
+    ) -> CompiledRule {
         let stratum = rule_stratum(rule, strata);
         let mut var_index: FxHashMap<&str, usize> = FxHashMap::default();
         for v in rule.all_vars() {
@@ -910,13 +1310,14 @@ impl CompiledRule {
             .filter(|(_, l)| !l.negated)
             .collect();
 
-        let naive = Variant::compile(&positives, None, &var_index, nvars);
+        let naive = Variant::compile(&positives, false, &var_index, nvars, &orders.naive);
         let deltas = positives
             .iter()
             .filter(|(_, l)| strata.get(&l.atom.relation).copied() == Some(stratum))
-            .map(|&(pos, l)| DeltaVariant {
+            .zip(&orders.deltas)
+            .map(|(&(_, l), order)| DeltaVariant {
                 relation: l.atom.relation.clone(),
-                variant: Variant::compile(&positives, Some(pos), &var_index, nvars),
+                variant: Variant::compile(&positives, true, &var_index, nvars, order),
             })
             .collect();
 
@@ -929,25 +1330,51 @@ impl CompiledRule {
             deltas,
         }
     }
+
+    /// One-line plan rendering: heads, then the naive variant's literals
+    /// in execution order with their access paths, then negation probes.
+    fn describe(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        for (i, (rel, _)) in self.heads.iter().enumerate() {
+            if i > 0 {
+                s.push('/');
+            }
+            s.push_str(rel);
+        }
+        s.push_str(" :- ");
+        for (i, lit) in self.naive.lits.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            let _ = match lit.access {
+                Access::Scan => write!(s, "{}[scan]", lit.rel),
+                Access::Prescan => write!(s, "{}[prescan]", lit.rel),
+                Access::Indexed => write!(s, "{}[index {:?}]", lit.rel, lit.key_cols),
+            };
+        }
+        for neg in &self.negs {
+            let _ = write!(s, ", !{}[probe {:?}]", neg.rel, neg.key_cols);
+        }
+        s
+    }
 }
 
 impl Variant {
-    /// Compiles a join order: body order with the delta occurrence (if
-    /// any) moved first, slot layouts, per-literal index key columns, and
-    /// the access path each literal takes at its depth.
+    /// Compiles one join order — the planner-chosen (or body-order)
+    /// permutation `order` of `positives`, with the delta occurrence (if
+    /// `delta_first`) already pinned at position 0 — into slot layouts,
+    /// per-literal index key columns, and the access path each literal
+    /// takes at its depth.
     fn compile(
         positives: &[(usize, &Literal)],
-        delta_pos: Option<usize>,
+        delta_first: bool,
         var_index: &FxHashMap<&str, usize>,
         nvars: usize,
+        order: &[usize],
     ) -> Variant {
-        let mut ordered: Vec<(usize, &Literal)> = positives.to_vec();
-        if let Some(d) = delta_pos {
-            if let Some(i) = ordered.iter().position(|(p, _)| *p == d) {
-                let lit = ordered.remove(i);
-                ordered.insert(0, lit);
-            }
-        }
+        debug_assert_eq!(order.len(), positives.len(), "order must be a permutation");
+        let ordered: Vec<(usize, &Literal)> = order.iter().map(|&i| positives[i]).collect();
         let mut bound = vec![false; nvars];
         let lits = ordered
             .iter()
@@ -983,7 +1410,7 @@ impl Variant {
                 // The first literal in the join order is a scan when it is
                 // the delta occurrence; otherwise consts (and, for later
                 // literals, bound variables) form the index key.
-                let is_delta = join_i == 0 && delta_pos.is_some();
+                let is_delta = join_i == 0 && delta_first;
                 let key_cols: Vec<usize> = if is_delta {
                     Vec::new()
                 } else {
@@ -1052,8 +1479,11 @@ impl IncIndex {
 impl IdbState {
     fn new<'a>(idb: impl Iterator<Item = (&'a str, usize)>) -> IdbState {
         IdbState {
+            // Untracked stores: overlay statistics are never consulted
+            // (the planner reads the EDB snapshot's), so the fixpoint's
+            // hottest insert path skips the per-value upkeep.
             rels: idb
-                .map(|(r, arity)| (r.to_string(), Relation::new(arity)))
+                .map(|(r, arity)| (r.to_string(), Relation::new_untracked(arity)))
                 .collect(),
             indexes: FxHashMap::default(),
         }
@@ -1366,5 +1796,225 @@ impl JoinRun<'_> {
             }
         }
         self.newly[depth] = newly;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A three-relation database with a steep selectivity gradient:
+    /// `Big` (4000 rows, wide join columns), `Mid` (400), `Sel` (100,
+    /// whose second column has only 20 distinct values).
+    fn skewed_db() -> Database {
+        let mut db = Database::new();
+        db.extend_rows(
+            "Big",
+            2,
+            (0..4000i64).map(|i| vec![i.into(), (i % 400).into()]),
+        );
+        db.extend_rows(
+            "Mid",
+            2,
+            (0..400i64).map(|i| vec![i.into(), (i % 100).into()]),
+        );
+        db.extend_rows(
+            "Sel",
+            2,
+            (0..100i64).map(|i| vec![i.into(), (i % 20).into()]),
+        );
+        db
+    }
+
+    /// The adversarial candidate: biggest relation first, the selective
+    /// constant literal last.
+    fn adversarial() -> Program {
+        Program::parse("Out(x) :- Big(x, y), Mid(y, z), Sel(z, 7).").expect("parses")
+    }
+
+    fn fresh_ctx(db: &Database, reorder: bool) -> Evaluator {
+        Evaluator::with_config(
+            db.clone(),
+            Arc::new(WorkerPool::new(1)),
+            RuleCacheHandle::default(),
+            reorder,
+        )
+    }
+
+    #[test]
+    fn planner_hoists_the_selective_literal() {
+        let db = skewed_db();
+        let planned = fresh_ctx(&db, true);
+        let plans = planned.explain(&adversarial()).expect("explains");
+        assert_eq!(plans.len(), 1);
+        // Sel(z, 7) is by far the cheapest entry point (100 / 20 = 5
+        // estimated rows) and its key is all constants: prescan. Mid then
+        // joins on the bound z, Big last on the bound y.
+        assert_eq!(
+            plans[0],
+            "Out :- Sel[prescan], Mid[index [1]], Big[index [1]]"
+        );
+        // Body order, for contrast, scans Big first.
+        let blind = fresh_ctx(&db, false);
+        let plans = blind.explain(&adversarial()).expect("explains");
+        assert_eq!(
+            plans[0],
+            "Out :- Big[scan], Mid[index [0]], Sel[index [0, 1]]"
+        );
+    }
+
+    #[test]
+    fn planner_and_body_order_agree_on_results() {
+        let db = skewed_db();
+        let p = adversarial();
+        let planned = fresh_ctx(&db, true).eval(&p).expect("evaluates");
+        let blind = fresh_ctx(&db, false).eval(&p).expect("evaluates");
+        assert_eq!(planned, blind);
+        // Cross-check cardinality by hand: Sel(z, 7) matches z ∈ {7, 27,
+        // 47, 67, 87}; each z matches 4 Mid rows; each y matches 10 Big
+        // rows — 200 bindings, all x distinct.
+        assert_eq!(planned.relation("Out").expect("out").len(), 200);
+    }
+
+    #[test]
+    fn out_of_range_constant_prunes_to_empty() {
+        let db = skewed_db();
+        let p = Program::parse("Out(x) :- Big(x, y), Sel(y, 999).").expect("parses");
+        let planned = fresh_ctx(&db, true);
+        // 999 is outside Sel's second column range: estimated zero rows,
+        // so the planner puts Sel first and the prescan short-circuits.
+        let plans = planned.explain(&p).expect("explains");
+        assert!(plans[0].starts_with("Out :- Sel[prescan]"), "{}", plans[0]);
+        assert!(planned
+            .eval(&p)
+            .expect("evaluates")
+            .relation("Out")
+            .expect("out")
+            .is_empty());
+    }
+
+    #[test]
+    fn shared_memo_does_not_leak_plans_across_skewed_contexts() {
+        // Two databases with opposite skew: in `a` the program's first
+        // body literal ranges over the huge relation, in `b` over the
+        // tiny one. Both contexts share one rule memo; each must still
+        // get the plan its own statistics dictate.
+        let mut a = Database::new();
+        a.extend_rows(
+            "R",
+            2,
+            (0..3000i64).map(|i| vec![i.into(), (i % 500).into()]),
+        );
+        a.extend_rows("S", 2, (0..30i64).map(|i| vec![(i % 10).into(), i.into()]));
+        let mut b = Database::new();
+        b.extend_rows("R", 2, (0..30i64).map(|i| vec![i.into(), (i % 10).into()]));
+        b.extend_rows(
+            "S",
+            2,
+            (0..3000i64).map(|i| vec![(i % 500).into(), i.into()]),
+        );
+
+        let pool = Arc::new(WorkerPool::new(1));
+        let rules = RuleCacheHandle::default();
+        let ctx_a = Evaluator::with_config(a.clone(), pool.clone(), rules.clone(), true);
+        let ctx_b = Evaluator::with_config(b.clone(), pool, rules, true);
+
+        let p = Program::parse("Out(x, w) :- R(x, y), S(y, w).").expect("parses");
+        let plan_a = ctx_a.explain(&p).expect("explains")[0].clone();
+        let plan_b = ctx_b.explain(&p).expect("explains")[0].clone();
+        // a: S is tiny → joined first; b: R is tiny → stays first. If the
+        // memo served a's plan to b (or vice versa), these would match.
+        assert_eq!(plan_a, "Out :- S[scan], R[index [1]]");
+        assert_eq!(plan_b, "Out :- R[scan], S[index [0]]");
+
+        // And both still compute the right answer (against eval_once,
+        // which never uses the shared memo).
+        for (ctx, db) in [(&ctx_a, &a), (&ctx_b, &b)] {
+            assert_eq!(
+                ctx.eval(&p).expect("evaluates"),
+                Evaluator::eval_once(&p, db).expect("evaluates")
+            );
+        }
+        // Re-explaining is stable (second lookup is the memo hit path).
+        assert_eq!(ctx_a.explain(&p).expect("explains")[0], plan_a);
+        assert_eq!(ctx_b.explain(&p).expect("explains")[0], plan_b);
+    }
+
+    #[test]
+    fn ground_guard_literal_is_hoisted_not_deferred() {
+        // Guard(1, 2) shares no variables with the rest of the body, but
+        // a fully ground literal matches at most one (deduplicated) row:
+        // it must run first as a guard, not last as a per-binding probe.
+        let mut db = skewed_db();
+        db.extend_rows(
+            "Guard",
+            2,
+            (0..10i64).map(|i| vec![i.into(), (i + 1).into()]),
+        );
+        let p = Program::parse("Out(x) :- Big(x, y), Mid(y, z), Guard(1, 2).").expect("parses");
+        let planned = fresh_ctx(&db, true);
+        let plans = planned.explain(&p).expect("explains");
+        assert!(
+            plans[0].starts_with("Out :- Guard[prescan]"),
+            "{}",
+            plans[0]
+        );
+        // Present guard: same result as body order; absent guard: empty.
+        let blind = fresh_ctx(&db, false);
+        assert_eq!(
+            planned.eval(&p).expect("evaluates"),
+            blind.eval(&p).expect("evaluates")
+        );
+        let absent =
+            Program::parse("Out(x) :- Big(x, y), Mid(y, z), Guard(2, 2).").expect("parses");
+        assert!(planned
+            .eval(&absent)
+            .expect("evaluates")
+            .relation("Out")
+            .expect("out")
+            .is_empty());
+        // A variable-free literal with wildcards is NOT a guard — it can
+        // match many rows while binding nothing, so it defers behind the
+        // connected chain even though its estimate (400 rows) beats
+        // Big's (4000).
+        let wild = Program::parse("Out(x) :- Mid(_, _), Big(x, y), Mid(y, z).").expect("parses");
+        let plans = planned.explain(&wild).expect("explains");
+        assert_eq!(plans[0], "Out :- Mid[scan], Big[index [1]], Mid[scan]");
+    }
+
+    #[test]
+    fn delta_literal_stays_pinned_outermost() {
+        // Recursive rule over a large EDB: the planner may order the
+        // remaining literals freely but every delta variant must keep the
+        // delta occurrence first (semi-naive correctness depends on it).
+        let mut db = Database::new();
+        db.extend_rows(
+            "Edge",
+            2,
+            (0..500i64).map(|i| vec![i.into(), ((i + 1) % 500).into()]),
+        );
+        let p = Program::parse(
+            "Path(x, y) :- Edge(x, y).
+             Path(x, z) :- Path(x, y), Edge(y, z).",
+        )
+        .expect("parses");
+        let planned = fresh_ctx(&db, true).eval(&p).expect("evaluates");
+        let blind = fresh_ctx(&db, false).eval(&p).expect("evaluates");
+        assert_eq!(planned, blind);
+        assert_eq!(planned.relation("Path").expect("path").len(), 500 * 500);
+    }
+
+    #[test]
+    fn resolve_reorder_prefers_explicit_request() {
+        // Without the env var set (the test environment may set it; in
+        // that case the env wins and this test is vacuous), an explicit
+        // request decides.
+        if env_no_reorder().is_none() {
+            assert!(resolve_reorder(None));
+            assert!(resolve_reorder(Some(true)));
+            assert!(!resolve_reorder(Some(false)));
+        }
+        // reorder_default and resolve_reorder(None) always agree.
+        assert_eq!(reorder_default(), resolve_reorder(None));
     }
 }

@@ -31,7 +31,7 @@ pub mod pool;
 pub use ast::{
     alpha_equivalent, normalize_singletons, Atom, Literal, Program, Rule, Term, WellFormedError,
 };
-pub use engine::{Evaluator, RuleCacheHandle};
+pub use engine::{reorder_default, resolve_reorder, Evaluator, RuleCacheHandle};
 pub use eval::{evaluate, EvalError};
 pub use parse::{parse_program, ParseError};
 pub use pool::WorkerPool;

@@ -4,7 +4,9 @@
 //!
 //! - [`Value`]: primitive constants plus synthetic record identifiers;
 //! - [`TupleStore`] / [`RowRef`]: columnar tuple storage (one value vector
-//!   per column, row-hash dedup, borrowed row views);
+//!   per column, row-hash dedup, borrowed row views) with incremental
+//!   per-column statistics ([`ColumnStats`]) and a batched constant-filter
+//!   kernel;
 //! - [`Database`] / [`Relation`]: named, insertion-ordered, deduplicated
 //!   tuple stores shared with the Datalog engine — `Relation` is the
 //!   columnar [`TupleStore`];
@@ -57,6 +59,7 @@ pub mod hash;
 mod intern;
 mod json;
 mod record;
+mod stats;
 mod tuple_store;
 mod value;
 
@@ -67,5 +70,6 @@ pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use intern::Symbol;
 pub use json::{parse_document, write_document, JsonError};
 pub use record::{Field, Instance, InstanceError, Record};
+pub use stats::ColumnStats;
 pub use tuple_store::{RowRef, TupleStore};
 pub use value::Value;

@@ -62,6 +62,31 @@ impl Value {
         }
     }
 
+    /// The canonical bit pattern of this value: variant tag in the high
+    /// word, payload in the low word. Two values are equal **iff** their
+    /// bit patterns are equal, and the comparison is a plain integer
+    /// compare — no discriminant branch, no string resolution — which is
+    /// what lets the columnar filter kernel
+    /// ([`TupleStore::filter_const_rows`](crate::TupleStore::filter_const_rows))
+    /// and the statistics layer ([`ColumnStats`](crate::ColumnStats))
+    /// sweep column slices branch-free.
+    ///
+    /// The *ordering* of bit patterns is a total order consistent with
+    /// equality but deliberately **not** [`Value`]'s semantic `Ord`
+    /// (interned strings order by table index here, integers by raw
+    /// two's-complement bits): it is only suitable for membership
+    /// pruning and hashing, never for user-visible sorting.
+    #[inline(always)]
+    pub fn to_bits(self) -> u128 {
+        let (tag, payload): (u64, u64) = match self {
+            Value::Int(i) => (0, i as u64),
+            Value::Str(s) => (1, u64::from(s.index())),
+            Value::Bool(b) => (2, u64::from(b)),
+            Value::Id(i) => (3, i),
+        };
+        (u128::from(tag) << 64) | u128::from(payload)
+    }
+
     /// Variant rank used to keep the `Ord` impl aligned with the historic
     /// derive order (`Int < Str < Bool < Id`).
     fn rank(&self) -> u8 {
@@ -177,6 +202,29 @@ mod tests {
         assert!(Value::Int(i64::MAX) < Value::str("a"));
         assert!(Value::str("z") < Value::Bool(false));
         assert!(Value::Bool(true) < Value::Id(0));
+    }
+
+    #[test]
+    fn bit_patterns_agree_with_equality() {
+        let values = [
+            Value::Int(0),
+            Value::Int(-1),
+            Value::Int(i64::MAX),
+            Value::str("bits-a"),
+            Value::str("bits-b"),
+            Value::Bool(false),
+            Value::Bool(true),
+            Value::Id(0),
+            Value::Id(u64::MAX),
+        ];
+        for a in values {
+            for b in values {
+                assert_eq!(a == b, a.to_bits() == b.to_bits(), "{a} vs {b}");
+            }
+        }
+        // Cross-variant payload collisions stay distinct via the tag word.
+        assert_ne!(Value::Int(3).to_bits(), Value::Id(3).to_bits());
+        assert_ne!(Value::Bool(true).to_bits(), Value::Int(1).to_bits());
     }
 
     #[test]

@@ -9,7 +9,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use dynamite::datalog::{evaluate, legacy, Evaluator, Program, WorkerPool};
+use dynamite::datalog::{evaluate, legacy, Evaluator, Program, RuleCacheHandle, WorkerPool};
 use dynamite::instance::{from_facts, to_facts, Database, Instance, Record, TupleStore, Value};
 use dynamite::schema::Schema;
 use dynamite::smt::{FdLit, FdSolver, Lit, SatSolver};
@@ -583,6 +583,57 @@ fn differential_parallel_vs_legacy_evaluation() {
             via_parallel, via_legacy,
             "seed {seed} diverged (parallel vs legacy) on:\n{program}\nEDB:\n{edb}"
         );
+    }
+}
+
+/// In-place Fisher–Yates over the vendored deterministic rng.
+fn shuffle<T>(rng: &mut StdRng, xs: &mut [T]) {
+    for i in (1..xs.len()).rev() {
+        let j = rng.gen_range(0..i + 1);
+        xs.swap(i, j);
+    }
+}
+
+/// Join planning makes evaluation independent of the order body literals
+/// are written in: for random stratified programs, every permutation of
+/// every rule's body evaluates to the same database (set semantics) as
+/// the legacy interpreter on the *original* program — under the
+/// cost-based planner and under the body-order fallback alike. (The
+/// machine-generated bodies of CEGIS candidates arrive in arbitrary
+/// order, so this is the invariant the planner's correctness rests on.)
+#[test]
+fn evaluation_is_invariant_under_body_permutation() {
+    let pool = Arc::new(WorkerPool::new(1));
+    for seed in 0..40u64 {
+        let mut rng = StdRng::seed_from_u64(11_000 + seed);
+        let program = random_stratified_program(&mut rng);
+        let edb = random_edb(&mut rng);
+        let expect = legacy::evaluate(&program, &edb).expect("legacy evaluates");
+        for perm in 0..4 {
+            let mut permuted = program.clone();
+            for rule in &mut permuted.rules {
+                if perm == 0 {
+                    // The fully adversarial case: reversed bodies.
+                    rule.body.reverse();
+                } else {
+                    shuffle(&mut rng, &mut rule.body);
+                }
+            }
+            for reorder in [true, false] {
+                let out = Evaluator::with_config(
+                    edb.clone(),
+                    pool.clone(),
+                    RuleCacheHandle::default(),
+                    reorder,
+                )
+                .eval(&permuted)
+                .expect("permuted program evaluates");
+                assert_eq!(
+                    out, expect,
+                    "seed {seed} perm {perm} reorder {reorder} diverged on:\n{permuted}\nEDB:\n{edb}"
+                );
+            }
+        }
     }
 }
 
