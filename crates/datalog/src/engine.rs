@@ -11,10 +11,12 @@
 //!   **never cloned** per evaluation; derived facts live in a per-call
 //!   overlay, so each relation is the union of an immutable EDB part and
 //!   a growing IDB part (copy-on-write layering);
-//! - relations are columnar ([`TupleStore`](dynamite_instance::TupleStore)):
-//!   index builds sweep contiguous column slices, and the join loop sees
-//!   rows as borrowed [`RowRef`](dynamite_instance::RowRef) views — no
-//!   per-tuple allocation or pointer chase anywhere on the hot path;
+//! - relations are columnar ([`TupleStore`](dynamite_instance::TupleStore)),
+//!   each column a structure-of-arrays tag/payload stream pair
+//!   ([`ColumnSlices`](dynamite_instance::ColumnSlices)): index builds
+//!   sweep the contiguous streams, and the join loop sees rows as
+//!   borrowed [`RowRef`](dynamite_instance::RowRef) views — no per-tuple
+//!   allocation or pointer chase anywhere on the hot path;
 //! - join indexes on EDB relations are keyed by `(relation, column set)`
 //!   and cached inside the context, so candidate #2 onwards reuses the
 //!   indexes candidate #1 built;
@@ -31,8 +33,8 @@
 //!   [`ColumnStats`](dynamite_instance::ColumnStats) (delta literals stay
 //!   pinned outermost; `DYNAMITE_NO_REORDER=1` falls back to body order);
 //! - outermost literals bound only by constants take a columnar pre-scan
-//!   fast path: the constant columns' contiguous slices are swept by the
-//!   batched, statistics-driven adaptive filter kernel
+//!   fast path: the constant columns' tag/payload streams are swept by
+//!   the batched, statistics-driven SIMD filter kernel
 //!   ([`TupleStore::filter_const_rows`](dynamite_instance::TupleStore::filter_const_rows))
 //!   into a candidate row-id list before the join descends (deeper
 //!   literals keep the cached index probe);
@@ -57,6 +59,26 @@
 //! EDB (no snapshot clone) and swaps the shared `RwLock` index cache for a
 //! single-use local cache — the wrapper `evaluate()` can never amortize a
 //! shared cache, so it should not pay for one.
+//!
+//! # Invariants worth knowing before editing
+//!
+//! - **Determinism**: the output `Database` — contents *and* row
+//!   insertion order — is bit-identical for every thread count. It
+//!   follows from (a) jobs evaluating only frozen pre-round state,
+//!   (b) partitions tiling each outer scan in ascending row order, and
+//!   (c) absorption in fixed job order. Breaking any of the three
+//!   breaks the `tests/properties.rs` row-order pins.
+//! - **Memo-key soundness**: everything [`CompiledRule`] depends on is
+//!   in [`RuleKey`] — rule text (length-prefixed names, debug-tagged
+//!   constants), stratum, same-stratum delta mask, and the planned join
+//!   orders. If compilation starts depending on anything else, that
+//!   something must go into the key, or contexts sharing a
+//!   [`RuleCacheHandle`] will serve each other wrong plans.
+//! - **Delta-first**: every semi-naive delta variant keeps its delta
+//!   occurrence outermost; the planner may permute only the rest.
+//! - **Overlay indexes are append-only**: row ids never move (the
+//!   store's stable-insertion-order invariant), which is what lets
+//!   `absorb` extend caught-up indexes per inserted row.
 
 use std::cell::RefCell;
 use std::sync::{Arc, OnceLock, RwLock};
@@ -822,12 +844,13 @@ fn join_job(
 /// ([`TupleStore::filter_const_rows`](dynamite_instance::TupleStore::filter_const_rows))
 /// over each part within `range` (concatenated row space), producing
 /// per-part candidate row-id lists before the join descends. The kernel
-/// sweeps the estimated most-selective constant's contiguous column
-/// slice first — conditionally for sparse hits, by branch-free
-/// compaction for dense ones — re-checks survivors against the
-/// remaining constants, and short-circuits entirely for constants
-/// outside a column's observed range; ids ascend within each part, so
-/// iteration order matches a plain scan's.
+/// sweeps the estimated most-selective constant's tag/payload streams
+/// first — a conditional scan for sparse hits (survivors re-checked
+/// against the remaining constants), the 64-row SIMD bitmask sweep for
+/// dense ones (remaining constants AND in their own masks) — and
+/// short-circuits entirely for constants outside a column's observed
+/// range; ids ascend within each part, so iteration order matches a
+/// plain scan's.
 fn prescan<'a>(
     parts: [Option<&'a Relation>; 2],
     const_cols: &[(usize, Value)],
@@ -1515,10 +1538,11 @@ impl IdbState {
         }
         let idx = by_cols.get_mut(cols).expect("just ensured");
         if idx.covered < relation.len() {
-            // Columnar catch-up: gather keys from contiguous column slices.
-            let slices: Vec<&[Value]> = cols.iter().map(|&c| relation.column(c)).collect();
+            // Columnar catch-up: gather keys from the contiguous
+            // tag/payload streams, reassembling values on the fly.
+            let slices: Vec<_> = cols.iter().map(|&c| relation.column(c)).collect();
             for i in idx.covered..relation.len() {
-                let key: Vec<Value> = slices.iter().map(|s| s[i]).collect();
+                let key: Vec<Value> = slices.iter().map(|s| s.value(i)).collect();
                 idx.map.entry(key).or_default().push(i);
             }
             idx.covered = relation.len();
@@ -1676,32 +1700,35 @@ impl JoinRun<'_> {
                 env[n] = None;
             }
         };
-        for (i, s) in slots.iter().enumerate() {
+        // Zipping the (lazy) row iterator walks the column streams
+        // directly: values reassemble one per loop step — an early
+        // mismatch stops pulling — without a per-slot column lookup.
+        for (s, v) in slots.iter().zip(t.iter()) {
             match s {
                 Slot::Const(c) => {
-                    if t[i] != *c {
+                    if v != *c {
                         undo(newly, env);
                         return false;
                     }
                 }
-                Slot::Bound(v) => {
-                    if env[*v] != Some(t[i]) {
+                Slot::Bound(b) => {
+                    if env[*b] != Some(v) {
                         undo(newly, env);
                         return false;
                     }
                 }
-                Slot::Free(v) => match env[*v] {
+                Slot::Free(f) => match env[*f] {
                     // Free slots may repeat within one literal (e.g.
                     // R(x, x) with x first bound here).
                     Some(existing) => {
-                        if existing != t[i] {
+                        if existing != v {
                             undo(newly, env);
                             return false;
                         }
                     }
                     None => {
-                        env[*v] = Some(t[i]);
-                        newly.push(*v);
+                        env[*f] = Some(v);
+                        newly.push(*f);
                     }
                 },
                 Slot::Wild => {}

@@ -263,14 +263,14 @@ fn eval_compiled(
                 for (i, term) in lit.atom.terms.iter().enumerate() {
                     match term {
                         Term::Const(c) => {
-                            if t[i] != *c {
+                            if t.at(i) != *c {
                                 continue 't;
                             }
                         }
                         Term::Var(v) => {
                             let idx = compiled.var_index[v.as_str()];
                             let val = env[idx].expect("negated vars bound");
-                            if t[i] != val {
+                            if t.at(i) != val {
                                 continue 't;
                             }
                         }
@@ -330,7 +330,7 @@ fn eval_compiled(
             for (i, s) in slots.iter().enumerate() {
                 match s {
                     Slot::Const(c) => {
-                        if t[i] != *c {
+                        if t.at(i) != *c {
                             for &n in &newly {
                                 env[n] = None;
                             }
@@ -338,7 +338,7 @@ fn eval_compiled(
                         }
                     }
                     Slot::Bound(v) => {
-                        if env[*v] != Some(t[i]) {
+                        if env[*v] != Some(t.at(i)) {
                             for &n in &newly {
                                 env[n] = None;
                             }
@@ -350,7 +350,7 @@ fn eval_compiled(
                         // (e.g. R(x, x) with x first bound here).
                         match &env[*v] {
                             Some(existing) => {
-                                if *existing != t[i] {
+                                if *existing != t.at(i) {
                                     for &n in &newly {
                                         env[n] = None;
                                     }
@@ -358,7 +358,7 @@ fn eval_compiled(
                                 }
                             }
                             None => {
-                                env[*v] = Some(t[i]);
+                                env[*v] = Some(t.at(i));
                                 newly.push(*v);
                             }
                         }

@@ -12,8 +12,8 @@ use crate::value::Value;
 /// format of the Datalog engine.
 ///
 /// `Relation` is a semantic alias for the columnar [`TupleStore`]: the
-/// storage layer (one `Vec<Value>` per column, row-hash dedup, borrowed
-/// [`RowRef`](crate::RowRef) row views) lives in
+/// storage layer (structure-of-arrays tag/payload streams per column,
+/// row-hash dedup, borrowed [`RowRef`](crate::RowRef) row views) lives in
 /// [`tuple_store`](crate::TupleStore), while this module layers the
 /// database vocabulary — named relations, join indexes — on top of it.
 pub type Relation = TupleStore;
@@ -143,7 +143,9 @@ impl ColumnIndex {
     /// Builds an index of `rel` on the given key columns.
     ///
     /// With columnar storage this is a contiguous sweep over the key
-    /// columns' value slices — no per-tuple pointer chase.
+    /// columns' tag/payload streams
+    /// ([`ColumnSlices`](crate::ColumnSlices)) — no per-tuple pointer
+    /// chase; values reassemble from their pairs as they are gathered.
     pub fn build(rel: &Relation, cols: &[usize]) -> ColumnIndex {
         // Callers may index a stand-in empty relation whose arity does not
         // cover `cols` (missing EDB relations are treated as empty).
@@ -152,9 +154,9 @@ impl ColumnIndex {
         }
         let mut map: FxHashMap<Vec<Value>, Vec<usize>> = FxHashMap::default();
         match cols {
-            // Single-column fast path: one slice, one value per key.
+            // Single-column fast path: one stream pair, one value per key.
             [c] => {
-                for (i, &v) in rel.column(*c).iter().enumerate() {
+                for (i, v) in rel.column(*c).iter().enumerate() {
                     match map.entry(vec![v]) {
                         Entry::Occupied(mut e) => e.get_mut().push(i),
                         Entry::Vacant(e) => {
@@ -164,9 +166,9 @@ impl ColumnIndex {
                 }
             }
             _ => {
-                let slices: Vec<&[Value]> = cols.iter().map(|&c| rel.column(c)).collect();
+                let slices: Vec<_> = cols.iter().map(|&c| rel.column(c)).collect();
                 for i in 0..rel.len() {
-                    let key: Vec<Value> = slices.iter().map(|s| s[i]).collect();
+                    let key: Vec<Value> = slices.iter().map(|s| s.value(i)).collect();
                     match map.entry(key) {
                         Entry::Occupied(mut e) => e.get_mut().push(i),
                         Entry::Vacant(e) => {
@@ -200,7 +202,7 @@ mod tests {
         assert!(r.insert(&t(&[3, 4])));
         assert!(!r.insert(&t(&[1, 2])));
         assert_eq!(r.len(), 2);
-        let rows: Vec<_> = r.iter().map(|x| x[0]).collect();
+        let rows: Vec<_> = r.iter().map(|x| x.at(0)).collect();
         assert_eq!(rows, vec![Value::Int(1), Value::Int(3)]);
     }
 

@@ -177,7 +177,7 @@ pub fn from_facts(facts: &Database, schema: Arc<Schema>) -> Result<Instance, Fac
         let mut fields = Vec::new();
         for (col, attr) in (usize::from(nested)..).zip(schema.attrs(record_type)) {
             if schema.is_record(attr) {
-                let slot = tuple[col];
+                let slot = tuple.at(col);
                 let children: Vec<Record> = match (facts.relation(attr), indices.get(attr)) {
                     (Some(rel), Some(idx)) => idx
                         .get(&[slot])
@@ -191,7 +191,7 @@ pub fn from_facts(facts: &Database, schema: Arc<Schema>) -> Result<Instance, Fac
                 };
                 fields.push(Field::Children(children));
             } else {
-                fields.push(Field::Prim(tuple[col]));
+                fields.push(Field::Prim(tuple.at(col)));
             }
         }
         Record::with_fields(fields)
@@ -261,9 +261,9 @@ mod tests {
         // Each Univ fact's third column is an id that exactly the right two
         // Admit facts reference in their first column.
         for u in univ.iter() {
-            let uid = u[2];
+            let uid = u.at(2);
             assert!(uid.is_id());
-            let children: Vec<_> = admit.iter().filter(|a| a[0] == uid).collect();
+            let children: Vec<_> = admit.iter().filter(|a| a.at(0) == uid).collect();
             assert_eq!(children.len(), 2);
         }
     }
@@ -317,7 +317,11 @@ mod tests {
         let a = to_facts_with(&example_instance(), &mut gen);
         let b = to_facts_with(&example_instance(), &mut gen);
         let ids = |db: &Database| -> std::collections::HashSet<Value> {
-            db.relation("Univ").unwrap().iter().map(|t| t[2]).collect()
+            db.relation("Univ")
+                .unwrap()
+                .iter()
+                .map(|t| t.at(2))
+                .collect()
         };
         assert!(ids(&a).is_disjoint(&ids(&b)));
     }

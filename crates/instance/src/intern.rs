@@ -98,6 +98,16 @@ impl Symbol {
     pub fn index(self) -> u32 {
         self.0
     }
+
+    /// Rebuilds a symbol from an index previously obtained via
+    /// [`Symbol::index`]. Crate-internal: an index that never came out of
+    /// `intern` has no table entry behind it, and resolving such a symbol
+    /// would read unpublished slots. The columnar store's payload streams
+    /// only ever hold indices of real symbols, which is the one caller.
+    #[inline(always)]
+    pub(crate) fn from_index(index: u32) -> Symbol {
+        Symbol(index)
+    }
 }
 
 impl PartialOrd for Symbol {

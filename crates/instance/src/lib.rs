@@ -2,11 +2,15 @@
 //!
 //! This crate provides:
 //!
-//! - [`Value`]: primitive constants plus synthetic record identifiers;
-//! - [`TupleStore`] / [`RowRef`]: columnar tuple storage (one value vector
-//!   per column, row-hash dedup, borrowed row views) with incremental
-//!   per-column statistics ([`ColumnStats`]) and a batched constant-filter
-//!   kernel;
+//! - [`Value`]: primitive constants plus synthetic record identifiers,
+//!   each decomposable into a canonical `(tag, payload)` pair
+//!   ([`Value::to_raw`]);
+//! - [`TupleStore`] / [`RowRef`] / [`ColumnSlices`]: columnar tuple
+//!   storage in structure-of-arrays form (a tag byte-stream plus a
+//!   payload word-stream per column, row-hash dedup, borrowed row and
+//!   column views) with incremental per-column statistics
+//!   ([`ColumnStats`]) and a SIMD constant-filter kernel
+//!   ([`TupleStore::filter_const_rows`]);
 //! - [`Database`] / [`Relation`]: named, insertion-ordered, deduplicated
 //!   tuple stores shared with the Datalog engine — `Relation` is the
 //!   columnar [`TupleStore`];
@@ -16,6 +20,10 @@
 //!   §3.3, including the `BuildRecord` parent-chasing procedure;
 //! - [`Instance::flatten`]: a canonical, id-free flattening used to compare
 //!   instances and to drive MDP analysis.
+//!
+//! For how this crate fits the rest of the workspace (crate DAG, data
+//! flow, a diagram of the tag/payload column streams) see
+//! `ARCHITECTURE.md` at the repository root.
 //!
 //! ```
 //! use dynamite_schema::Schema;
@@ -71,5 +79,5 @@ pub use intern::Symbol;
 pub use json::{parse_document, write_document, JsonError};
 pub use record::{Field, Instance, InstanceError, Record};
 pub use stats::ColumnStats;
-pub use tuple_store::{RowRef, TupleStore};
+pub use tuple_store::{ColumnSlices, RowRef, TupleStore};
 pub use value::Value;

@@ -20,7 +20,20 @@
 //!   maintenance cost is one hash and one compare per value — updates to
 //!   the sketch itself become exponentially rare as the store grows.
 //!
+//! Two invariants the consumers rely on:
+//!
+//! - statistics describe **exactly the stored column contents**:
+//!   [`ColumnStats::observe`] runs once per value of every *accepted*
+//!   (deduplicated) insert, and only for tracked stores — untracked
+//!   stores report no statistics at all rather than stale ones;
+//! - the bounds are in canonical bit-pattern order ([`Value::to_bits`],
+//!   i.e. the tag/payload pair the structure-of-arrays columns store),
+//!   which is consistent with equality but **not** with [`Value`]'s
+//!   semantic `Ord` — sound for membership pruning (`excludes`) and
+//!   nothing else.
+//!
 //! [`TupleStore`]: crate::TupleStore
+//! [`Value`]: crate::Value
 //! [`Value::to_bits`]: crate::Value::to_bits
 
 use std::hash::Hasher;

@@ -1,33 +1,66 @@
-//! Columnar tuple storage.
+//! Columnar tuple storage in structure-of-arrays (tag/payload) form.
 //!
-//! [`TupleStore`] keeps a relation's tuples column-major: one `Vec<Value>`
-//! per column, all of equal length, plus a compact row-hash deduplication
-//! table that maps a 64-bit row hash to the row indices bearing that hash.
-//! Because [`Value`] is `Copy`, a tuple is never materialized on insert or
-//! lookup — the store is the only owner of the data, and every consumer
-//! sees rows through the borrowed [`RowRef`] view.
+//! [`TupleStore`] keeps a relation's tuples column-major, and each column
+//! itself split into **two parallel streams** (a structure-of-arrays
+//! layout): a `Vec<u8>` of variant *tags* and a `Vec<u64>` of canonical
+//! *payload* words — the [`Value::to_raw`] decomposition, under which two
+//! values are equal iff their tags and payloads both are. A compact
+//! row-hash deduplication table maps a 64-bit row hash to the row indices
+//! bearing that hash. Because [`Value`] is `Copy` (and reassembles from a
+//! `(tag, payload)` pair in a couple of instructions), a tuple is never
+//! materialized on insert or lookup — the store is the only owner of the
+//! data, and every consumer sees rows through the borrowed [`RowRef`]
+//! view or columns through the borrowed [`ColumnSlices`] view.
 //!
-//! Compared with the previous row-oriented layout (`FxHashSet<Arc<[Value]>>`
-//! for dedup plus an insertion-ordered `Vec<Arc<[Value]>>`, storing every
-//! tuple twice behind two pointer indirections), this layout:
+//! # Why split tags from payloads?
 //!
-//! - stores each value exactly once, contiguously per column;
-//! - makes index builds and projections a sweep over column slices
-//!   ([`TupleStore::column`]) instead of a pointer chase per tuple;
-//! - deduplicates through a `u64 → row id` table whose entries are a
-//!   single word in the common (collision-free) case — no per-tuple
-//!   allocation anywhere on the insert path.
+//! The previous layout stored each column as one `Vec<Value>`. `Value` is
+//! a 16-byte tagged enum, and that layout defeats LLVM's autovectorizer:
+//! a constant-filter sweep compiled to a scalar 16-byte compare per row
+//! however the loop was phrased (measured in PR 4 — every SIMD mask
+//! formulation lost to the scalar loop). With the split,
 //!
-//! Insertion order is preserved: row `i` is the `i`-th distinct tuple ever
-//! inserted, so existing row indices (join indexes, parent-id indexes)
-//! stay stable as the store grows — the property the Datalog engine's
-//! incrementally extended overlay indexes rely on.
+//! ```text
+//!   column c:   tags      [ t0 t1 t2 t3 … ]   one byte  per row
+//!               payloads  [ p0 p1 p2 p3 … ]   one u64   per row
+//! ```
+//!
+//! an equality probe against a constant `(t, p)` is two branch-free
+//! integer compares over dense homogeneous streams — exactly the shape
+//! the autovectorizer turns into packed compares — and per-value memory
+//! traffic drops from 16 to 9 bytes. [`TupleStore::filter_const_rows`]
+//! builds on this: its dense path computes a 64-row *hit bitmask* per
+//! chunk (tag mask AND payload mask, additional constants ANDing in
+//! their own masks) and then materializes row ids from the mask's set
+//! bits.
+//!
+//! # Invariants
+//!
+//! - **Equal lengths.** All `2 × arity` streams have exactly `len()`
+//!   entries; row `i`'s value in column `c` is
+//!   `(tags[i], payloads[i])` of column `c`.
+//! - **Row-hash dedup.** `dedup` maps the hash of a row's value sequence
+//!   to the ids of the rows bearing it (almost always exactly one — the
+//!   table stores a single word per entry in the collision-free case).
+//!   Every insert path probes it first, so the store never holds two
+//!   equal rows and `insert` can report freshness without a scan.
+//! - **Stable insertion order.** Row `i` is the `i`-th distinct tuple
+//!   ever inserted; ids never move, so join indexes and the engine's
+//!   incrementally extended overlay indexes stay valid as the store
+//!   grows.
+//! - **Valid payloads only.** Payload words are only ever produced by
+//!   [`Value::to_raw`] on a real value, so reassembly (including interned
+//!   [`Symbol`](crate::Symbol) indices) is always sound.
+//! - **Tracked vs untracked statistics.** A tracked store folds every
+//!   accepted insert into its per-column [`ColumnStats`]; an *untracked*
+//!   store ([`TupleStore::new_untracked`]) maintains none and returns
+//!   `None` from [`TupleStore::column_stats`] — the filter kernel then
+//!   skips its statistics prune, with identical results.
 
 use std::collections::hash_map::Entry;
 use std::collections::HashSet;
 use std::fmt;
 use std::hash::{Hash, Hasher};
-use std::ops::Index;
 
 use crate::hash::{FxHashMap, FxHasher};
 use crate::stats::ColumnStats;
@@ -52,8 +85,51 @@ enum RowSlot {
     Many(Vec<u32>),
 }
 
+/// One column in structure-of-arrays form: the variant-tag byte stream
+/// and the canonical payload word stream, always of equal length.
+#[derive(Clone, Default)]
+struct Column {
+    tags: Vec<u8>,
+    payloads: Vec<u64>,
+}
+
+impl Column {
+    fn with_capacity(rows: usize) -> Column {
+        Column {
+            tags: Vec::with_capacity(rows),
+            payloads: Vec::with_capacity(rows),
+        }
+    }
+
+    #[inline(always)]
+    fn push(&mut self, v: Value) {
+        let (t, p) = v.to_raw();
+        self.tags.push(t);
+        self.payloads.push(p);
+    }
+
+    /// The value at row `i` without bounds checks — the innermost
+    /// join-loop accessor, where checked indexing's extra compares are
+    /// measurable on candidate-sweep workloads.
+    ///
+    /// # Safety
+    /// `i` must be less than the column length.
+    #[inline(always)]
+    unsafe fn value_unchecked(&self, i: usize) -> Value {
+        debug_assert!(i < self.tags.len());
+        Value::from_raw(*self.tags.get_unchecked(i), *self.payloads.get_unchecked(i))
+    }
+
+    /// Raw equality probe: `true` iff row `i` holds exactly `(t, p)`.
+    #[inline(always)]
+    fn is(&self, i: usize, t: u8, p: u64) -> bool {
+        self.tags[i] == t && self.payloads[i] == p
+    }
+}
+
 /// A deduplicated, insertion-ordered set of fixed-arity tuples, stored
-/// column-major.
+/// column-major with each column split into tag/payload streams (see the
+/// module docs of `tuple_store` for the layout and its invariants).
 ///
 /// This is the storage layer beneath [`Relation`](crate::Relation): the
 /// extensional input and intensional output format of the Datalog engine,
@@ -68,9 +144,10 @@ enum RowSlot {
 /// assert!(s.insert(&[Value::Int(2), Value::Int(20)]));
 /// assert!(!s.insert(&[Value::Int(1), Value::Int(10)])); // duplicate
 /// assert_eq!(s.len(), 2);
-/// assert_eq!(s.column(1), &[Value::Int(10), Value::Int(20)]);
+/// let col = s.column(1);
+/// assert_eq!(col.iter().collect::<Vec<_>>(), [Value::Int(10), Value::Int(20)]);
 /// let first = s.get(0).unwrap();
-/// assert_eq!(first[0], Value::Int(1));
+/// assert_eq!(first.at(0), Value::Int(1));
 /// ```
 #[derive(Clone, Default)]
 pub struct TupleStore {
@@ -78,8 +155,8 @@ pub struct TupleStore {
     /// Number of (distinct) rows. Tracked separately because an arity-0
     /// store has no columns to measure.
     rows: usize,
-    /// One vector per column; all of length `rows`.
-    cols: Vec<Vec<Value>>,
+    /// One tag/payload stream pair per column; all of length `rows`.
+    cols: Vec<Column>,
     /// Row-hash deduplication table: row hash → row indices.
     dedup: FxHashMap<u64, RowSlot>,
     /// Per-column statistics (bounds + distinct sketch), maintained
@@ -96,7 +173,7 @@ impl TupleStore {
         TupleStore {
             arity,
             rows: 0,
-            cols: vec![Vec::new(); arity],
+            cols: vec![Column::default(); arity],
             dedup: FxHashMap::default(),
             stats: vec![ColumnStats::default(); arity],
         }
@@ -113,7 +190,7 @@ impl TupleStore {
         TupleStore {
             arity,
             rows: 0,
-            cols: vec![Vec::new(); arity],
+            cols: vec![Column::default(); arity],
             dedup: FxHashMap::default(),
             stats: Vec::new(),
         }
@@ -124,9 +201,7 @@ impl TupleStore {
         TupleStore {
             arity,
             rows: 0,
-            // Not `vec![Vec::with_capacity(rows); arity]`: cloning an
-            // empty Vec copies its contents, not its capacity.
-            cols: (0..arity).map(|_| Vec::with_capacity(rows)).collect(),
+            cols: (0..arity).map(|_| Column::with_capacity(rows)).collect(),
             dedup: FxHashMap::default(),
             stats: vec![ColumnStats::default(); arity],
         }
@@ -172,14 +247,20 @@ impl TupleStore {
         self.rows == 0
     }
 
-    /// The contiguous value slice of column `c` — the unit of columnar
-    /// index builds, projections, and (future) SIMD filtering.
+    /// The borrowed tag/payload streams of column `c` — the unit of
+    /// columnar index builds, projections, and the SIMD-shaped filter
+    /// kernel. Values materialize on demand through
+    /// [`ColumnSlices::value`] / [`ColumnSlices::iter`].
     ///
     /// # Panics
     /// Panics if `c` is out of range.
     #[inline]
-    pub fn column(&self, c: usize) -> &[Value] {
-        &self.cols[c]
+    pub fn column(&self, c: usize) -> ColumnSlices<'_> {
+        let col = &self.cols[c];
+        ColumnSlices {
+            tags: &col.tags,
+            payloads: &col.payloads,
+        }
     }
 
     /// The incrementally maintained statistics of column `c` (bounds and
@@ -201,14 +282,19 @@ impl TupleStore {
     /// 1. **Range prune**: a constant outside a column's observed value
     ///    range short-circuits the whole scan to an empty result.
     /// 2. **Probe order**: the estimated most-selective constant is swept
-    ///    first; the remaining constants only re-check its (few)
-    ///    survivors.
+    ///    first; under the sparse strategy the remaining constants only
+    ///    re-check its (few) survivors.
     /// 3. **Sweep strategy**: when the expected hit fraction is low, a
     ///    conditional-append scan is optimal (the branch predicts
     ///    "miss"); when hits are frequent — where that branch would
     ///    mispredict constantly on real, unordered data — the sweep runs
-    ///    as a chunked, *branch-free* compaction (unconditional store +
-    ///    counter bump per row) at a flat cost per row.
+    ///    the **bitmask kernel**: per 64-row chunk, a branch-free pass
+    ///    over the tag and payload streams builds a hit mask (additional
+    ///    constants AND in their own masks), and row ids are emitted by
+    ///    iterating the mask's set bits. The mask loops are plain
+    ///    fixed-trip compare-reduce loops over `&[u8; 64]` / `&[u64; 64]`
+    ///    chunks, which LLVM autovectorizes into packed compares —
+    ///    the structure-of-arrays layout's payoff.
     ///
     /// Untracked stores ([`TupleStore::new_untracked`]) skip all three
     /// and behave like the conditional scan in the given probe order.
@@ -253,50 +339,82 @@ impl TupleStore {
             })
             .expect("consts non-empty");
         let (c0, v0) = consts[lead];
+        let (t0, p0) = v0.to_raw();
         let frac = hit_fraction(c0).unwrap_or(0.0);
 
         /// Above this expected hit fraction the conditional scan's
-        /// append branch mispredicts often enough that the branch-free
-        /// compaction wins (measured crossover is between 1/50 and 1/4).
+        /// append branch mispredicts often enough that the bitmask
+        /// kernel wins (measured crossover is between 1/50 and 1/4).
         const DENSE_FRACTION: f64 = 1.0 / 16.0;
-        /// Below this many rows the compaction's chunk setup outweighs
-        /// any misprediction savings.
+        /// Below this many rows the bitmask kernel's chunk setup
+        /// outweighs any misprediction savings.
         const DENSE_MIN_ROWS: usize = 1024;
-        let col0 = &self.cols[c0][s..e];
-        let mut ids: Vec<u32> = if frac < DENSE_FRACTION || col0.len() < DENSE_MIN_ROWS {
-            // Sparse: conditional append, branch predicted "miss".
-            col0.iter()
+        let col0 = &self.cols[c0];
+        if frac < DENSE_FRACTION || e - s < DENSE_MIN_ROWS {
+            // Sparse: conditional append on the lead probe (branch
+            // predicted "miss"), then re-check only the survivors
+            // against the remaining constants. Zipping the two stream
+            // slices keeps the sweep bounds-check free.
+            let mut ids: Vec<u32> = col0.tags[s..e]
+                .iter()
+                .zip(&col0.payloads[s..e])
                 .enumerate()
-                .filter(|&(_, v)| *v == v0)
+                .filter(|&(_, (&tg, &pw))| (tg == t0) & (pw == p0))
                 .map(|(j, _)| (s + j) as u32)
-                .collect()
-        } else {
-            // Dense: chunked branch-free compaction — every row does an
-            // unconditional store plus a counter bump, so the cost per
-            // row is flat no matter how unpredictable the hit pattern.
-            const CHUNK: usize = 256;
-            let mut out = Vec::with_capacity((col0.len() as f64 * frac) as usize + CHUNK);
-            let mut buf = [0u32; CHUNK];
-            let mut off = 0;
-            while off < col0.len() {
-                let m = CHUNK.min(col0.len() - off);
-                let mut cnt = 0usize;
-                for (j, v) in col0[off..off + m].iter().enumerate() {
-                    buf[cnt] = (s + off + j) as u32;
-                    cnt += usize::from(*v == v0);
+                .collect();
+            for (i, &(c, v)) in consts.iter().enumerate() {
+                if i == lead {
+                    continue;
                 }
-                out.extend_from_slice(&buf[..cnt]);
-                off += m;
+                let col = &self.cols[c];
+                let (t, p) = v.to_raw();
+                ids.retain(|&r| col.is(r as usize, t, p));
             }
-            out
-        };
-        // Remaining probes re-check only the survivors.
-        for (i, &(c, v)) in consts.iter().enumerate() {
-            if i == lead {
-                continue;
+            return ids;
+        }
+        // Dense: the chunked bitmask kernel. Per 64-row chunk, build a
+        // hit mask from the lead constant's tag/payload streams
+        // (vectorized compares), AND in each remaining constant's mask
+        // (skipped when the mask is already empty), then emit row ids
+        // from the set bits — ascending, so iteration order matches a
+        // plain scan's.
+        let mut ids = Vec::with_capacity(((e - s) as f64 * frac) as usize + LANES);
+        let mut off = s;
+        while off + LANES <= e {
+            let mut mask = lane_mask(
+                col0.tags[off..off + LANES].try_into().expect("chunk"),
+                col0.payloads[off..off + LANES].try_into().expect("chunk"),
+                t0,
+                p0,
+            );
+            for (i, &(c, v)) in consts.iter().enumerate() {
+                if i == lead || mask == 0 {
+                    continue;
+                }
+                let col = &self.cols[c];
+                let (t, p) = v.to_raw();
+                mask &= lane_mask(
+                    col.tags[off..off + LANES].try_into().expect("chunk"),
+                    col.payloads[off..off + LANES].try_into().expect("chunk"),
+                    t,
+                    p,
+                );
             }
-            let col = &self.cols[c];
-            ids.retain(|&r| col[r as usize] == v);
+            while mask != 0 {
+                let j = mask.trailing_zeros() as usize;
+                ids.push((off + j) as u32);
+                mask &= mask - 1;
+            }
+            off += LANES;
+        }
+        // Remainder (< 64 rows): the conditional scan over all consts.
+        for i in off..e {
+            if consts.iter().all(|&(c, v)| {
+                let (t, p) = v.to_raw();
+                self.cols[c].is(i, t, p)
+            }) {
+                ids.push(i as u32);
+            }
         }
         ids
     }
@@ -305,7 +423,14 @@ impl TupleStore {
     /// precomputed over the same values) — the one dedup lookup shared by
     /// every insert/membership entry point.
     fn locate(&self, hash: u64, probe: impl Iterator<Item = Value> + Clone) -> Option<usize> {
-        let eq = |r: usize| self.cols.iter().map(|c| c[r]).eq(probe.clone());
+        // Every caller passes exactly `arity` values (checked at the
+        // public entry points), so a zip-all is a full row comparison.
+        let eq = |r: usize| {
+            self.cols.iter().zip(probe.clone()).all(|(c, v)| {
+                let (t, p) = v.to_raw();
+                c.is(r, t, p)
+            })
+        };
         match self.dedup.get(&hash)? {
             RowSlot::One(r) => {
                 let r = *r as usize;
@@ -438,17 +563,101 @@ impl TupleStore {
 
     /// Returns the set of distinct values appearing in column `col`.
     pub fn column_values(&self, col: usize) -> HashSet<Value> {
-        self.cols[col].iter().copied().collect()
+        self.column(col).iter().collect()
     }
 
     /// Projects onto the given columns, returning the set of projected
-    /// rows. The gather is a contiguous sweep over the column slices.
+    /// rows. The gather is a contiguous sweep over the column streams.
     pub fn project(&self, cols: &[usize]) -> HashSet<Vec<Value>> {
-        let slices: Vec<&[Value]> = cols.iter().map(|&c| self.column(c)).collect();
+        let slices: Vec<ColumnSlices<'_>> = cols.iter().map(|&c| self.column(c)).collect();
         (0..self.rows)
-            .map(|r| slices.iter().map(|s| s[r]).collect())
+            .map(|r| slices.iter().map(|s| s.value(r)).collect())
             .collect()
     }
+}
+
+/// Bitmask-kernel width: one 64-row chunk per mask word.
+const LANES: usize = 64;
+
+/// The branch-free hit mask of one 64-row chunk: bit `j` is set iff row
+/// `j` of the chunk holds exactly `(t, p)`.
+///
+/// On x86-64 with AVX2 (checked once at runtime via the std feature
+/// cache) this dispatches to [`lane_mask_avx2`] — two 32-byte packed tag
+/// compares plus sixteen 4×`u64` packed payload compares, each reduced
+/// to mask bits with `movemask`. Everywhere else it falls back to
+/// [`lane_mask_portable`]. Both produce identical masks; only the
+/// instruction mix differs.
+#[inline]
+fn lane_mask(tags: &[u8; LANES], payloads: &[u64; LANES], t: u8, p: u64) -> u64 {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: AVX2 support was just verified at runtime.
+        return unsafe { lane_mask_avx2(tags, payloads, t, p) };
+    }
+    lane_mask_portable(tags, payloads, t, p)
+}
+
+/// Explicit AVX2 formulation of [`lane_mask`]: the tag stream is two
+/// `vpcmpeqb` + `vpmovmskb` (32 rows per instruction), the payload
+/// stream sixteen `vpcmpeqq` whose 4-lane results drop to mask bits via
+/// `movemask_pd`; the two 64-bit masks AND together.
+///
+/// # Safety
+/// Callers must ensure the CPU supports AVX2.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn lane_mask_avx2(tags: &[u8; LANES], payloads: &[u64; LANES], t: u8, p: u64) -> u64 {
+    use std::arch::x86_64::*;
+    let tv = _mm256_set1_epi8(t as i8);
+    let pv = _mm256_set1_epi64x(p as i64);
+    let lo = _mm256_cmpeq_epi8(_mm256_loadu_si256(tags.as_ptr().cast()), tv);
+    let hi = _mm256_cmpeq_epi8(_mm256_loadu_si256(tags.as_ptr().add(32).cast()), tv);
+    let tag_mask = u64::from(_mm256_movemask_epi8(lo) as u32)
+        | (u64::from(_mm256_movemask_epi8(hi) as u32) << 32);
+    let mut pay_mask = 0u64;
+    for k in 0..LANES / 4 {
+        let v = _mm256_loadu_si256(payloads.as_ptr().add(4 * k).cast());
+        let eq = _mm256_cmpeq_epi64(v, pv);
+        pay_mask |= (_mm256_movemask_pd(_mm256_castsi256_pd(eq)) as u64) << (4 * k);
+    }
+    tag_mask & pay_mask
+}
+
+/// Portable [`lane_mask`] fallback. Two phases, both branch-free:
+///
+/// 1. **Compare** the tag and payload streams into a per-row hit byte.
+///    Fixed-size array arguments give these loops constant trip counts
+///    and bounds-check-free indexing, which is what LLVM's
+///    autovectorizer needs to emit packed compares over the `u64`
+///    payload words and the `u8` tag bytes — the structure-of-arrays
+///    layout's payoff (the old 16-byte `Value` enum never vectorized).
+/// 2. **Bitpack** the 64 hit bytes into one mask word, eight bytes at a
+///    time: a little-endian `u64` load of eight 0/1 bytes multiplied by
+///    `0x0102_0408_1020_4080` funnels byte `j`'s low bit into bit
+///    `56 + j` (the bytes are 0 or 1, so no carries cross), and the top
+///    byte after the shift is the 8-bit mask.
+///
+/// Deliberately `#[inline(never)]`: inlined into the kernel's chunk
+/// loop, LLVM's SLP pass fails to re-vectorize the unrolled compares;
+/// compiled standalone, both phases come out as packed compares (SSE2
+/// `pcmpeqd`/`pcmpeqb` on baseline x86-64). One `call` per 64 rows is
+/// noise next to the 72 bytes of stream data the chunk reads.
+#[inline(never)]
+fn lane_mask_portable(tags: &[u8; LANES], payloads: &[u64; LANES], t: u8, p: u64) -> u64 {
+    let mut hits = [0u8; LANES];
+    for j in 0..LANES {
+        hits[j] = u8::from(payloads[j] == p);
+    }
+    for j in 0..LANES {
+        hits[j] &= u8::from(tags[j] == t);
+    }
+    let mut mask = 0u64;
+    for (k, chunk) in hits.chunks_exact(8).enumerate() {
+        let b = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        mask |= (b.wrapping_mul(0x0102_0408_1020_4080) >> 56) << (8 * k);
+    }
+    mask
 }
 
 impl PartialEq for TupleStore {
@@ -478,10 +687,76 @@ impl fmt::Debug for TupleStore {
     }
 }
 
+/// The borrowed structure-of-arrays streams of one [`TupleStore`] column:
+/// the variant-tag bytes and the canonical payload words, index-aligned
+/// (entry `i` of both describes row `i`; see [`Value::to_raw`]).
+///
+/// Consumers that only need values use [`ColumnSlices::value`] /
+/// [`ColumnSlices::iter`] (reassembly is a couple of instructions);
+/// kernel-shaped consumers read [`ColumnSlices::tags`] /
+/// [`ColumnSlices::payloads`] directly and sweep the raw streams.
+#[derive(Clone, Copy)]
+pub struct ColumnSlices<'a> {
+    tags: &'a [u8],
+    payloads: &'a [u64],
+}
+
+impl<'a> ColumnSlices<'a> {
+    /// The number of rows.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.tags.len()
+    }
+
+    /// `true` when the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.tags.is_empty()
+    }
+
+    /// The contiguous variant-tag byte stream (one [`Value::to_raw`] tag
+    /// per row).
+    #[inline]
+    pub fn tags(&self) -> &'a [u8] {
+        self.tags
+    }
+
+    /// The contiguous canonical payload word stream (one
+    /// [`Value::to_raw`] payload per row).
+    #[inline]
+    pub fn payloads(&self) -> &'a [u64] {
+        self.payloads
+    }
+
+    /// The value at row `i`, reassembled from its tag/payload pair.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    #[inline(always)]
+    pub fn value(&self, i: usize) -> Value {
+        Value::from_raw(self.tags[i], self.payloads[i])
+    }
+
+    /// Iterates the column's values in row order.
+    #[inline]
+    pub fn iter(self) -> impl ExactSizeIterator<Item = Value> + Clone + 'a {
+        self.tags
+            .iter()
+            .zip(self.payloads)
+            .map(|(&t, &p)| Value::from_raw(t, p))
+    }
+}
+
+impl fmt::Debug for ColumnSlices<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
 /// A borrowed view of one row of a [`TupleStore`].
 ///
-/// `RowRef` is two words (store pointer + row index) and `Copy`; indexing
-/// resolves through the column vectors, so no tuple is ever materialized.
+/// `RowRef` is two words (store pointer + row index) and `Copy`; access
+/// resolves through the column streams and reassembles values on demand,
+/// so no tuple is ever materialized.
 #[derive(Clone, Copy)]
 pub struct RowRef<'a> {
     store: &'a TupleStore,
@@ -500,31 +775,40 @@ impl<'a> RowRef<'a> {
         self.store.arity == 0
     }
 
+    /// The value in column `c`.
+    ///
+    /// # Panics
+    /// Panics if `c` is out of range.
+    #[inline(always)]
+    pub fn at(&self, c: usize) -> Value {
+        // SAFETY: a `RowRef` is only created by `TupleStore::get`
+        // (bounds-checked) and `TupleStore::iter` (range-bounded), and
+        // rows are never removed, so `row < rows == column length` is a
+        // construction invariant. The column lookup stays checked (`c`
+        // is caller-supplied).
+        unsafe { self.store.cols[c].value_unchecked(self.row) }
+    }
+
     /// The value in column `c`, or `None` when out of range.
     #[inline]
     pub fn get(&self, c: usize) -> Option<Value> {
-        (c < self.store.arity).then(|| self.store.cols[c][self.row])
+        (c < self.store.arity).then(|| self.at(c))
     }
 
     /// Iterates the row's values in column order.
     #[inline]
     pub fn iter(&self) -> impl ExactSizeIterator<Item = Value> + Clone + 'a {
         let RowRef { store, row } = *self;
-        store.cols.iter().map(move |c| c[row])
+        // SAFETY: `row` is in range for every column — see `RowRef::at`.
+        store
+            .cols
+            .iter()
+            .map(move |c| unsafe { c.value_unchecked(row) })
     }
 
     /// Materializes the row as an owned vector.
     pub fn to_vec(&self) -> Vec<Value> {
         self.iter().collect()
-    }
-}
-
-impl Index<usize> for RowRef<'_> {
-    type Output = Value;
-
-    #[inline]
-    fn index(&self, c: usize) -> &Value {
-        &self.store.cols[c][self.row]
     }
 }
 
@@ -568,6 +852,10 @@ mod tests {
         vals.iter().map(|&v| Value::Int(v)).collect()
     }
 
+    fn column_vec(s: &TupleStore, c: usize) -> Vec<Value> {
+        s.column(c).iter().collect()
+    }
+
     #[test]
     fn insert_dedups_and_keeps_order() {
         let mut s = TupleStore::new(2);
@@ -575,8 +863,8 @@ mod tests {
         assert!(s.insert(&t(&[3, 4])));
         assert!(!s.insert(&t(&[1, 2])));
         assert_eq!(s.len(), 2);
-        assert_eq!(s.column(0), &[Value::Int(1), Value::Int(3)][..]);
-        assert_eq!(s.column(1), &[Value::Int(2), Value::Int(4)][..]);
+        assert_eq!(column_vec(&s, 0), t(&[1, 3]));
+        assert_eq!(column_vec(&s, 1), t(&[2, 4]));
         let rows: Vec<Vec<Value>> = s.iter().map(|r| r.to_vec()).collect();
         assert_eq!(rows, vec![t(&[1, 2]), t(&[3, 4])]);
     }
@@ -587,11 +875,39 @@ mod tests {
         s.insert(&t(&[7, 8, 9]));
         let r = s.get(0).unwrap();
         assert_eq!(r.len(), 3);
-        assert_eq!(r[1], Value::Int(8));
+        assert_eq!(r.at(1), Value::Int(8));
         assert_eq!(r.get(2), Some(Value::Int(9)));
         assert_eq!(r.get(3), None);
         assert_eq!(r, t(&[7, 8, 9]));
         assert!(s.get(1).is_none());
+    }
+
+    #[test]
+    fn column_slices_expose_raw_streams() {
+        let mut s = TupleStore::new(2);
+        s.insert(&[Value::Int(-1), Value::str("soa-slices")]);
+        s.insert(&[Value::Id(7), Value::Bool(true)]);
+        let c0 = s.column(0);
+        // Tags follow the to_raw convention; payloads are the canonical
+        // words, index-aligned with the tags.
+        assert_eq!(c0.tags(), &[0, 3]);
+        assert_eq!(c0.payloads(), &[(-1i64) as u64, 7]);
+        assert_eq!(c0.value(1), Value::Id(7));
+        let c1 = s.column(1);
+        assert_eq!(c1.len(), 2);
+        assert_eq!(c1.tags(), &[1, 2]);
+        assert_eq!(c1.value(0), Value::str("soa-slices"));
+        assert_eq!(c1.value(1), Value::Bool(true));
+        // Round trip through the streams reproduces the rows.
+        for (i, row) in s.iter().enumerate() {
+            for c in 0..s.arity() {
+                let slices = s.column(c);
+                assert_eq!(
+                    Value::from_raw(slices.tags()[i], slices.payloads()[i]),
+                    row.at(c)
+                );
+            }
+        }
     }
 
     #[test]
@@ -667,7 +983,7 @@ mod tests {
     /// Reference semantics for `filter_const_rows`: a scalar scan.
     fn scalar_filter(s: &TupleStore, consts: &[(usize, Value)], lo: usize, hi: usize) -> Vec<u32> {
         (lo.min(s.len())..hi.min(s.len()))
-            .filter(|&i| consts.iter().all(|&(c, v)| s.column(c)[i] == v))
+            .filter(|&i| consts.iter().all(|&(c, v)| s.column(c).value(i) == v))
             .map(|i| i as u32)
             .collect()
     }
@@ -696,6 +1012,7 @@ mod tests {
                 (1023, 1025),
                 (4096, 5000),
                 (5000, 9000),
+                (3, 4997), // unaligned dense range: chunk + remainder
             ] {
                 assert_eq!(
                     s.filter_const_rows(consts, lo, hi),
@@ -709,6 +1026,77 @@ mod tests {
         // Empty / inverted ranges.
         assert!(s.filter_const_rows(&cases[0], 40, 40).is_empty());
         assert!(s.filter_const_rows(&cases[0], 100, 40).is_empty());
+    }
+
+    #[test]
+    fn filter_distinguishes_equal_payloads_across_tags() {
+        // Int(7), Id(7), and Bool(true)/Int(1) share payload words; only
+        // the tag stream separates them. The kernel's tag mask must keep
+        // them apart in both the sparse and the dense regime. A unique
+        // second column keeps every row distinct under dedup, so column
+        // 0 really holds each tied value in every fourth row — 4096 rows
+        // at 4 distinct values puts each probe on the dense bitmask
+        // path (hit fraction 1/4 ≫ 1/16, rows ≫ 1024).
+        let mut s = TupleStore::new(2);
+        for i in 0..4096i64 {
+            let v = match i % 4 {
+                0 => Value::Int(7),
+                1 => Value::Id(7),
+                2 => Value::Int(1),
+                _ => Value::Bool(true),
+            };
+            s.insert(&[v, Value::Int(i)]);
+        }
+        assert_eq!(s.len(), 4096);
+        for v in [
+            Value::Int(7),
+            Value::Id(7),
+            Value::Bool(true),
+            Value::Int(1),
+        ] {
+            let got = s.filter_const_rows(&[(0, v)], 0, usize::MAX);
+            assert_eq!(got.len(), 1024, "probe {v} must hit every 4th row");
+            assert_eq!(
+                got,
+                scalar_filter(&s, &[(0, v)], 0, usize::MAX),
+                "probe {v}"
+            );
+        }
+        // And sparse: a probe absent from the dense column (in-range for
+        // the stats bounds, so the prune cannot shortcut it).
+        assert!(s
+            .filter_const_rows(&[(0, Value::Int(3))], 0, usize::MAX)
+            .is_empty());
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn avx2_and_portable_lane_masks_agree() {
+        if !std::arch::is_x86_feature_detected!("avx2") {
+            return; // nothing to differentiate on this hardware
+        }
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        let mut rnd = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for case in 0..200 {
+            let mut tags = [0u8; LANES];
+            let mut payloads = [0u64; LANES];
+            for j in 0..LANES {
+                tags[j] = (rnd() % 4) as u8;
+                payloads[j] = rnd() % 8; // small domain: plenty of hits
+            }
+            let (t, p) = ((rnd() % 4) as u8, rnd() % 8);
+            assert_eq!(
+                // SAFETY: AVX2 support verified above.
+                unsafe { lane_mask_avx2(&tags, &payloads, t, p) },
+                lane_mask_portable(&tags, &payloads, t, p),
+                "case {case}: masks diverge for probe ({t}, {p})"
+            );
+        }
     }
 
     #[test]

@@ -62,14 +62,47 @@ impl Value {
         }
     }
 
-    /// The canonical bit pattern of this value: variant tag in the high
-    /// word, payload in the low word. Two values are equal **iff** their
-    /// bit patterns are equal, and the comparison is a plain integer
-    /// compare — no discriminant branch, no string resolution — which is
-    /// what lets the columnar filter kernel
+    /// The canonical `(tag, payload)` decomposition of this value — the
+    /// unit of the structure-of-arrays column layout
+    /// ([`ColumnSlices`](crate::ColumnSlices)): the tag is the variant
+    /// (0 = `Int`, 1 = `Str`, 2 = `Bool`, 3 = `Id`), the payload the
+    /// variant's canonical 64-bit pattern. Two values are equal **iff**
+    /// their tags and payloads are both equal, and both comparisons are
+    /// plain integer compares — no discriminant branch, no string
+    /// resolution — which is what lets the columnar filter kernel
     /// ([`TupleStore::filter_const_rows`](crate::TupleStore::filter_const_rows))
-    /// and the statistics layer ([`ColumnStats`](crate::ColumnStats))
-    /// sweep column slices branch-free.
+    /// sweep the payload word stream as vectorizable code.
+    #[inline(always)]
+    pub fn to_raw(self) -> (u8, u64) {
+        match self {
+            Value::Int(i) => (0, i as u64),
+            Value::Str(s) => (1, u64::from(s.index())),
+            Value::Bool(b) => (2, u64::from(b)),
+            Value::Id(i) => (3, i),
+        }
+    }
+
+    /// Reassembles a value from a [`Value::to_raw`] decomposition.
+    ///
+    /// Crate-internal on purpose: the pair must originate from a real
+    /// value (a garbage string payload would produce a [`Symbol`] with no
+    /// intern-table entry behind it), and the columnar store only ever
+    /// stores pairs produced by `to_raw`.
+    #[inline(always)]
+    pub(crate) fn from_raw(tag: u8, payload: u64) -> Value {
+        match tag {
+            0 => Value::Int(payload as i64),
+            1 => Value::Str(Symbol::from_index(payload as u32)),
+            2 => Value::Bool(payload != 0),
+            3 => Value::Id(payload),
+            _ => unreachable!("invalid value tag {tag}"),
+        }
+    }
+
+    /// The canonical bit pattern of this value: [`Value::to_raw`]'s tag in
+    /// the high word, its payload in the low word. Two values are equal
+    /// **iff** their bit patterns are equal — the property the statistics
+    /// layer ([`ColumnStats`](crate::ColumnStats)) relies on.
     ///
     /// The *ordering* of bit patterns is a total order consistent with
     /// equality but deliberately **not** [`Value`]'s semantic `Ord`
@@ -78,12 +111,7 @@ impl Value {
     /// pruning and hashing, never for user-visible sorting.
     #[inline(always)]
     pub fn to_bits(self) -> u128 {
-        let (tag, payload): (u64, u64) = match self {
-            Value::Int(i) => (0, i as u64),
-            Value::Str(s) => (1, u64::from(s.index())),
-            Value::Bool(b) => (2, u64::from(b)),
-            Value::Id(i) => (3, i),
-        };
+        let (tag, payload) = self.to_raw();
         (u128::from(tag) << 64) | u128::from(payload)
     }
 

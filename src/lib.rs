@@ -11,6 +11,12 @@
 //! - [`smt`]: CDCL SAT + finite-domain equality solver (substitution for Z3)
 //! - [`core`]: the synthesis algorithm (§4) and interactive mode (§5)
 //! - [`migrate`]: the end-to-end migration pipeline
+//!
+//! Start with `ARCHITECTURE.md` at the repository root for the crate
+//! dependency DAG, the example → synthesizer → engine → storage data
+//! flow, the threading model, and the structure-of-arrays storage
+//! layout; `DESIGN.md` records the decisions behind each subsystem and
+//! `BENCHMARKS.md` how to run and read the perf suite.
 
 pub use dynamite_core as core;
 pub use dynamite_datalog as datalog;
