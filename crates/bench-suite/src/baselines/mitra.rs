@@ -11,7 +11,7 @@
 use std::time::{Duration, Instant};
 
 use dynamite_core::Example;
-use dynamite_datalog::{Atom, Evaluator, Literal, Program, Rule, Term};
+use dynamite_datalog::{Atom, Evaluator, Governor, Literal, Program, ResourceLimits, Rule, Term};
 use dynamite_instance::{from_facts, to_facts};
 use dynamite_schema::Schema;
 
@@ -56,6 +56,11 @@ pub fn synthesize_mitra(
     timeout: Duration,
 ) -> Result<MitraResult, MitraError> {
     let started = Instant::now();
+    // One governor covers the whole odometer sweep: the deadline is
+    // checked both between candidates and *inside* each candidate's
+    // fixpoint, so a single pathological candidate cannot blow past the
+    // budget the way the old `elapsed() > timeout` loop check could.
+    let gov = Governor::new(ResourceLimits::none().with_deadline(started + timeout));
     // One prepared context for the whole odometer sweep: every candidate
     // shares the example's EDB snapshot and join indexes.
     let input_ctx = Evaluator::new(to_facts(&example.input));
@@ -103,14 +108,20 @@ pub fn synthesize_mitra(
             // candidate by evaluation (no learning).
             let mut pick = vec![0usize; columns.len()];
             loop {
-                if started.elapsed() > timeout {
+                if gov.check().is_err() {
                     return Err(MitraError::Timeout);
                 }
                 candidates += 1;
                 let rule = build_rule(source, table, &chain, &path_attrs, &columns, &pick, &cand);
                 let prog = Program::new(vec![rule.clone()]);
-                let ok = input_ctx
-                    .eval(&prog)
+                let result = input_ctx.eval_governed(&prog, &gov);
+                if result
+                    .as_ref()
+                    .is_err_and(dynamite_datalog::EvalError::is_resource_limit)
+                {
+                    return Err(MitraError::Timeout);
+                }
+                let ok = result
                     .ok()
                     .and_then(|out| from_facts(&out, target_arc(target)).ok())
                     .map(|inst| inst.flatten().table(table) == expected_flat.table(table))
@@ -208,6 +219,10 @@ mod tests {
 
     #[test]
     fn mitra_solves_dblp1() {
+        // The sweep's shared governor arms the fault hook points, so
+        // serialize against env-armed fault injection (CI fault leg).
+        let _guard = dynamite_datalog::fault::test_lock();
+        dynamite_datalog::fault::reset();
         let b = by_name("DBLP-1").unwrap();
         let ex = b.example();
         let r = synthesize_mitra(b.source(), b.target(), &ex, Duration::from_secs(60))
@@ -219,6 +234,8 @@ mod tests {
 
     #[test]
     fn mitra_solves_yelp1() {
+        let _guard = dynamite_datalog::fault::test_lock();
+        dynamite_datalog::fault::reset();
         let b = by_name("Yelp-1").unwrap();
         let ex = b.example();
         let r = synthesize_mitra(b.source(), b.target(), &ex, Duration::from_secs(120))

@@ -8,7 +8,7 @@
 
 use std::time::Duration;
 
-use dynamite_core::{synthesize, SynthesisConfig};
+use dynamite_core::{synthesize, CandidateLimits, SynthesisConfig};
 use dynamite_datalog::evaluate;
 use dynamite_instance::{from_facts, to_facts, Instance};
 use rand::seq::SliceRandom;
@@ -225,8 +225,17 @@ pub fn run(b: &Benchmark, opts: &SensitivityOptions) -> Vec<SensitivityPoint> {
                 }
             }
             let example = example.expect("at least one sample");
+            // The trial timeout doubles as a per-candidate limit: the
+            // governor enforces it *inside* candidate fixpoints, so a
+            // single pathological candidate on a sampled sub-instance
+            // cannot stall the trial past its budget (previously the
+            // timeout was only observed between candidates).
             let config = SynthesisConfig {
                 timeout: Some(opts.timeout),
+                candidate_limits: CandidateLimits {
+                    timeout: Some(opts.timeout),
+                    ..Default::default()
+                },
                 ..Default::default()
             };
             let started = std::time::Instant::now();

@@ -25,7 +25,9 @@ use std::time::{Duration, Instant};
 
 use dynamite_bench_suite::by_name;
 use dynamite_core::{synthesize, SynthesisConfig};
-use dynamite_datalog::{legacy, Evaluator, Program, RuleCacheHandle, WorkerPool};
+use dynamite_datalog::{
+    legacy, Evaluator, Governor, Program, ResourceLimits, RuleCacheHandle, WorkerPool,
+};
 use dynamite_instance::hash::FxHashMap;
 use dynamite_instance::{to_facts, ColumnIndex, Database, TupleStore, Value};
 
@@ -76,6 +78,51 @@ fn eval_case(name: &str, program: &Program, facts: &Database, reps: usize) -> Ev
         reps,
         legacy_secs,
         context_secs,
+    }
+}
+
+struct GovernanceCase {
+    reps: usize,
+    ungoverned_secs: f64,
+    governed_secs: f64,
+}
+
+impl GovernanceCase {
+    /// Governed-but-never-tripping time over the ungoverned seed path.
+    fn overhead(&self) -> f64 {
+        self.governed_secs / self.ungoverned_secs.max(1e-12)
+    }
+}
+
+/// Governance overhead: the same context and program evaluated with and
+/// without a (never-tripping) `Governor`, reps interleaved A/B in the
+/// same session so machine drift hits both sides alike (BENCHMARKS.md
+/// methodology). The governed path's extra work is one atomic poll per
+/// 1024 tuples plus per-round and per-unique-insert counter bumps, so
+/// the ratio should sit within run-to-run noise.
+fn governance_case(program: &Program, facts: &Database, reps: usize) -> GovernanceCase {
+    let ctx = Evaluator::from_database(facts);
+    let limits = ResourceLimits::none()
+        .with_timeout(Duration::from_secs(3600))
+        .with_fact_budget(u64::MAX / 2)
+        .with_round_cap(u64::MAX / 2);
+    ctx.eval(program).expect("evaluates");
+    ctx.eval_governed(program, &Governor::new(limits))
+        .expect("evaluates");
+    let (mut ungoverned, mut governed) = (0.0, 0.0);
+    for _ in 0..reps {
+        let t = Instant::now();
+        ctx.eval(program).expect("evaluates");
+        ungoverned += t.elapsed().as_secs_f64();
+        let gov = Governor::new(limits);
+        let t = Instant::now();
+        ctx.eval_governed(program, &gov).expect("evaluates");
+        governed += t.elapsed().as_secs_f64();
+    }
+    GovernanceCase {
+        reps,
+        ungoverned_secs: ungoverned / reps as f64,
+        governed_secs: governed / reps as f64,
     }
 }
 
@@ -522,6 +569,16 @@ fn main() {
     ));
     eprintln!("done transitive closure");
 
+    // --- governance overhead: the same closure workload governed by a
+    // never-tripping Governor vs the plain path, interleaved.
+    let governance = governance_case(&closure, &edges, 10);
+    eprintln!(
+        "governance overhead: {:.2}x ({:.6}s governed vs {:.6}s ungoverned per eval)",
+        governance.overhead(),
+        governance.governed_secs,
+        governance.ungoverned_secs
+    );
+
     // --- repeated candidates: one EDB, many programs (CEGIS shape).
     let retina = by_name("Retina-2").expect("benchmark exists");
     let mut facts = to_facts(&retina.generate_source(8, 7));
@@ -592,6 +649,22 @@ fn main() {
             );
         }
         eprintln!("BENCH_ASSERT: batch_filter dense/two_const >= 1.0x ok");
+        // Governance must be within noise of the seed path when no limit
+        // trips; 1.25x is the noise band (±10–15%) plus headroom. The
+        // two sides are interleaved in one session, so a systematic gap
+        // here is real per-tuple overhead, not machine drift.
+        assert!(
+            governance.overhead() <= 1.25,
+            "governance overhead regression: governed {:.6}s vs ungoverned {:.6}s per eval \
+             ({:.2}x > 1.25x)",
+            governance.governed_secs,
+            governance.ungoverned_secs,
+            governance.overhead()
+        );
+        eprintln!(
+            "BENCH_ASSERT: governance overhead {:.2}x <= 1.25x ok",
+            governance.overhead()
+        );
     }
 
     // --- parallel scaling: pool fan-out at 1/2/4/8 workers (collapsed
@@ -692,6 +765,14 @@ fn main() {
         ordering.body_order_secs,
         ordering.speedup(),
     ));
+    j.push_str(&format!(
+        "  \"governance\": {{\"reps\": {}, \"ungoverned_secs_per_eval\": {:.6}, \
+         \"governed_secs_per_eval\": {:.6}, \"overhead\": {:.3}}},\n",
+        governance.reps,
+        governance.ungoverned_secs,
+        governance.governed_secs,
+        governance.overhead(),
+    ));
     j.push_str("  \"batch_filter\": [\n");
     for (i, c) in batch_cases.iter().enumerate() {
         j.push_str(&format!(
@@ -754,11 +835,22 @@ fn main() {
          \"repeated_candidates_context_secs\": {:.6}, \
          \"repeated_candidates_speedup\": {:.2}, \
          \"join_ordering_speedup\": {:.2}, \
-         \"batch_filter_dense_100k_secs\": {:.9}}}\n  ],\n",
+         \"batch_filter_dense_100k_secs\": {:.9}}},\n",
         repeated.context_secs,
         repeated.legacy_secs / repeated.context_secs.max(1e-12),
         ordering.speedup(),
         dense_100k.map_or(0.0, |c| c.batched_secs),
+    ));
+    j.push_str(&format!(
+        "    {{\"pr\": 6, \"storage\": \"SoA + resource governor (cooperative checks)\", \
+         \"repeated_candidates_context_secs\": {:.6}, \
+         \"repeated_candidates_speedup\": {:.2}, \
+         \"join_ordering_speedup\": {:.2}, \
+         \"governance_overhead\": {:.3}}}\n  ],\n",
+        repeated.context_secs,
+        repeated.legacy_secs / repeated.context_secs.max(1e-12),
+        ordering.speedup(),
+        governance.overhead(),
     ));
     j.push_str("  \"synthesis\": [\n");
     for (i, c) in synth_cases.iter().enumerate() {

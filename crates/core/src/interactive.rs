@@ -17,7 +17,9 @@
 
 use std::sync::Arc;
 
-use dynamite_datalog::{evaluate, pool, resolve_reorder, Evaluator, Program, RuleCacheHandle};
+use dynamite_datalog::{
+    evaluate, pool, resolve_reorder, Evaluator, Governor, Program, RuleCacheHandle,
+};
 use dynamite_instance::{from_facts, to_facts, Instance, Record};
 use dynamite_schema::Schema;
 
@@ -227,8 +229,16 @@ fn find_distinguishing_input(
     ) {
         let ctx =
             Evaluator::with_config(to_facts(input), worker_pool.clone(), rules.clone(), reorder);
+        // Disambiguation probes honour the session's per-candidate
+        // resource limits too: a probe input that blows the budget is
+        // simply treated as non-distinguishing and skipped, instead of
+        // stalling the interactive session.
+        let limits = config.synthesis.candidate_limits.resolve(None);
         let run = |p: &Program| {
-            let out = ctx.eval(p).ok()?;
+            let out = match limits {
+                Some(l) => ctx.eval_governed(p, &Governor::new(l)).ok()?,
+                None => ctx.eval(p).ok()?,
+            };
             let inst = from_facts(&out, target.clone()).ok()?;
             Some(inst.flatten())
         };

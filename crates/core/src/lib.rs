@@ -37,6 +37,6 @@ pub use sketch::{
     RuleSketch, Sketch, SketchOptions,
 };
 pub use synthesizer::{
-    synthesize, RuleSolver, RuleStats, Strategy, SynthStats, Synthesis, SynthesisConfig,
-    SynthesisError, Synthesizer,
+    synthesize, CandidateLimits, RuleSolver, RuleStats, Strategy, SynthStats, Synthesis,
+    SynthesisConfig, SynthesisError, Synthesizer,
 };

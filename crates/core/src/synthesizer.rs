@@ -16,7 +16,10 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use dynamite_datalog::pool::{self, WorkerPool};
-use dynamite_datalog::{resolve_reorder, Evaluator, Program, Rule, RuleCacheHandle};
+use dynamite_datalog::{
+    resolve_fact_budget, resolve_reorder, Evaluator, Governor, Program, ResourceLimits, Rule,
+    RuleCacheHandle,
+};
 use dynamite_instance::hash::FxHashMap;
 use dynamite_instance::{from_facts, to_facts, Flattened};
 use dynamite_schema::Schema;
@@ -46,6 +49,50 @@ pub enum Strategy {
     Enumerative,
 }
 
+/// Per-candidate evaluation limits (resource governance).
+///
+/// Each limit bounds ONE candidate evaluation on ONE example; the
+/// synthesizer builds a fresh [`Governor`] per example evaluation, so
+/// budgets are deterministic regardless of how candidate checks are
+/// scheduled across worker threads. A candidate that trips a limit is
+/// rejected and blocked like any other failing candidate (after a
+/// bounded number of retries, to absorb transient trips) — it does not
+/// sink the whole synthesis call. The global
+/// [`SynthesisConfig::timeout`] still aborts the call as a whole.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CandidateLimits {
+    /// Wall-clock slice for one candidate evaluation on one example.
+    pub timeout: Option<Duration>,
+    /// Cap on unique facts one evaluation may derive. `None` defers to
+    /// the `DYNAMITE_FACT_BUDGET` environment variable (which overrides
+    /// an explicit setting either way).
+    pub fact_budget: Option<u64>,
+    /// Cap on fixpoint rounds one evaluation may start.
+    pub round_cap: Option<u64>,
+}
+
+impl CandidateLimits {
+    /// Resolves these limits (plus an optional outer deadline) into the
+    /// engine's [`ResourceLimits`]. Returns `None` when nothing is
+    /// limited — callers then use the ungoverned evaluation path. The
+    /// fact budget goes through [`resolve_fact_budget`], so the
+    /// `DYNAMITE_FACT_BUDGET` env var governs evaluations even when the
+    /// config leaves every field `None`.
+    pub fn resolve(&self, outer_deadline: Option<Instant>) -> Option<ResourceLimits> {
+        let per_candidate = self.timeout.map(|t| Instant::now() + t);
+        let deadline = match (outer_deadline, per_candidate) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        let limits = ResourceLimits {
+            deadline,
+            fact_budget: resolve_fact_budget(self.fact_budget),
+            round_cap: self.round_cap,
+        };
+        (!limits.is_unlimited()).then_some(limits)
+    }
+}
+
 /// Synthesis configuration.
 #[derive(Debug, Clone)]
 pub struct SynthesisConfig {
@@ -53,6 +100,10 @@ pub struct SynthesisConfig {
     pub strategy: Strategy,
     /// Wall-clock budget for the whole synthesis call.
     pub timeout: Option<Duration>,
+    /// Resource limits applied to each candidate evaluation. Unlimited
+    /// by default (but see [`CandidateLimits::fact_budget`] for the
+    /// environment override).
+    pub candidate_limits: CandidateLimits,
     /// Cap on candidate programs sampled per rule.
     pub max_iters_per_rule: usize,
     /// Sketch-generation options (filtering constants, …).
@@ -79,6 +130,7 @@ impl Default for SynthesisConfig {
         SynthesisConfig {
             strategy: Strategy::MdpGuided,
             timeout: None,
+            candidate_limits: CandidateLimits::default(),
             max_iters_per_rule: 1_000_000,
             sketch: SketchOptions::default(),
             mdp_budget: 20_000,
@@ -137,6 +189,9 @@ pub struct RuleStats {
     pub blocking_clauses: usize,
     /// MDPs computed across all failures.
     pub mdps_computed: usize,
+    /// Candidates rejected because their evaluation tripped a resource
+    /// limit ([`CandidateLimits`]) rather than producing wrong output.
+    pub resource_skips: usize,
     /// Number of holes in the rule sketch.
     pub holes: usize,
     /// ln of the rule's completion count.
@@ -315,6 +370,15 @@ impl Synthesizer {
     /// Runs Algorithm 1: completes every rule sketch and assembles the
     /// program.
     pub fn synthesize(&self) -> Result<Synthesis, SynthesisError> {
+        self.synthesize_partial().map_err(|(e, _)| e)
+    }
+
+    /// Like [`synthesize`](Self::synthesize), but on failure hands back
+    /// the statistics accumulated up to the abort — rules already
+    /// completed plus the failing rule's partial counters — so callers
+    /// hitting the global deadline (or an iteration cap) can still
+    /// report how far the search got.
+    pub fn synthesize_partial(&self) -> Result<Synthesis, (SynthesisError, SynthStats)> {
         let start = Instant::now();
         let deadline = self.config.timeout.map(|t| start + t);
         let mut rules = Vec::new();
@@ -323,10 +387,16 @@ impl Synthesizer {
             ..Default::default()
         };
         for rs in &self.sketch.rules {
-            let mut solver = RuleSolver::new(self, rs)?;
+            let mut solver = match RuleSolver::new(self, rs) {
+                Ok(s) => s,
+                Err(e) => {
+                    stats.elapsed = start.elapsed();
+                    return Err((e, stats));
+                }
+            };
             solver.deadline = deadline;
-            match solver.next_consistent()? {
-                Some((rule, _)) => {
+            match solver.next_consistent() {
+                Ok(Some((rule, _))) => {
                     let rule = if self.config.simplify {
                         self.checked_simplify(&rule)
                     } else {
@@ -335,10 +405,20 @@ impl Synthesizer {
                     rules.push(rule);
                     stats.rules.push(solver.stats());
                 }
-                None => {
-                    return Err(SynthesisError::NoProgram {
-                        rule: rs.target_record.clone(),
-                    })
+                Ok(None) => {
+                    stats.rules.push(solver.stats());
+                    stats.elapsed = start.elapsed();
+                    return Err((
+                        SynthesisError::NoProgram {
+                            rule: rs.target_record.clone(),
+                        },
+                        stats,
+                    ));
+                }
+                Err(e) => {
+                    stats.rules.push(solver.stats());
+                    stats.elapsed = start.elapsed();
+                    return Err((e, stats));
                 }
             }
         }
@@ -395,9 +475,18 @@ pub struct RuleSolver<'a> {
     iterations: usize,
     blocking_clauses: usize,
     mdps_computed: usize,
+    resource_skips: usize,
     /// Optional wall-clock deadline.
     pub deadline: Option<Instant>,
 }
+
+/// How many times an [`ExampleCheck::Exhausted`] candidate is re-checked
+/// before being skipped. A trip can be transient (an injected fault, a
+/// deadline race near the global timeout); retrying keeps those from
+/// condemning an otherwise-fine candidate, while a candidate that
+/// genuinely exceeds its budget trips every time and is skipped after
+/// `1 + CANDIDATE_RETRIES` attempts.
+const CANDIDATE_RETRIES: usize = 2;
 
 impl<'a> RuleSolver<'a> {
     fn new(synth: &'a Synthesizer, sketch: &'a RuleSketch) -> Result<Self, SynthesisError> {
@@ -488,6 +577,7 @@ impl<'a> RuleSolver<'a> {
             iterations: 0,
             blocking_clauses: 0,
             mdps_computed: 0,
+            resource_skips: 0,
             deadline: None,
         })
     }
@@ -499,6 +589,7 @@ impl<'a> RuleSolver<'a> {
             iterations: self.iterations,
             blocking_clauses: self.blocking_clauses,
             mdps_computed: self.mdps_computed,
+            resource_skips: self.resource_skips,
             holes: self.sketch.holes.len(),
             ln_space: self.sketch.ln_completions(),
         }
@@ -542,7 +633,13 @@ impl<'a> RuleSolver<'a> {
                 .collect();
             let rule = self.sketch.instantiate(&assignment);
 
-            match self.check(&rule) {
+            let mut verdict = self.check(&rule);
+            let mut retries = 0;
+            while matches!(verdict, CheckResult::Exhausted) && retries < CANDIDATE_RETRIES {
+                retries += 1;
+                verdict = self.check(&rule);
+            }
+            match verdict {
                 CheckResult::Consistent => {
                     // Block the equivalence class so another call finds a
                     // semantically different program.
@@ -559,6 +656,16 @@ impl<'a> RuleSolver<'a> {
                 }
                 CheckResult::Failed { actual } => {
                     self.block_failure(&assignment, actual.as_ref());
+                }
+                CheckResult::Exhausted => {
+                    // Graceful degradation: the candidate repeatedly blew
+                    // its per-candidate resource budget. Skip exactly this
+                    // model (no MDP generalization — resource exhaustion
+                    // says nothing about which holes are wrong) and keep
+                    // searching. The global deadline check at the loop top
+                    // still aborts the whole call when it expires.
+                    self.resource_skips += 1;
+                    self.block_exact(&assignment);
                 }
             }
         }
@@ -582,13 +689,18 @@ impl<'a> RuleSolver<'a> {
         let expected = &self.synth.expected_flats;
         let target = &self.synth.target;
         let record_types = &self.sketch.record_types;
+        // Resolved once per candidate so the per-candidate timeout slice
+        // covers all example evaluations together; each evaluation still
+        // gets a FRESH governor (fact/round counters are per-example, so
+        // budgets behave identically at any thread count).
+        let limits = self.synth.config.candidate_limits.resolve(self.deadline);
 
         let outcomes: Vec<ExampleCheck> = if !self.synth.parallel_check {
             // Sequential sweep, stopping at the first failure.
             let mut out = Vec::with_capacity(contexts.len());
             for ctx in contexts {
                 let i = out.len();
-                let o = check_example(ctx, &prog, target, record_types, &expected[i]);
+                let o = check_example(ctx, &prog, target, record_types, &expected[i], limits);
                 let failed = !matches!(o, ExampleCheck::Pass);
                 out.push(o);
                 if failed {
@@ -607,7 +719,8 @@ impl<'a> RuleSolver<'a> {
                         if first_fail.load(Ordering::Relaxed) < i {
                             return ExampleCheck::Skipped;
                         }
-                        let o = check_example(ctx, prog, target, record_types, &expected[i]);
+                        let o =
+                            check_example(ctx, prog, target, record_types, &expected[i], limits);
                         if !matches!(o, ExampleCheck::Pass) {
                             first_fail.fetch_min(i, Ordering::Relaxed);
                         }
@@ -620,6 +733,7 @@ impl<'a> RuleSolver<'a> {
             match outcome {
                 ExampleCheck::Pass | ExampleCheck::Skipped => {}
                 ExampleCheck::Error => return CheckResult::Failed { actual: None },
+                ExampleCheck::Exhausted => return CheckResult::Exhausted,
                 ExampleCheck::Mismatch(actual) => {
                     return CheckResult::Failed {
                         actual: Some((actual, &expected[i])),
@@ -721,6 +835,9 @@ enum ExampleCheck {
     Pass,
     /// Evaluation or fact-translation failed (no flattening to report).
     Error,
+    /// Evaluation tripped a resource limit (deadline, fact budget, round
+    /// cap, or cancellation) before producing an output.
+    Exhausted,
     /// The candidate's output differs from the expected flattening.
     Mismatch(Flattened),
     /// Cancelled: a lower-indexed example had already failed.
@@ -734,9 +851,16 @@ fn check_example(
     target: &Arc<Schema>,
     record_types: &[String],
     expected: &Flattened,
+    limits: Option<ResourceLimits>,
 ) -> ExampleCheck {
-    let Ok(out) = ctx.eval(prog) else {
-        return ExampleCheck::Error;
+    let result = match limits {
+        Some(l) => ctx.eval_governed(prog, &Governor::new(l)),
+        None => ctx.eval(prog),
+    };
+    let out = match result {
+        Ok(out) => out,
+        Err(e) if e.is_resource_limit() => return ExampleCheck::Exhausted,
+        Err(_) => return ExampleCheck::Error,
     };
     let Ok(inst) = from_facts(&out, target.clone()) else {
         return ExampleCheck::Error;
@@ -760,6 +884,9 @@ enum CheckResult<'s> {
         /// synthesizer's precomputed flattening.
         actual: Option<(Flattened, &'s Flattened)>,
     },
+    /// Some example evaluation tripped a per-candidate resource limit;
+    /// nothing is known about the candidate's semantics.
+    Exhausted,
 }
 
 #[cfg(test)]
@@ -954,6 +1081,95 @@ mod tests {
             result.program,
             inst.flatten(),
             output.flatten()
+        );
+    }
+
+    #[test]
+    fn injected_budget_fault_is_absorbed_by_candidate_retry() {
+        use dynamite_datalog::fault;
+        let _guard = fault::test_lock();
+        fault::reset();
+        // A per-candidate timeout makes every example evaluation run
+        // governed, which arms the fault hook points. One injected
+        // budget trip must NOT change the synthesis result: the retry
+        // re-checks the candidate and the trip is absorbed.
+        let (source, target, ex) = motivating();
+        let cfg = SynthesisConfig {
+            candidate_limits: CandidateLimits {
+                timeout: Some(Duration::from_secs(60)),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        fault::arm(fault::BUDGET, 1);
+        let result = synthesize(&source, &target, std::slice::from_ref(&ex), &cfg);
+        fault::reset();
+        let result = result.expect("a single transient trip is absorbed by candidate retries");
+        let facts = to_facts(&ex.input);
+        let out = evaluate(&result.program, &facts).unwrap();
+        let inst = from_facts(&out, target.clone()).unwrap();
+        assert!(inst.canon_eq(&ex.output));
+    }
+
+    #[test]
+    fn resource_exhausted_candidates_are_skipped_not_fatal() {
+        use dynamite_datalog::fault;
+        let _guard = fault::test_lock();
+        fault::reset();
+        // A round cap of 0 exhausts EVERY candidate evaluation. Each
+        // candidate is skipped (blocked exactly) instead of aborting the
+        // call; the search keeps sampling until the iteration cap, and
+        // the partial stats report how many candidates were skipped.
+        let (source, target, ex) = motivating();
+        let cfg = SynthesisConfig {
+            max_iters_per_rule: 40,
+            strategy: Strategy::Enumerative,
+            candidate_limits: CandidateLimits {
+                round_cap: Some(0),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let synth = Synthesizer::new(source, target, vec![ex], cfg).unwrap();
+        let (err, stats) = synth.synthesize_partial().unwrap_err();
+        assert!(matches!(err, SynthesisError::IterationLimit { .. }));
+        assert_eq!(stats.rules.len(), 1);
+        assert_eq!(stats.rules[0].iterations, 40);
+        assert_eq!(stats.rules[0].resource_skips, 40);
+    }
+
+    #[test]
+    fn governed_synthesis_matches_ungoverned_result() {
+        use dynamite_datalog::fault;
+        let _guard = fault::test_lock();
+        fault::reset();
+        // Generous limits that never trip: the governed search must walk
+        // the exact same candidate sequence and land on the same program.
+        let (source, target, ex) = motivating();
+        let plain = synthesize(
+            &source,
+            &target,
+            std::slice::from_ref(&ex),
+            &SynthesisConfig::default(),
+        )
+        .unwrap();
+        let governed_cfg = SynthesisConfig {
+            candidate_limits: CandidateLimits {
+                timeout: Some(Duration::from_secs(120)),
+                fact_budget: Some(1_000_000),
+                round_cap: Some(10_000),
+            },
+            ..Default::default()
+        };
+        let governed = synthesize(&source, &target, std::slice::from_ref(&ex), &governed_cfg)
+            .expect("generous limits never trip");
+        assert_eq!(
+            format!("{}", plain.program),
+            format!("{}", governed.program)
+        );
+        assert_eq!(
+            plain.stats.total_iterations(),
+            governed.stats.total_iterations()
         );
     }
 

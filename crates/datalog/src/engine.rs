@@ -88,6 +88,8 @@ use dynamite_instance::{ColumnIndex, Database, Relation, RowRef, Value};
 
 use crate::ast::{Atom, Literal, Program, Rule, Term};
 use crate::eval::{check_arities, rule_stratum, stratify, EvalError};
+use crate::fault;
+use crate::governor::Governor;
 use crate::pool::{self, WorkerPool};
 
 /// A reusable evaluation context over one fact database.
@@ -283,6 +285,23 @@ impl Evaluator {
         self.run().eval(program)
     }
 
+    /// Like [`Evaluator::eval`], but checked cooperatively against `gov`:
+    /// the evaluation aborts with a typed resource error
+    /// ([`EvalError::DeadlineExceeded`], [`EvalError::FactBudgetExceeded`],
+    /// [`EvalError::RoundCapExceeded`], [`EvalError::Cancelled`]) once any
+    /// of the governor's limits trips.
+    ///
+    /// Governance never changes a *successful* evaluation's output: any
+    /// program that completes under `gov` produces a `Database` that is
+    /// bit-identical (contents and row order) to the ungoverned result, at
+    /// every thread count. The governor only scopes this one call —
+    /// reusing one governor across calls accumulates its counters.
+    pub fn eval_governed(&self, program: &Program, gov: &Governor) -> Result<Database, EvalError> {
+        let mut run = self.run();
+        run.gov = Some(gov);
+        run.eval(program)
+    }
+
     /// Renders the join plan the planner picks for each rule of `program`
     /// against this context's statistics — one line per rule, naive
     /// variant, literals in execution order with their access paths
@@ -303,6 +322,7 @@ impl Evaluator {
                 ContextPool::Global => PoolSource::Lazy,
             },
             reorder: self.ctx.reorder,
+            gov: None,
         }
     }
 
@@ -316,6 +336,20 @@ impl Evaluator {
     /// cached *within* the call (a recursive fixpoint reuses them every
     /// round); the cache is simply dropped on return.
     pub fn eval_once(program: &Program, edb: &Database) -> Result<Database, EvalError> {
+        Self::one_shot_run(edb, None).eval(program)
+    }
+
+    /// The governed single-use path: [`Evaluator::eval_once`] under a
+    /// [`Governor`] (see [`Evaluator::eval_governed`] for the contract).
+    pub fn eval_once_governed(
+        program: &Program,
+        edb: &Database,
+        gov: &Governor,
+    ) -> Result<Database, EvalError> {
+        Self::one_shot_run(edb, Some(gov)).eval(program)
+    }
+
+    fn one_shot_run<'e>(edb: &'e Database, gov: Option<&'e Governor>) -> EvalRun<'e> {
         EvalRun {
             edb,
             indexes: IndexSource::Local(RefCell::new(FxHashMap::default())),
@@ -323,8 +357,8 @@ impl Evaluator {
             plans: None,
             pool: PoolSource::Lazy,
             reorder: reorder_default(),
+            gov,
         }
-        .eval(program)
     }
 }
 
@@ -349,6 +383,10 @@ struct EvalRun<'e> {
     /// Whether join orders come from the cost-based planner (`true`) or
     /// follow body order (`false`).
     reorder: bool,
+    /// Cooperative resource limits for this evaluation, absent on the
+    /// ungoverned paths (which then pay no per-tuple bookkeeping beyond a
+    /// predictable `None` branch).
+    gov: Option<&'e Governor>,
 }
 
 /// The pool an evaluation fans out on. One-shot evaluations resolve the
@@ -386,6 +424,9 @@ const PAR_MIN_ROWS: usize = 256;
 
 impl EvalRun<'_> {
     fn eval(&self, program: &Program) -> Result<Database, EvalError> {
+        if let Some(gov) = self.gov {
+            gov.check()?;
+        }
         program.check_well_formed()?;
         let arities = check_arities(program, self.edb)?;
         let idb: Vec<&str> = program.intensional().into_iter().collect();
@@ -415,7 +456,12 @@ impl EvalRun<'_> {
                 .copied()
                 .filter(|r| strata.get(*r) == Some(&s))
                 .collect();
-            self.run_stratum(&stratum_rules, &in_stratum, &mut idb_state, &arities);
+            self.run_stratum(&stratum_rules, &in_stratum, &mut idb_state, &arities)?;
+        }
+        // A trip latched on the last round (e.g. an injected budget fault
+        // that no later insert observed) still fails the evaluation.
+        if let Some(gov) = self.gov {
+            gov.check()?;
         }
         Ok(idb_state.into_database())
     }
@@ -514,7 +560,7 @@ impl EvalRun<'_> {
         in_stratum: &[&str],
         idb: &mut IdbState,
         arities: &std::collections::HashMap<&str, usize>,
-    ) {
+    ) -> Result<(), EvalError> {
         // Deltas (like the IDB overlay) are untracked: their statistics
         // are never consulted, and the absorb path inserts every derived
         // fact of every round.
@@ -528,7 +574,7 @@ impl EvalRun<'_> {
         // Initial round: naive evaluation of every rule.
         let mut delta = fresh_delta();
         let specs: Vec<Spec<'_>> = rules.iter().map(|&r| (r, &r.naive, None)).collect();
-        self.eval_round(&specs, idb, &mut delta);
+        self.eval_round(&specs, idb, &mut delta)?;
 
         // Fixpoint rounds: one delta variant per same-stratum occurrence.
         loop {
@@ -546,23 +592,35 @@ impl EvalRun<'_> {
                 break;
             }
             let mut next = fresh_delta();
-            let any = self.eval_round(&specs, idb, &mut next);
+            let any = self.eval_round(&specs, idb, &mut next)?;
             delta = next;
             if !any {
                 break;
             }
         }
+        Ok(())
     }
 
     /// Evaluates one round's variants (fanned out to the pool), then
     /// merges the per-job delta buffers into the overlay in job order —
     /// the deterministic merge step.
+    ///
+    /// Governance checkpoints (all no-ops without a governor): the round
+    /// is charged against the round cap up front; jobs poll the cancel
+    /// flag and deadline at coarse strides (so every pool worker drains
+    /// promptly on a trip, not just the caller); and the governor is
+    /// re-checked after the join phase, *before* absorbing — a tripped
+    /// round's job buffers are discarded wholesale, never partially
+    /// merged.
     fn eval_round(
         &self,
         specs: &[Spec<'_>],
         idb: &mut IdbState,
         delta_out: &mut FxHashMap<String, Relation>,
-    ) -> bool {
+    ) -> Result<bool, EvalError> {
+        if let Some(gov) = self.gov {
+            gov.begin_round()?;
+        }
         let (jobs, outer_rows) = self.partition_jobs(specs, idb);
 
         // Mutable prep phase (sequential): register overlay indexes and
@@ -575,6 +633,13 @@ impl EvalRun<'_> {
             .map(|&(rule, variant, _)| self.prepare(rule, variant, idb))
             .collect();
 
+        if let Some(gov) = self.gov {
+            if fault::fire(fault::MID_ROUND_CANCEL) {
+                gov.cancel();
+            }
+            gov.check()?;
+        }
+
         // Immutable join phase: every job sees the same frozen overlay
         // and emits into its own buffer. Fan out only when the round has
         // enough outer rows to amortize the dispatch (tiny rounds — the
@@ -582,27 +647,35 @@ impl EvalRun<'_> {
         // order, so results are identical either way).
         let edb = self.edb;
         let idb_frozen: &IdbState = idb;
+        let gov = self.gov;
         let fan_out = jobs.len() > 1 && self.pool.threads() > 1 && outer_rows >= PAR_MIN_ROWS;
         let preps = &preps;
         let results: Vec<Vec<(usize, Vec<Value>)>> = if fan_out {
             self.pool.get().run(
                 jobs.iter()
-                    .map(|job| move || join_job(edb, job, &preps[job.spec], idb_frozen)),
+                    .map(|job| move || join_job(edb, job, &preps[job.spec], idb_frozen, gov)),
             )
         } else {
             jobs.iter()
-                .map(|job| join_job(edb, job, &preps[job.spec], idb_frozen))
+                .map(|job| join_job(edb, job, &preps[job.spec], idb_frozen, gov))
                 .collect()
         };
+
+        // A trip during the join phase (deadline, external cancel) leaves
+        // truncated job buffers; drop them all rather than absorbing a
+        // partial round.
+        if let Some(gov) = self.gov {
+            gov.check()?;
+        }
 
         // Deterministic merge: absorb in job order.
         let mut any = false;
         for (job, derived) in jobs.iter().zip(results) {
-            if absorb(job.rule, derived, self.edb, idb, delta_out) {
+            if absorb(job.rule, derived, self.edb, idb, delta_out, gov)? {
                 any = true;
             }
         }
-        any
+        Ok(any)
     }
 
     /// Expands specs into jobs, splitting large outer scans into
@@ -766,7 +839,11 @@ fn join_job(
     job: &RoundJob<'_>,
     prep: &JobPrep,
     idb: &IdbState,
+    gov: Option<&Governor>,
 ) -> Vec<(usize, Vec<Value>)> {
+    if gov.is_some() && fault::fire(fault::WORKER_PANIC) {
+        panic!("injected worker panic (DYNAMITE_FAULT)");
+    }
     let rule = job.rule;
     let execs: Vec<LitExec<'_>> = job
         .variant
@@ -835,6 +912,9 @@ fn join_job(
         keys: vec![Vec::new(); depths],
         negkey: Vec::new(),
         results: Vec::new(),
+        gov,
+        ticks: 0,
+        stopped: false,
     };
     run.descend(0);
     run.results
@@ -1569,22 +1649,44 @@ impl IdbState {
 /// row immediately, so recursion-heavy fixpoints never re-scan the
 /// overlay per rule variant. Indexes created later (mid-evaluation) start
 /// behind and catch up once in [`IdbState::ensure_index`].
+/// The fact budget is charged here — on the sequential merge path, per
+/// *unique* insert, in fixed job order — so whether (and where) it trips
+/// is identical at every thread count. A budget trip aborts mid-absorb;
+/// the partially extended overlay is torn down with the whole evaluation.
+/// Every [`GOV_STRIDE`] merged tuples the deadline/cancel state is polled
+/// too, so a huge buffer cannot blow past the deadline unchecked.
 fn absorb(
     rule: &CompiledRule,
     derived: Vec<(usize, Vec<Value>)>,
     edb: &Database,
     idb: &mut IdbState,
     delta: &mut FxHashMap<String, Relation>,
-) -> bool {
+    gov: Option<&Governor>,
+) -> Result<bool, EvalError> {
+    if let Some(gov) = gov {
+        if fault::fire(fault::BUDGET) {
+            gov.trip_fact_budget();
+        }
+    }
     let mut any = false;
+    let mut ticks: u32 = 0;
     let IdbState { rels, indexes } = idb;
     for (head_idx, tuple) in derived {
+        if let Some(gov) = gov {
+            ticks = ticks.wrapping_add(1);
+            if ticks.is_multiple_of(GOV_STRIDE) {
+                gov.check()?;
+            }
+        }
         let rel = rule.heads[head_idx].0.as_str();
         if edb.relation(rel).is_some_and(|r| r.contains(&tuple)) {
             continue;
         }
         let overlay = rels.get_mut(rel).expect("head relations are intensional");
         if overlay.insert(&tuple) {
+            if let Some(gov) = gov {
+                gov.count_fact()?;
+            }
             let row = overlay.len() - 1;
             if let Some(by_cols) = indexes.get_mut(rel) {
                 for (cols, idx) in by_cols.iter_mut() {
@@ -1601,7 +1703,7 @@ fn absorb(
             any = true;
         }
     }
-    any
+    Ok(any)
 }
 
 // ---------------------------------------------------------------- join --
@@ -1683,7 +1785,21 @@ struct JoinRun<'a> {
     /// Negation-probe key buffer.
     negkey: Vec<Value>,
     results: Vec<(usize, Vec<Value>)>,
+    /// Governance handle for this job; ungoverned runs pay one `None`
+    /// branch per considered tuple and nothing else.
+    gov: Option<&'a Governor>,
+    /// Tuples considered since the last governor poll.
+    ticks: u32,
+    /// Sticky stop flag: set when the governor trips; the whole descent
+    /// unwinds without considering further tuples (the truncated buffer
+    /// is discarded by the round's post-join check).
+    stopped: bool,
 }
+
+/// Tuples considered between governor polls inside a join job. Coarse
+/// enough that the `Instant::now()` syscall is amortized into noise, fine
+/// enough that a cross-product blow-up is noticed within microseconds.
+const GOV_STRIDE: u32 = 1024;
 
 impl JoinRun<'_> {
     /// Binds row `t` against `slots`, extending `env`; records newly bound
@@ -1750,7 +1866,29 @@ impl JoinRun<'_> {
         }
     }
 
+    /// Per-tuple governance tick: polls the governor every [`GOV_STRIDE`]
+    /// considered tuples and latches `stopped` on a trip. Polling only
+    /// observes cancel/deadline state — it never mutates the join — so a
+    /// run that completes is byte-identical to an ungoverned one.
+    #[inline]
+    fn should_stop(&mut self) -> bool {
+        if self.stopped {
+            return true;
+        }
+        let Some(gov) = self.gov else {
+            return false;
+        };
+        self.ticks = self.ticks.wrapping_add(1);
+        if self.ticks.is_multiple_of(GOV_STRIDE) && gov.poll() {
+            self.stopped = true;
+        }
+        self.stopped
+    }
+
     fn descend(&mut self, depth: usize) {
+        if self.stopped {
+            return;
+        }
         if depth == self.execs.len() {
             let mut negkey = std::mem::take(&mut self.negkey);
             let ok = self.negs.iter().all(|n| n.holds(&self.env, &mut negkey));
@@ -1771,6 +1909,9 @@ impl JoinRun<'_> {
                 for part in parts.iter().flatten() {
                     let n = part.len();
                     for i in start.min(n)..end.min(n) {
+                        if self.should_stop() {
+                            break;
+                        }
                         let t = part.get(i).expect("scan in range");
                         if Self::try_tuple(&mut self.env, &mut newly, exec.slots, t) {
                             self.descend(depth + 1);
@@ -1786,6 +1927,9 @@ impl JoinRun<'_> {
             ScanSrc::Filtered { parts } => {
                 for (rel, ids) in parts.iter().flatten() {
                     for &i in ids {
+                        if self.should_stop() {
+                            break;
+                        }
                         let t = rel.get(i as usize).expect("prescan in range");
                         if Self::try_tuple(&mut self.env, &mut newly, exec.slots, t) {
                             self.descend(depth + 1);
@@ -1810,6 +1954,9 @@ impl JoinRun<'_> {
                     .chain(idb.iter().map(|(rel, ix)| (*rel, ix.get(&key))))
                 {
                     for &ti in positions {
+                        if self.should_stop() {
+                            break;
+                        }
                         let t = rel.get(ti).expect("index in range");
                         if Self::try_tuple(&mut self.env, &mut newly, exec.slots, t) {
                             self.descend(depth + 1);
@@ -2043,5 +2190,261 @@ mod tests {
         }
         // reorder_default and resolve_reorder(None) always agree.
         assert_eq!(reorder_default(), resolve_reorder(None));
+    }
+
+    // ---------------------------------------------- resource governance --
+
+    use crate::governor::ResourceLimits;
+    use std::time::{Duration, Instant};
+
+    fn ctx_with_threads(db: &Database, threads: usize) -> Evaluator {
+        Evaluator::with_config(
+            db.clone(),
+            Arc::new(WorkerPool::new(threads)),
+            RuleCacheHandle::default(),
+            true,
+        )
+    }
+
+    /// Rows per relation in insertion order — `Database` equality is
+    /// set-based, so bit-identity (the governance differential contract)
+    /// must compare the ordered row sequences explicitly.
+    fn ordered_rows(db: &Database) -> Vec<(String, Vec<Vec<Value>>)> {
+        db.iter()
+            .map(|(n, r)| {
+                (
+                    n.to_string(),
+                    r.iter().map(|t| t.iter().collect()).collect(),
+                )
+            })
+            .collect()
+    }
+
+    fn cyclic_edges(n: i64) -> Database {
+        let mut db = Database::new();
+        db.extend_rows(
+            "Edge",
+            2,
+            (0..n).map(|i| vec![i.into(), ((i + 1) % n).into()]),
+        );
+        db
+    }
+
+    const TC: &str = "Path(x, y) :- Edge(x, y).
+                      Path(x, z) :- Path(x, y), Edge(y, z).";
+
+    #[test]
+    fn round_cap_of_one_stops_the_recursive_fixpoint() {
+        let _g = fault::test_lock();
+        fault::reset();
+        let ctx = fresh_ctx(&cyclic_edges(8), true);
+        let p = Program::parse(TC).expect("parses");
+        let gov = Governor::new(ResourceLimits::none().with_round_cap(1));
+        assert_eq!(
+            ctx.eval_governed(&p, &gov).unwrap_err(),
+            EvalError::RoundCapExceeded { cap: 1 }
+        );
+        // A generous cap completes and matches the ungoverned run.
+        let gov = Governor::new(ResourceLimits::none().with_round_cap(64));
+        assert_eq!(
+            ordered_rows(&ctx.eval_governed(&p, &gov).expect("in cap")),
+            ordered_rows(&ctx.eval(&p).expect("ungoverned"))
+        );
+        assert!(gov.rounds_started() >= 2);
+    }
+
+    #[test]
+    fn fact_budget_trips_mid_absorb() {
+        let _g = fault::test_lock();
+        fault::reset();
+        // The 8-node cycle closes to 64 Path facts; a budget of 10 trips
+        // partway through absorbing some round's buffer.
+        let ctx = fresh_ctx(&cyclic_edges(8), true);
+        let p = Program::parse(TC).expect("parses");
+        let gov = Governor::new(ResourceLimits::none().with_fact_budget(10));
+        assert_eq!(
+            ctx.eval_governed(&p, &gov).unwrap_err(),
+            EvalError::FactBudgetExceeded { budget: 10 }
+        );
+        // The trip point is exactly one past the budget, and it is
+        // charged only for unique facts.
+        assert_eq!(gov.facts_counted(), 11);
+        // Within budget (64 unique Path facts) the result is identical.
+        let gov = Governor::new(ResourceLimits::none().with_fact_budget(64));
+        assert_eq!(
+            ordered_rows(&ctx.eval_governed(&p, &gov).expect("in budget")),
+            ordered_rows(&ctx.eval(&p).expect("ungoverned"))
+        );
+        assert_eq!(gov.facts_counted(), 64);
+    }
+
+    #[test]
+    fn deadline_trips_inside_a_parallel_round() {
+        let _g = fault::test_lock();
+        fault::reset();
+        // A 16M-row cross product: far past the deadline's reach, so the
+        // only way this test finishes promptly is the in-job stride poll
+        // stopping every partition early (threads=4 fans the outer scan
+        // into multiple pool jobs; threads=1 covers the inline path).
+        let db = skewed_db();
+        let p = Program::parse("Out(x, z) :- Big(x, y), Big(z, w).").expect("parses");
+        for threads in [1usize, 4] {
+            let ctx = ctx_with_threads(&db, threads);
+            let started = Instant::now();
+            let gov = Governor::new(ResourceLimits::none().with_timeout(Duration::from_millis(5)));
+            assert_eq!(
+                ctx.eval_governed(&p, &gov).unwrap_err(),
+                EvalError::DeadlineExceeded,
+                "threads={threads}"
+            );
+            assert!(
+                started.elapsed() < Duration::from_secs(5),
+                "governed eval did not stop promptly at threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn pre_cancelled_governor_rejects_immediately() {
+        let _g = fault::test_lock();
+        fault::reset();
+        let ctx = fresh_ctx(&cyclic_edges(4), true);
+        let p = Program::parse(TC).expect("parses");
+        let gov = Governor::unlimited();
+        gov.cancel();
+        assert_eq!(
+            ctx.eval_governed(&p, &gov).unwrap_err(),
+            EvalError::Cancelled
+        );
+    }
+
+    #[test]
+    fn cancel_from_another_thread_stops_evaluation() {
+        let _g = fault::test_lock();
+        fault::reset();
+        let db = skewed_db();
+        let ctx = ctx_with_threads(&db, 4);
+        let p = Program::parse("Out(x, z) :- Big(x, y), Big(z, w).").expect("parses");
+        let gov = Governor::unlimited();
+        let handle = gov.clone();
+        let canceller = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(5));
+            handle.cancel();
+        });
+        let err = ctx.eval_governed(&p, &gov).unwrap_err();
+        canceller.join().expect("canceller thread");
+        assert_eq!(err, EvalError::Cancelled);
+    }
+
+    #[test]
+    fn governed_output_is_bit_identical_to_ungoverned() {
+        let _g = fault::test_lock();
+        fault::reset();
+        // Differential over joins, recursion, and negation, at threads=1
+        // and threads=4, under limits generous enough never to trip.
+        let mut db = cyclic_edges(300);
+        db.extend_rows("Node", 1, (0..310i64).map(|i| vec![i.into()]));
+        db.insert("Start", vec![0.into()]);
+        let programs = [
+            TC,
+            "Q(x, z) :- Edge(x, y), Edge(y, z).",
+            "Reach(x) :- Start(x).
+             Reach(y) :- Reach(x), Edge(x, y).
+             Unreach(x) :- Node(x), !Reach(x).",
+        ];
+        let limits = ResourceLimits::none()
+            .with_timeout(Duration::from_secs(600))
+            .with_fact_budget(10_000_000)
+            .with_round_cap(100_000);
+        for threads in [1usize, 4] {
+            let ctx = ctx_with_threads(&db, threads);
+            for src in programs {
+                let p = Program::parse(src).expect("parses");
+                let ungoverned = ctx.eval(&p).expect("ungoverned");
+                let governed = ctx
+                    .eval_governed(&p, &Governor::new(limits))
+                    .expect("well within limits");
+                assert_eq!(
+                    ordered_rows(&governed),
+                    ordered_rows(&ungoverned),
+                    "threads={threads} src={src}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fault_mid_round_cancel_surfaces_as_cancelled() {
+        let _g = fault::test_lock();
+        fault::reset();
+        let ctx = fresh_ctx(&cyclic_edges(4), true);
+        let p = Program::parse(TC).expect("parses");
+        fault::arm(fault::MID_ROUND_CANCEL, 1);
+        let gov = Governor::unlimited();
+        assert_eq!(
+            ctx.eval_governed(&p, &gov).unwrap_err(),
+            EvalError::Cancelled
+        );
+        // The counter drained: the next governed run is fault-free.
+        let gov = Governor::unlimited();
+        assert_eq!(
+            ordered_rows(&ctx.eval_governed(&p, &gov).expect("fault drained")),
+            ordered_rows(&ctx.eval(&p).expect("ungoverned"))
+        );
+        fault::reset();
+    }
+
+    #[test]
+    fn fault_budget_surfaces_as_budget_exceeded() {
+        let _g = fault::test_lock();
+        fault::reset();
+        let ctx = fresh_ctx(&cyclic_edges(4), true);
+        let p = Program::parse(TC).expect("parses");
+        fault::arm(fault::BUDGET, 1);
+        let gov = Governor::unlimited();
+        assert!(matches!(
+            ctx.eval_governed(&p, &gov).unwrap_err(),
+            EvalError::FactBudgetExceeded { .. }
+        ));
+        fault::reset();
+    }
+
+    #[test]
+    fn fault_worker_panic_propagates_and_pool_survives() {
+        let _g = fault::test_lock();
+        fault::reset();
+        // Fan out (threads=4, 4000 outer rows) so the injected panic
+        // lands on a pool job; the pool's barrier must not deadlock and
+        // the panic must resume on the caller.
+        let db = skewed_db();
+        let ctx = ctx_with_threads(&db, 4);
+        let p = Program::parse("Out(x) :- Big(x, _).").expect("parses");
+        fault::arm(fault::WORKER_PANIC, 1);
+        let gov = Governor::unlimited();
+        let r =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| ctx.eval_governed(&p, &gov)));
+        assert!(r.is_err(), "injected worker panic must propagate");
+        // The same context (and its pool) remain fully usable.
+        let gov = Governor::unlimited();
+        assert_eq!(
+            ordered_rows(&ctx.eval_governed(&p, &gov).expect("pool survives")),
+            ordered_rows(&ctx.eval(&p).expect("ungoverned"))
+        );
+        fault::reset();
+    }
+
+    #[test]
+    fn ungoverned_faults_never_fire() {
+        let _g = fault::test_lock();
+        fault::reset();
+        // Armed faults must not leak into plain (ungoverned) evaluation.
+        fault::arm(fault::WORKER_PANIC, 1);
+        fault::arm(fault::MID_ROUND_CANCEL, 1);
+        fault::arm(fault::BUDGET, 1);
+        let db = skewed_db();
+        let ctx = ctx_with_threads(&db, 4);
+        let p = Program::parse("Out(x) :- Big(x, _).").expect("parses");
+        assert!(ctx.eval(&p).is_ok());
+        fault::reset();
     }
 }

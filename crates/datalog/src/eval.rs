@@ -40,6 +40,32 @@ pub enum EvalError {
         expected: usize,
         got: usize,
     },
+    /// The governor's wall-clock deadline elapsed mid-evaluation.
+    DeadlineExceeded,
+    /// The governor's unique-derived-fact budget was exhausted.
+    FactBudgetExceeded { budget: u64 },
+    /// The governor's evaluation-round cap was exceeded.
+    RoundCapExceeded { cap: u64 },
+    /// The evaluation was cancelled via [`Governor::cancel`](crate::Governor::cancel).
+    Cancelled,
+}
+
+impl EvalError {
+    /// `true` for the resource-governance trip causes
+    /// ([`DeadlineExceeded`](EvalError::DeadlineExceeded),
+    /// [`FactBudgetExceeded`](EvalError::FactBudgetExceeded),
+    /// [`RoundCapExceeded`](EvalError::RoundCapExceeded),
+    /// [`Cancelled`](EvalError::Cancelled)) — the errors that condemn one
+    /// evaluation, not the program itself.
+    pub fn is_resource_limit(&self) -> bool {
+        matches!(
+            self,
+            EvalError::DeadlineExceeded
+                | EvalError::FactBudgetExceeded { .. }
+                | EvalError::RoundCapExceeded { .. }
+                | EvalError::Cancelled
+        )
+    }
 }
 
 impl fmt::Display for EvalError {
@@ -60,6 +86,14 @@ impl fmt::Display for EvalError {
                 f,
                 "input relation `{relation}` has arity {got}, program expects {expected}"
             ),
+            EvalError::DeadlineExceeded => write!(f, "evaluation deadline exceeded"),
+            EvalError::FactBudgetExceeded { budget } => {
+                write!(f, "evaluation exceeded the derived-fact budget ({budget})")
+            }
+            EvalError::RoundCapExceeded { cap } => {
+                write!(f, "evaluation exceeded the fixpoint-round cap ({cap})")
+            }
+            EvalError::Cancelled => write!(f, "evaluation cancelled"),
         }
     }
 }

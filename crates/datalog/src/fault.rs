@@ -1,0 +1,136 @@
+//! Deterministic fault injection for the governed evaluation paths.
+//!
+//! Faults are armed either from the `DYNAMITE_FAULT` environment variable
+//! (`DYNAMITE_FAULT=point[=count],point2[=count2],...`, count defaulting
+//! to 1) or programmatically via [`arm`] from tests. Each armed point
+//! carries a bounded fire counter: [`fire`] consumes one firing and
+//! returns `true` until the counter drains, after which the point is
+//! inert again — injection can therefore force a failure *once* and let
+//! recovery logic (candidate retry in the synthesizer, pool panic
+//! propagation) be observed on the very next attempt.
+//!
+//! Hook points only fire on **governed** evaluations (a [`Governor`]
+//! present); plain `evaluate()` calls never consult this module's
+//! counters, so production data paths cannot trip an armed fault left
+//! over in the environment.
+//!
+//! [`Governor`]: crate::Governor
+//!
+//! Known points (the engine's hook sites):
+//!
+//! | point              | effect                                            |
+//! |--------------------|---------------------------------------------------|
+//! | `mid-round-cancel` | cancels the governor between prep and join        |
+//! | `worker-panic`     | panics at the start of one join job               |
+//! | `budget`           | forces a fact-budget trip at the next absorb      |
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// Cancels the governor between a round's prep and join phases.
+pub const MID_ROUND_CANCEL: &str = "mid-round-cancel";
+/// Panics at the start of one join job (exercises pool panic recovery).
+pub const WORKER_PANIC: &str = "worker-panic";
+/// Forces a fact-budget trip at the next absorb.
+pub const BUDGET: &str = "budget";
+
+/// Fast path: `false` until anything has ever been armed, so an inert
+/// process pays one relaxed load per hook site.
+static ARMED: AtomicBool = AtomicBool::new(false);
+
+fn registry() -> &'static Mutex<HashMap<String, u64>> {
+    static REG: OnceLock<Mutex<HashMap<String, u64>>> = OnceLock::new();
+    REG.get_or_init(|| {
+        let mut map = HashMap::new();
+        if let Ok(spec) = std::env::var("DYNAMITE_FAULT") {
+            for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+                let (point, count) = match part.split_once('=') {
+                    Some((p, c)) => (p.trim(), c.trim().parse::<u64>().unwrap_or(1)),
+                    None => (part, 1),
+                };
+                if !point.is_empty() && count > 0 {
+                    map.insert(point.to_string(), count);
+                }
+            }
+        }
+        if !map.is_empty() {
+            ARMED.store(true, Ordering::Release);
+        }
+        Mutex::new(map)
+    })
+}
+
+/// Consumes one firing of `point`, returning `true` when the point was
+/// armed with a remaining count.
+pub fn fire(point: &str) -> bool {
+    // Force the env parse before consulting the fast path, so the first
+    // hook hit in a process sees env-armed faults.
+    let reg = registry();
+    if !ARMED.load(Ordering::Acquire) {
+        return false;
+    }
+    let mut reg = reg.lock().unwrap_or_else(|e| e.into_inner());
+    match reg.get_mut(point) {
+        Some(n) if *n > 0 => {
+            *n -= 1;
+            true
+        }
+        _ => false,
+    }
+}
+
+/// Arms `point` to fire `count` times (replacing any previous counter;
+/// `count == 0` disarms the point). Test hook.
+#[doc(hidden)]
+pub fn arm(point: &str, count: u64) {
+    let mut reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+    if count == 0 {
+        reg.remove(point);
+    } else {
+        reg.insert(point.to_string(), count);
+        ARMED.store(true, Ordering::Release);
+    }
+}
+
+/// Disarms every point (including env-armed ones). Test hook.
+#[doc(hidden)]
+pub fn reset() {
+    registry().lock().unwrap_or_else(|e| e.into_inner()).clear();
+}
+
+/// Serializes tests that arm process-global fault points (and tests whose
+/// governed evaluations must *not* observe someone else's armed faults).
+/// The guard recovers from poisoning so one failed test does not cascade.
+#[doc(hidden)]
+pub fn test_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn armed_points_fire_a_bounded_number_of_times() {
+        let _g = test_lock();
+        reset();
+        arm("test-point", 2);
+        assert!(fire("test-point"));
+        assert!(fire("test-point"));
+        assert!(!fire("test-point"));
+        assert!(!fire("never-armed"));
+        reset();
+    }
+
+    #[test]
+    fn disarm_via_zero_count() {
+        let _g = test_lock();
+        reset();
+        arm("test-point-2", 5);
+        arm("test-point-2", 0);
+        assert!(!fire("test-point-2"));
+        reset();
+    }
+}

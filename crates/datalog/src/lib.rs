@@ -33,6 +33,8 @@
 mod ast;
 mod engine;
 mod eval;
+pub mod fault;
+mod governor;
 pub mod legacy;
 mod parse;
 pub mod pool;
@@ -42,5 +44,6 @@ pub use ast::{
 };
 pub use engine::{reorder_default, resolve_reorder, Evaluator, RuleCacheHandle};
 pub use eval::{evaluate, EvalError};
+pub use governor::{resolve_fact_budget, Governor, ResourceLimits};
 pub use parse::{parse_program, ParseError};
 pub use pool::WorkerPool;

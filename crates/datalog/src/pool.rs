@@ -385,4 +385,91 @@ mod tests {
         assert_eq!(pool.threads(), 1);
         assert_eq!(pool.run([|| 7].into_iter()), vec![7]);
     }
+
+    #[test]
+    fn panicking_job_does_not_deadlock_and_siblings_still_complete() {
+        // The completion barrier counts a panicked job as done (the
+        // catch_unwind result lands in its slot like any other), so the
+        // caller neither deadlocks nor abandons sibling jobs: every
+        // non-panicking job runs to completion before the panic resumes.
+        let pool = WorkerPool::new(4);
+        let completed = AtomicUsize::new(0);
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run((0..16).map(|i| {
+                let completed = &completed;
+                move || {
+                    if i == 3 {
+                        panic!("job {i} exploded");
+                    }
+                    completed.fetch_add(1, Ordering::SeqCst);
+                }
+            }))
+        }));
+        assert!(r.is_err());
+        assert_eq!(completed.load(Ordering::SeqCst), 15);
+    }
+
+    #[test]
+    fn first_panic_in_submission_order_is_the_one_resumed() {
+        // With several panicking jobs, the batch still drains fully and
+        // the caller observes the earliest slot's panic payload —
+        // deterministic regardless of which worker ran what.
+        let pool = WorkerPool::new(4);
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run((0..8).map(|i| {
+                move || {
+                    if i == 2 || i == 5 {
+                        panic!("boom-{i}");
+                    }
+                    i
+                }
+            }))
+        }));
+        let payload = r.expect_err("a job panicked");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("panic carries its message");
+        assert_eq!(msg, "boom-2");
+    }
+
+    #[test]
+    fn pool_stays_usable_across_repeated_panicking_batches() {
+        let pool = WorkerPool::new(3);
+        for round in 0..3 {
+            let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                pool.run((0..6).map(|i| {
+                    move || {
+                        if i == round {
+                            panic!("round {round} job {i}");
+                        }
+                        i * 10
+                    }
+                }))
+            }));
+            assert!(r.is_err(), "round {round} must propagate its panic");
+            // The very next batch on the same pool behaves normally.
+            let out = pool.run((0..6).map(|i| move || i * 10));
+            assert_eq!(out, vec![0, 10, 20, 30, 40, 50]);
+        }
+    }
+
+    #[test]
+    fn inline_path_panics_propagate_too() {
+        // threads == 1 runs jobs inline; the panic surfaces directly and
+        // the pool remains usable.
+        let pool = WorkerPool::new(1);
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run((0..3).map(|i| {
+                move || {
+                    if i == 1 {
+                        panic!("inline");
+                    }
+                    i
+                }
+            }))
+        }));
+        assert!(r.is_err());
+        assert_eq!(pool.run((0..3).map(|i| move || i)), vec![0, 1, 2]);
+    }
 }

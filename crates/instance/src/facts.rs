@@ -80,6 +80,168 @@ impl From<InstanceError> for FactsError {
     }
 }
 
+/// Errors raised while parsing Soufflé-style `.facts` text.
+///
+/// Every variant carries the relation name and a 1-based line number, so
+/// malformed external input produces a pinpointed diagnostic instead of a
+/// panic deep inside tuple-store code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FactsParseError {
+    /// A row's column count differs from the preceding rows'.
+    Ragged {
+        relation: String,
+        line: usize,
+        expected: usize,
+        got: usize,
+    },
+    /// A string cell ends in a dangling `\` or uses an escape other than
+    /// `\\`, `\t`, `\n`.
+    BadEscape {
+        relation: String,
+        line: usize,
+        column: usize,
+    },
+    /// The same relation appears twice in one file set.
+    DuplicateRelation { relation: String },
+}
+
+impl fmt::Display for FactsParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FactsParseError::Ragged {
+                relation,
+                line,
+                expected,
+                got,
+            } => write!(
+                f,
+                "{relation}.facts line {line}: row has {got} columns, expected {expected}"
+            ),
+            FactsParseError::BadEscape {
+                relation,
+                line,
+                column,
+            } => write!(
+                f,
+                "{relation}.facts line {line}, column {column}: bad escape sequence \
+                 (only \\\\, \\t, \\n are recognized)"
+            ),
+            FactsParseError::DuplicateRelation { relation } => {
+                write!(f, "relation `{relation}` appears more than once")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FactsParseError {}
+
+/// Parses one relation's `.facts` text — the reader for the format
+/// `dynamite_migrate::writers::render_facts` emits: one tab-separated row
+/// per line, `\\`/`\t`/`\n` escapes inside string cells, `#N` synthetic
+/// identifiers, bare integers, and `true`/`false` booleans.
+///
+/// Like Soufflé's, the format is not self-describing: a cell that *looks*
+/// numeric (or boolean, or like an id) is read as that value, so
+/// `Value::Str("7")` does not survive a round trip as a string — schema
+/// validation downstream ([`from_facts`]) is what assigns final types.
+/// Blank lines are skipped; the relation's arity is fixed by its first
+/// row, and a ragged row is a typed error, not a panic.
+pub fn parse_facts(relation: &str, text: &str) -> Result<Relation, FactsParseError> {
+    let mut rows: Vec<Vec<Value>> = Vec::new();
+    let mut arity: Option<usize> = None;
+    for (idx, line) in text.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let row = line
+            .split('\t')
+            .enumerate()
+            .map(|(col, cell)| parse_cell(relation, idx + 1, col + 1, cell))
+            .collect::<Result<Vec<Value>, FactsParseError>>()?;
+        match arity {
+            None => arity = Some(row.len()),
+            Some(a) if a != row.len() => {
+                return Err(FactsParseError::Ragged {
+                    relation: relation.to_string(),
+                    line: idx + 1,
+                    expected: a,
+                    got: row.len(),
+                })
+            }
+            Some(_) => {}
+        }
+        rows.push(row);
+    }
+    let mut rel = Relation::new(arity.unwrap_or(0));
+    for row in &rows {
+        rel.insert(row);
+    }
+    Ok(rel)
+}
+
+/// Parses a set of `(file name, contents)` pairs — as produced by
+/// `render_facts` — into a fact [`Database`]. A trailing `.facts`
+/// extension on a name is stripped; the remainder is the relation name.
+pub fn parse_facts_files<'a, I>(files: I) -> Result<Database, FactsParseError>
+where
+    I: IntoIterator<Item = (&'a str, &'a str)>,
+{
+    let mut relations = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    for (name, text) in files {
+        let relation = name.strip_suffix(".facts").unwrap_or(name);
+        if !seen.insert(relation.to_string()) {
+            return Err(FactsParseError::DuplicateRelation {
+                relation: relation.to_string(),
+            });
+        }
+        relations.push((relation.to_string(), parse_facts(relation, text)?));
+    }
+    Ok(Database::from_relations(relations))
+}
+
+fn parse_cell(
+    relation: &str,
+    line: usize,
+    column: usize,
+    cell: &str,
+) -> Result<Value, FactsParseError> {
+    if let Some(digits) = cell.strip_prefix('#') {
+        if let Ok(n) = digits.parse::<u64>() {
+            return Ok(Value::Id(n));
+        }
+    }
+    if let Ok(n) = cell.parse::<i64>() {
+        return Ok(Value::Int(n));
+    }
+    match cell {
+        "true" => return Ok(Value::Bool(true)),
+        "false" => return Ok(Value::Bool(false)),
+        _ => {}
+    }
+    let mut s = String::with_capacity(cell.len());
+    let mut chars = cell.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            s.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => s.push('\\'),
+            Some('t') => s.push('\t'),
+            Some('n') => s.push('\n'),
+            _ => {
+                return Err(FactsParseError::BadEscape {
+                    relation: relation.to_string(),
+                    line,
+                    column,
+                })
+            }
+        }
+    }
+    Ok(Value::str(s))
+}
+
 /// Translates a database instance into Datalog facts (§3.3).
 pub fn to_facts(instance: &Instance) -> Database {
     let mut gen = IdGen::new();
@@ -309,6 +471,86 @@ mod tests {
         db.insert("Univ", vec![Value::Int(1), Value::Int(99), Value::Id(0)]);
         let err = from_facts(&db, schema()).unwrap_err();
         assert!(matches!(err, FactsError::Validation(_)));
+    }
+
+    #[test]
+    fn parse_facts_reads_the_rendered_format() {
+        // Pins of `render_facts` output (see dynamite-migrate's writers
+        // tests): ints, strings, and ids round-trip.
+        let rel = parse_facts("Univ", "1\tU1\t#100\n2\tU2\t#200\n").unwrap();
+        assert_eq!(rel.arity(), 3);
+        assert_eq!(rel.len(), 2);
+        let rows: Vec<Vec<Value>> = rel.iter().map(|r| r.iter().collect()).collect();
+        assert_eq!(
+            rows[0],
+            vec![Value::Int(1), Value::str("U1"), Value::Id(100)]
+        );
+        assert_eq!(
+            rows[1],
+            vec![Value::Int(2), Value::str("U2"), Value::Id(200)]
+        );
+    }
+
+    #[test]
+    fn parse_facts_unescapes_structural_characters() {
+        let rel = parse_facts("R", "a\\tb\tc\\nd\\\\e\n").unwrap();
+        let rows: Vec<Vec<Value>> = rel.iter().map(|r| r.iter().collect()).collect();
+        assert_eq!(rows, vec![vec![Value::str("a\tb"), Value::str("c\nd\\e")]]);
+    }
+
+    #[test]
+    fn parse_facts_reads_bools_and_negative_ints() {
+        let rel = parse_facts("R", "true\t-7\nfalse\t0\n").unwrap();
+        let rows: Vec<Vec<Value>> = rel.iter().map(|r| r.iter().collect()).collect();
+        assert_eq!(rows[0], vec![Value::Bool(true), Value::Int(-7)]);
+        assert_eq!(rows[1], vec![Value::Bool(false), Value::Int(0)]);
+    }
+
+    #[test]
+    fn ragged_row_is_a_typed_error_with_line_number() {
+        let err = parse_facts("R", "1\t2\n1\t2\t3\n").unwrap_err();
+        assert_eq!(
+            err,
+            FactsParseError::Ragged {
+                relation: "R".to_string(),
+                line: 2,
+                expected: 2,
+                got: 3,
+            }
+        );
+    }
+
+    #[test]
+    fn bad_escape_is_a_typed_error() {
+        let err = parse_facts("R", "oops\\q\n").unwrap_err();
+        assert!(matches!(
+            err,
+            FactsParseError::BadEscape {
+                line: 1,
+                column: 1,
+                ..
+            }
+        ));
+        // Dangling backslash at end of cell.
+        let err = parse_facts("R", "x\ttrailing\\\n").unwrap_err();
+        assert!(matches!(err, FactsParseError::BadEscape { column: 2, .. }));
+    }
+
+    #[test]
+    fn parse_facts_files_builds_a_database() {
+        let db = parse_facts_files([
+            ("Univ.facts", "1\tU1\t#0\n"),
+            ("Admit.facts", "#0\t1\t10\n#0\t2\t50\n"),
+        ])
+        .unwrap();
+        assert_eq!(db.relation("Univ").unwrap().len(), 1);
+        assert_eq!(db.relation("Admit").unwrap().len(), 2);
+        // The rebuilt facts pass the full §3.3 instance reconstruction.
+        let inst = from_facts(&db, schema()).unwrap();
+        assert_eq!(inst.num_records(), 3);
+
+        let err = parse_facts_files([("R.facts", "1\n"), ("R", "2\n")]).unwrap_err();
+        assert!(matches!(err, FactsParseError::DuplicateRelation { .. }));
     }
 
     #[test]

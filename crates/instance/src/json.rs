@@ -127,6 +127,11 @@ fn parse_record(p: &mut Lexer, schema: &Schema, record_type: &str) -> Result<Rec
             } else {
                 Field::Prim(p.value()?)
             };
+            if fields[idx].is_some() {
+                return Err(JsonError::Schema(format!(
+                    "record `{record_type}` sets attribute `{key}` twice"
+                )));
+            }
             fields[idx] = Some(field);
             p.skip_ws();
             if !p.eat(b',') {
@@ -432,5 +437,29 @@ mod tests {
     fn trailing_garbage_rejected() {
         let doc = r#"{"Univ": []} extra"#;
         assert!(parse_document(doc, schema()).is_err());
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        // Previously the second value silently overwrote the first.
+        let doc = r#"{"Univ": [ {"id": 1, "id": 2, "name": "U", "Admit": []} ]}"#;
+        let err = parse_document(doc, schema()).unwrap_err();
+        assert!(matches!(err, JsonError::Schema(m) if m.contains("twice")));
+    }
+
+    #[test]
+    fn truncated_document_is_a_syntax_error_not_a_panic() {
+        for doc in [
+            "",
+            "{",
+            r#"{"Univ""#,
+            r#"{"Univ": ["#,
+            r#"{"Univ": [ {"id": 1, "name": "U1", "Admit": ["#,
+            r#"{"Univ": [ {"id": 1, "name": "unterminated"#,
+            r#"{"Univ": [ {"id": 1, "name": "bad \u12"#,
+        ] {
+            let err = parse_document(doc, schema()).unwrap_err();
+            assert!(matches!(err, JsonError::Syntax { .. }), "doc: {doc:?}");
+        }
     }
 }

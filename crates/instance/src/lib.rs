@@ -72,7 +72,9 @@ mod tuple_store;
 mod value;
 
 pub use database::{ColumnIndex, Database, Relation};
-pub use facts::{from_facts, to_facts, FactsError, IdGen};
+pub use facts::{
+    from_facts, parse_facts, parse_facts_files, to_facts, FactsError, FactsParseError, IdGen,
+};
 pub use flatten::{FlatTable, Flattened};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use intern::Symbol;

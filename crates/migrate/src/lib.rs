@@ -34,7 +34,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use dynamite_core::{synthesize, Example, Synthesis, SynthesisConfig, SynthesisError};
-use dynamite_datalog::{evaluate, EvalError, Program};
+use dynamite_datalog::{evaluate, EvalError, Evaluator, Governor, Program};
 use dynamite_instance::{from_facts, to_facts, FactsError, Instance};
 use dynamite_schema::Schema;
 
@@ -113,6 +113,30 @@ pub fn migrate(
     source: &Instance,
     target_schema: Arc<Schema>,
 ) -> Result<(Instance, MigrationReport), MigrateError> {
+    migrate_inner(program, source, target_schema, None)
+}
+
+/// Like [`migrate`], but evaluation runs under `gov`: production
+/// migrations over untrusted programs (or very large sources) get a
+/// wall-clock deadline, a derived-fact budget, and external cancellation.
+/// A tripped limit surfaces as [`MigrateError::Eval`] with the typed
+/// [`EvalError`] resource variant — no partially built target instance is
+/// returned.
+pub fn migrate_governed(
+    program: &Program,
+    source: &Instance,
+    target_schema: Arc<Schema>,
+    gov: &Governor,
+) -> Result<(Instance, MigrationReport), MigrateError> {
+    migrate_inner(program, source, target_schema, Some(gov))
+}
+
+fn migrate_inner(
+    program: &Program,
+    source: &Instance,
+    target_schema: Arc<Schema>,
+    gov: Option<&Governor>,
+) -> Result<(Instance, MigrationReport), MigrateError> {
     let mut report = MigrationReport {
         records_in: source.num_records(),
         ..Default::default()
@@ -124,7 +148,10 @@ pub fn migrate(
     report.facts_in = facts.num_facts();
 
     let t1 = Instant::now();
-    let derived = evaluate(program, &facts)?;
+    let derived = match gov {
+        Some(gov) => Evaluator::eval_once_governed(program, &facts, gov)?,
+        None => evaluate(program, &facts)?,
+    };
     report.eval_time = t1.elapsed();
     report.facts_out = derived.num_facts();
 
@@ -184,6 +211,32 @@ mod tests {
         .unwrap();
         assert_eq!(synthesis.program.rules.len(), 1);
         assert!(out.canon_eq(&ex.output));
+    }
+
+    #[test]
+    fn governed_migration_matches_ungoverned_and_trips_cleanly() {
+        use dynamite_datalog::{fault, ResourceLimits};
+        let _guard = fault::test_lock();
+        fault::reset();
+        let (_, target, ex) = motivating();
+        let program = Program::parse(
+            "Admission(grad, ug, num) :- Univ(id1, grad, v1), Admit(v1, id2, num), Univ(id2, ug, _).",
+        )
+        .unwrap();
+        let (plain, _) = migrate(&program, &ex.input, target.clone()).unwrap();
+        // Generous limits: identical result.
+        let gov = Governor::new(ResourceLimits::none().with_fact_budget(10_000));
+        let (governed, report) =
+            migrate_governed(&program, &ex.input, target.clone(), &gov).unwrap();
+        assert!(governed.canon_eq(&plain));
+        assert_eq!(report.facts_out, 4);
+        // A 1-fact budget trips with the typed error and no instance.
+        let gov = Governor::new(ResourceLimits::none().with_fact_budget(1));
+        let err = migrate_governed(&program, &ex.input, target, &gov).unwrap_err();
+        assert!(matches!(
+            err,
+            MigrateError::Eval(EvalError::FactBudgetExceeded { budget: 1 })
+        ));
     }
 
     #[test]

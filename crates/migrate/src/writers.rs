@@ -154,6 +154,21 @@ mod tests {
     }
 
     #[test]
+    fn rendered_facts_parse_back_to_the_same_database() {
+        let mut db = Database::new();
+        db.insert("Univ", vec![1.into(), "U1".into(), Value::Id(100)]);
+        db.insert("Univ", vec![2.into(), "U2".into(), Value::Id(200)]);
+        db.insert("Admit", vec![Value::Id(100), 2.into(), 50.into()]);
+        db.insert("R", vec!["a\tb".into(), "c\nd\\e".into()]);
+        let files = render_facts(&db);
+        let back = dynamite_instance::parse_facts_files(
+            files.iter().map(|(n, t)| (n.as_str(), t.as_str())),
+        )
+        .unwrap();
+        assert_eq!(back, db);
+    }
+
+    #[test]
     fn graph_renders_tables() {
         let schema =
             Arc::new(Schema::parse("@graph N { nid: Int } E { src: Int, dst: Int }").unwrap());

@@ -1,0 +1,180 @@
+//! End-to-end resource-governance acceptance tests (ISSUE: PR 6).
+//!
+//! Pins the cross-crate contract: an evaluation (or a synthesis call
+//! whose candidate fixpoints explode) returns a *typed* resource error
+//! within the configured deadline — at one worker thread and at four —
+//! and a governed run that never trips a limit is bit-identical to the
+//! ungoverned run, output row order included.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dynamite::core::test_fixtures::motivating;
+use dynamite::core::{synthesize, CandidateLimits, SynthesisConfig, SynthesisError, Synthesizer};
+use dynamite::datalog::{
+    fault, EvalError, Evaluator, Governor, Program, ResourceLimits, RuleCacheHandle, WorkerPool,
+};
+use dynamite::instance::{Database, Value};
+
+fn ctx_with_threads(db: Database, threads: usize) -> Evaluator {
+    Evaluator::with_config(
+        db,
+        Arc::new(WorkerPool::new(threads)),
+        RuleCacheHandle::default(),
+        true,
+    )
+}
+
+/// Bit-identity comparison: `Database` equality treats relations as sets,
+/// so compare the ordered row sequences explicitly.
+fn ordered_rows(db: &Database) -> Vec<(String, Vec<Vec<Value>>)> {
+    db.iter()
+        .map(|(name, rel)| {
+            (
+                name.to_string(),
+                rel.iter().map(|r| r.iter().collect()).collect(),
+            )
+        })
+        .collect()
+}
+
+/// A program whose fixpoint is far too large to finish within the
+/// deadline: a full cross product over `n` rows (`n*n` output tuples).
+fn cross_product_db(n: i64) -> Database {
+    let mut db = Database::new();
+    for i in 0..n {
+        db.insert("Big", vec![Value::Int(i), Value::Int(i + 1)]);
+    }
+    db
+}
+
+#[test]
+fn runaway_evaluation_hits_the_deadline_not_a_hang() {
+    let _guard = fault::test_lock();
+    fault::reset();
+    let prog = Program::parse("Out(x, z) :- Big(x, y), Big(z, w).").unwrap();
+    for threads in [1, 4] {
+        let ctx = ctx_with_threads(cross_product_db(4_000), threads);
+        let gov = Governor::new(ResourceLimits::none().with_timeout(Duration::from_millis(50)));
+        let started = Instant::now();
+        let err = ctx.eval_governed(&prog, &gov).unwrap_err();
+        let elapsed = started.elapsed();
+        assert_eq!(err, EvalError::DeadlineExceeded, "threads={threads}");
+        // Cooperative checks are strided, so allow generous slack — but a
+        // 16M-tuple cross product left ungoverned would take far longer.
+        assert!(
+            elapsed < Duration::from_secs(10),
+            "threads={threads}: took {elapsed:?}"
+        );
+    }
+}
+
+#[test]
+fn synthesis_over_exploding_candidates_returns_a_typed_error() {
+    let _guard = fault::test_lock();
+    fault::reset();
+    // A round cap of 0 exhausts EVERY candidate evaluation before it can
+    // derive anything — standing in for candidates whose fixpoints
+    // derive unboundedly many facts: each one is cut off inside the
+    // engine, skipped, and the call returns a typed error instead of
+    // hanging — at one thread and at four. (A fact budget would read
+    // more literally, but `DYNAMITE_FACT_BUDGET` deliberately overrides
+    // explicit budgets, and the CI fault-injection leg sets it.)
+    let (source, target, ex) = motivating();
+    for threads in [1, 4] {
+        let cfg = SynthesisConfig {
+            timeout: Some(Duration::from_secs(60)),
+            max_iters_per_rule: 25,
+            threads: Some(threads),
+            candidate_limits: CandidateLimits {
+                round_cap: Some(0),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let synth =
+            Synthesizer::new(source.clone(), target.clone(), vec![ex.clone()], cfg).unwrap();
+        let started = Instant::now();
+        let (err, stats) = synth.synthesize_partial().unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SynthesisError::IterationLimit { .. } | SynthesisError::NoProgram { .. }
+            ),
+            "threads={threads}: got {err:?}"
+        );
+        // Partial stats still describe the aborted search.
+        assert_eq!(stats.rules.len(), 1);
+        assert!(stats.rules[0].resource_skips > 0, "threads={threads}");
+        assert!(
+            started.elapsed() < Duration::from_secs(30),
+            "threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn governed_evaluation_is_bit_identical_to_ungoverned() {
+    let _guard = fault::test_lock();
+    fault::reset();
+    let prog = Program::parse(
+        "Path(x, y) :- Edge(x, y).
+         Path(x, z) :- Path(x, y), Edge(y, z).",
+    )
+    .unwrap();
+    let mut db = Database::new();
+    for i in 0..60i64 {
+        db.insert("Edge", vec![Value::Int(i), Value::Int((i + 1) % 60)]);
+    }
+    for threads in [1, 4] {
+        let ctx = ctx_with_threads(db.clone(), threads);
+        let plain = ctx.eval(&prog).unwrap();
+        let gov = Governor::new(
+            ResourceLimits::none()
+                .with_timeout(Duration::from_secs(120))
+                .with_fact_budget(1_000_000)
+                .with_round_cap(100_000),
+        );
+        let governed = ctx.eval_governed(&prog, &gov).unwrap();
+        assert_eq!(
+            ordered_rows(&plain),
+            ordered_rows(&governed),
+            "threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn governed_synthesis_matches_ungoverned_at_both_thread_counts() {
+    let _guard = fault::test_lock();
+    fault::reset();
+    let (source, target, ex) = motivating();
+    for threads in [1, 4] {
+        let plain_cfg = SynthesisConfig {
+            threads: Some(threads),
+            ..Default::default()
+        };
+        let plain = synthesize(&source, &target, std::slice::from_ref(&ex), &plain_cfg).unwrap();
+        let governed_cfg = SynthesisConfig {
+            threads: Some(threads),
+            candidate_limits: CandidateLimits {
+                timeout: Some(Duration::from_secs(120)),
+                fact_budget: Some(1_000_000),
+                round_cap: Some(100_000),
+            },
+            ..plain_cfg
+        };
+        let governed =
+            synthesize(&source, &target, std::slice::from_ref(&ex), &governed_cfg).unwrap();
+        assert_eq!(
+            format!("{}", plain.program),
+            format!("{}", governed.program),
+            "threads={threads}"
+        );
+        assert_eq!(
+            plain.stats.total_iterations(),
+            governed.stats.total_iterations(),
+            "threads={threads}"
+        );
+    }
+}
