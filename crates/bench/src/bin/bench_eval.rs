@@ -6,19 +6,30 @@
 //! the adversarially ordered `join_ordering` workload (cost-based planner
 //! vs body-order plans), the `batch_filter` kernel microbench (scalar
 //! pre-scan vs the SIMD bitmask kernel over the SoA tag/payload streams),
-//! and a parallel-scaling sweep of the worker-pool fixpoint
-//! (threads = 1/2/4/8, skipped on single-core hardware), comparing the
-//! reusable [`Evaluator`] context against the legacy one-shot
-//! interpreter. Writes `BENCH_eval.json` so later PRs have a perf
-//! trajectory to compare against. See `BENCHMARKS.md` at the repo root
-//! for each workload's shape and how to read the numbers.
+//! the `update_stream` incremental-maintenance workload
+//! ([`IncrementalEvaluator::apply_delta`] vs full re-evaluation over a
+//! stream of small mixed batches), and a parallel-scaling sweep of the
+//! worker-pool fixpoint (threads = 1/2/4/8, skipped on single-core
+//! hardware), comparing the reusable [`Evaluator`] context against the
+//! legacy one-shot interpreter. Writes `BENCH_eval.json` so later PRs
+//! have a perf trajectory to compare against. See `BENCHMARKS.md` at the
+//! repo root for each workload's shape and how to read the numbers.
 //!
-//! Usage: `cargo run --release -p dynamite-bench --bin bench_eval [out.json]`
+//! Usage:
+//! `cargo run --release -p dynamite-bench --bin bench_eval [out.json] [--case <name>]`
+//!
+//! `--case` restricts the run to a single workload (an unknown name
+//! lists the available ones); the JSON then contains only that
+//! workload's section and omits the cross-PR `history` block, which
+//! needs the full run's headline numbers.
 //!
 //! With `BENCH_ASSERT=1` in the environment the run additionally asserts
 //! that the filter kernel's dense and two-constant cases are at least at
-//! parity with the scalar sweep (the CI smoke gate; absolute times are
-//! never gated — container noise swings them ±10–15% across days).
+//! parity with the scalar sweep, that never-tripping governance stays
+//! within noise of the ungoverned path, and that incremental maintenance
+//! is at least at parity with full re-evaluation (the CI smoke gates;
+//! absolute times are never gated — container noise swings them ±10–15%
+//! across days).
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -26,7 +37,8 @@ use std::time::{Duration, Instant};
 use dynamite_bench_suite::by_name;
 use dynamite_core::{synthesize, SynthesisConfig};
 use dynamite_datalog::{
-    legacy, Evaluator, Governor, Program, ResourceLimits, RuleCacheHandle, WorkerPool,
+    legacy, Evaluator, Governor, IncrementalEvaluator, Program, ResourceLimits, RuleCacheHandle,
+    WorkerPool,
 };
 use dynamite_instance::hash::FxHashMap;
 use dynamite_instance::{to_facts, ColumnIndex, Database, TupleStore, Value};
@@ -464,6 +476,135 @@ fn batch_filter_case(
     }
 }
 
+struct UpdateStreamCase {
+    edges: usize,
+    output_facts: usize,
+    batches: usize,
+    batch_inserts: usize,
+    batch_deletes: usize,
+    /// Seconds per batch through `IncrementalEvaluator::apply_delta`.
+    maintain_secs: f64,
+    /// Seconds per batch through a from-scratch `Evaluator` build + eval
+    /// of the mutated EDB (what a non-incremental consumer would pay).
+    full_secs: f64,
+}
+
+impl UpdateStreamCase {
+    fn speedup(&self) -> f64 {
+        self.full_secs / self.maintain_secs.max(1e-12)
+    }
+
+    /// Maintained output facts per second of maintenance time.
+    fn maintained_facts_per_sec(&self) -> f64 {
+        self.output_facts as f64 / self.maintain_secs.max(1e-12)
+    }
+}
+
+/// Applies one batch to the shadow database the way the maintainer
+/// documents its semantics: deletions first, then insertions.
+fn apply_shadow(shadow: &mut Database, ins: &Database, dels: &Database) {
+    for (name, rel) in dels.iter() {
+        if shadow.relation(name).is_none() {
+            continue;
+        }
+        let rows: Vec<Vec<Value>> = rel.iter().map(|r| r.iter().collect()).collect();
+        shadow.relation_mut(name, rel.arity()).remove_rows(&rows);
+    }
+    shadow.merge(ins);
+}
+
+/// The incremental-maintenance acceptance workload: transitive closure
+/// over ~1e5 `Edge` facts (3333 disjoint chains of length 30), fed a
+/// stream of small mixed batches — 32 skip-edge insertions within random
+/// chains plus 32 deletions of random live edges, well under 1% of the
+/// EDB per batch. Each iteration times `apply_delta` against a full
+/// from-scratch re-evaluation of the same mutated EDB (interleaved A/B,
+/// so machine drift hits both sides alike) and asserts the maintained
+/// output is set-identical to the scratch result before timing the next
+/// batch.
+fn update_stream_case() -> UpdateStreamCase {
+    const CHAINS: u64 = 3333;
+    const LEN: u64 = 30;
+    const BATCHES: usize = 8;
+    const INS: usize = 32;
+    const DELS: usize = 32;
+    let program = Program::parse(
+        "Path(x, y) :- Edge(x, y).
+         Path(x, z) :- Path(x, y), Edge(y, z).",
+    )
+    .expect("parses");
+    let mut db = Database::new();
+    db.extend_rows(
+        "Edge",
+        2,
+        (0..CHAINS as i64).flat_map(|c| {
+            let base = c * (LEN as i64 + 1);
+            (0..LEN as i64).map(move |i| vec![(base + i).into(), (base + i + 1).into()])
+        }),
+    );
+    let edges = db.num_facts();
+    let mut inc = IncrementalEvaluator::new(program.clone(), db.clone()).expect("maintainer");
+    let mut shadow = db;
+
+    let mut state = 0x2545_f491_4f6c_dd1du64;
+    let mut rnd = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+
+    let (mut maintain, mut full) = (0.0f64, 0.0f64);
+    let mut output_facts = 0usize;
+    for batch in 0..BATCHES {
+        let mut ins = Database::new();
+        for _ in 0..INS {
+            // A forward skip edge inside one chain: bounded closure
+            // growth, still exercises the recursive delta rounds.
+            let base = (rnd() % CHAINS * (LEN + 1)) as i64;
+            let i = rnd() % (LEN - 1);
+            let j = i + 2 + rnd() % (LEN - i - 1);
+            ins.insert(
+                "Edge",
+                vec![(base + i as i64).into(), (base + j as i64).into()],
+            );
+        }
+        let live: Vec<Vec<Value>> = shadow
+            .relation("Edge")
+            .map(|r| r.iter().map(|row| row.iter().collect()).collect())
+            .unwrap_or_default();
+        let mut dels = Database::new();
+        for _ in 0..DELS {
+            dels.insert("Edge", live[(rnd() as usize) % live.len()].clone());
+        }
+
+        let t = Instant::now();
+        inc.apply_delta(&ins, &dels).expect("maintains");
+        maintain += t.elapsed().as_secs_f64();
+
+        apply_shadow(&mut shadow, &ins, &dels);
+        let t = Instant::now();
+        let scratch = Evaluator::eval_once(&program, &shadow).expect("evaluates");
+        full += t.elapsed().as_secs_f64();
+
+        let maintained = inc.output();
+        assert_eq!(
+            maintained, scratch,
+            "maintained output diverged from scratch at batch {batch}"
+        );
+        output_facts = maintained.num_facts();
+    }
+    UpdateStreamCase {
+        edges,
+        output_facts,
+        batches: BATCHES,
+        batch_inserts: INS,
+        batch_deletes: DELS,
+        maintain_secs: maintain / BATCHES as f64,
+        full_secs: full / BATCHES as f64,
+    }
+}
+
 /// Thread-scaling sweep over explicit pools: the recursive-closure
 /// fixpoint (partitioned outer scans) and the repeated-candidate sweep
 /// (whole-variant fan-out), at 1/2/4/8 workers. `threads = 1` is the
@@ -531,18 +672,56 @@ fn synth_case(name: &str) -> SynthCase {
     }
 }
 
+/// Workload names `--case` accepts, in run order.
+const CASE_NAMES: &[&str] = &[
+    "golden",
+    "transitive_closure",
+    "governance",
+    "repeated_candidates",
+    "join_ordering",
+    "batch_filter",
+    "update_stream",
+    "parallel_scaling",
+    "index_build",
+    "synthesis",
+];
+
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_eval.json".to_string());
+    let mut out_path = String::from("BENCH_eval.json");
+    let mut case_filter: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--case" {
+            let Some(name) = args.next() else {
+                eprintln!(
+                    "--case needs a workload name; available cases: {}",
+                    CASE_NAMES.join(", ")
+                );
+                std::process::exit(2);
+            };
+            if !CASE_NAMES.contains(&name.as_str()) {
+                eprintln!(
+                    "unknown case `{name}`; available cases: {}",
+                    CASE_NAMES.join(", ")
+                );
+                std::process::exit(2);
+            }
+            case_filter = Some(name);
+        } else {
+            out_path = arg;
+        }
+    }
+    let run = |name: &str| case_filter.as_deref().is_none_or(|f| f == name);
 
     // --- datalog/golden: join-heavy golden programs on generated data.
     let mut eval_cases = Vec::new();
-    for name in ["Bike-3", "Soccer-1"] {
-        let b = by_name(name).expect("benchmark exists");
-        let facts = to_facts(&b.generate_source(4, 3));
-        eval_cases.push(eval_case(&format!("golden/{name}"), b.golden(), &facts, 20));
-        eprintln!("done golden/{name}");
+    if run("golden") {
+        for name in ["Bike-3", "Soccer-1"] {
+            let b = by_name(name).expect("benchmark exists");
+            let facts = to_facts(&b.generate_source(4, 3));
+            eval_cases.push(eval_case(&format!("golden/{name}"), b.golden(), &facts, 20));
+            eprintln!("done golden/{name}");
+        }
     }
 
     // --- recursive closure (exercises semi-naive delta indexes).
@@ -561,68 +740,85 @@ fn main() {
             std::iter::once(chain).chain(skip)
         }),
     );
-    eval_cases.push(eval_case(
-        "datalog/transitive_closure_400",
-        &closure,
-        &edges,
-        5,
-    ));
-    eprintln!("done transitive closure");
+    if run("transitive_closure") {
+        eval_cases.push(eval_case(
+            "datalog/transitive_closure_400",
+            &closure,
+            &edges,
+            5,
+        ));
+        eprintln!("done transitive closure");
+    }
 
     // --- governance overhead: the same closure workload governed by a
     // never-tripping Governor vs the plain path, interleaved.
-    let governance = governance_case(&closure, &edges, 10);
-    eprintln!(
-        "governance overhead: {:.2}x ({:.6}s governed vs {:.6}s ungoverned per eval)",
-        governance.overhead(),
-        governance.governed_secs,
-        governance.ungoverned_secs
-    );
+    let governance = run("governance").then(|| governance_case(&closure, &edges, 10));
+    if let Some(g) = &governance {
+        eprintln!(
+            "governance overhead: {:.2}x ({:.6}s governed vs {:.6}s ungoverned per eval)",
+            g.overhead(),
+            g.governed_secs,
+            g.ungoverned_secs
+        );
+    }
 
     // --- repeated candidates: one EDB, many programs (CEGIS shape).
-    let retina = by_name("Retina-2").expect("benchmark exists");
-    let mut facts = to_facts(&retina.generate_source(8, 7));
-    // The single-join candidates also scan a tiny unary relation.
-    for v in 0..5i64 {
-        facts.insert("E", vec![v.into()]);
+    // The Retina EDB and candidate pool also feed the scaling sweep.
+    let mut facts = Database::new();
+    let mut programs = Vec::new();
+    if run("repeated_candidates") || run("parallel_scaling") {
+        let retina = by_name("Retina-2").expect("benchmark exists");
+        facts = to_facts(&retina.generate_source(8, 7));
+        // The single-join candidates also scan a tiny unary relation.
+        for v in 0..5i64 {
+            facts.insert("E", vec![v.into()]);
+        }
+        programs = candidate_programs(60);
     }
-    let programs = candidate_programs(60);
-    let repeated = repeated_candidates(&facts, &programs);
-    eprintln!(
-        "repeated candidates: {}x speedup ({} candidates, {} facts)",
-        repeated.legacy_secs / repeated.context_secs.max(1e-12),
-        repeated.candidates,
-        repeated.facts_in
-    );
+    let repeated = run("repeated_candidates").then(|| repeated_candidates(&facts, &programs));
+    if let Some(r) = &repeated {
+        eprintln!(
+            "repeated candidates: {}x speedup ({} candidates, {} facts)",
+            r.legacy_secs / r.context_secs.max(1e-12),
+            r.candidates,
+            r.facts_in
+        );
+    }
 
     // --- join ordering: adversarial bodies, planner vs body order.
-    let ordering = join_ordering();
-    eprintln!(
-        "join_ordering: {:.2}x planner speedup ({:.6}s vs {:.6}s body-order)",
-        ordering.speedup(),
-        ordering.planner_secs,
-        ordering.body_order_secs
-    );
+    let ordering = run("join_ordering").then(join_ordering);
+    if let Some(o) = &ordering {
+        eprintln!(
+            "join_ordering: {:.2}x planner speedup ({:.6}s vs {:.6}s body-order)",
+            o.speedup(),
+            o.planner_secs,
+            o.body_order_secs
+        );
+    }
 
     // --- batch filter: scalar pre-scan vs the batched adaptive kernel,
     // in both regimes (sparse ~1% hits, dense ~25% hits) plus the
     // multi-constant staged path.
-    let batch_cases: Vec<BatchFilterCase> = [(10_000usize, 400usize), (100_000, 60)]
-        .into_iter()
-        .flat_map(|(rows, reps)| {
-            let store = filter_store(rows);
-            [
-                batch_filter_case("sparse", &store, &[(0, Value::Int(7))], reps),
-                batch_filter_case("dense", &store, &[(1, Value::str("electric"))], reps),
-                batch_filter_case(
-                    "two_const",
-                    &store,
-                    &[(1, Value::str("electric")), (0, Value::Int(7))],
-                    reps,
-                ),
-            ]
-        })
-        .collect();
+    let batch_cases: Vec<BatchFilterCase> = if run("batch_filter") {
+        [(10_000usize, 400usize), (100_000, 60)]
+            .into_iter()
+            .flat_map(|(rows, reps)| {
+                let store = filter_store(rows);
+                [
+                    batch_filter_case("sparse", &store, &[(0, Value::Int(7))], reps),
+                    batch_filter_case("dense", &store, &[(1, Value::str("electric"))], reps),
+                    batch_filter_case(
+                        "two_const",
+                        &store,
+                        &[(1, Value::str("electric")), (0, Value::Int(7))],
+                        reps,
+                    ),
+                ]
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
     for c in &batch_cases {
         eprintln!(
             "batch_filter {} rows={} consts={}: {:.2}x batched speedup",
@@ -632,10 +828,25 @@ fn main() {
             c.speedup()
         );
     }
-    // CI smoke assertion (`BENCH_ASSERT=1`): the kernel must never lose
+    // --- update stream: incremental maintenance vs full re-evaluation.
+    let update = run("update_stream").then(update_stream_case);
+    if let Some(u) = &update {
+        eprintln!(
+            "update_stream: {:.1}x maintained speedup ({:.6}s maintain vs {:.6}s full \
+             per batch, {:.0} maintained facts/sec)",
+            u.speedup(),
+            u.maintain_secs,
+            u.full_secs,
+            u.maintained_facts_per_sec()
+        );
+    }
+
+    // CI smoke assertions (`BENCH_ASSERT=1`): the kernel must never lose
     // to the scalar sweep in the regimes it is built for (dense and
-    // two-constant probes). Absolute times are NOT gated — container
-    // noise is ±10–15% across days — only the same-run relative order.
+    // two-constant probes), and incremental maintenance must never lose
+    // to full re-evaluation on small batches. Absolute times are NOT
+    // gated — container noise is ±10–15% across days — only the same-run
+    // relative order.
     if std::env::var("BENCH_ASSERT").is_ok_and(|v| v.trim() == "1") {
         for c in batch_cases.iter().filter(|c| c.regime != "sparse") {
             assert!(
@@ -648,23 +859,44 @@ fn main() {
                 c.speedup()
             );
         }
-        eprintln!("BENCH_ASSERT: batch_filter dense/two_const >= 1.0x ok");
+        if !batch_cases.is_empty() {
+            eprintln!("BENCH_ASSERT: batch_filter dense/two_const >= 1.0x ok");
+        }
         // Governance must be within noise of the seed path when no limit
         // trips; 1.25x is the noise band (±10–15%) plus headroom. The
         // two sides are interleaved in one session, so a systematic gap
         // here is real per-tuple overhead, not machine drift.
-        assert!(
-            governance.overhead() <= 1.25,
-            "governance overhead regression: governed {:.6}s vs ungoverned {:.6}s per eval \
-             ({:.2}x > 1.25x)",
-            governance.governed_secs,
-            governance.ungoverned_secs,
-            governance.overhead()
-        );
-        eprintln!(
-            "BENCH_ASSERT: governance overhead {:.2}x <= 1.25x ok",
-            governance.overhead()
-        );
+        if let Some(g) = &governance {
+            assert!(
+                g.overhead() <= 1.25,
+                "governance overhead regression: governed {:.6}s vs ungoverned {:.6}s per eval \
+                 ({:.2}x > 1.25x)",
+                g.governed_secs,
+                g.ungoverned_secs,
+                g.overhead()
+            );
+            eprintln!(
+                "BENCH_ASSERT: governance overhead {:.2}x <= 1.25x ok",
+                g.overhead()
+            );
+        }
+        // Maintenance beats full re-eval by a wide margin on this
+        // workload (tens of times in local runs), but the gate is a
+        // conservative parity check so scheduler noise cannot flake CI.
+        if let Some(u) = &update {
+            assert!(
+                u.speedup() >= 1.0,
+                "update_stream regression: maintenance {:.6}s/batch slower than full \
+                 re-evaluation {:.6}s/batch ({:.2}x < 1.0x)",
+                u.maintain_secs,
+                u.full_secs,
+                u.speedup()
+            );
+            eprintln!(
+                "BENCH_ASSERT: update_stream speedup {:.1}x >= 1.0x ok",
+                u.speedup()
+            );
+        }
     }
 
     // --- parallel scaling: pool fan-out at 1/2/4/8 workers (collapsed
@@ -675,194 +907,268 @@ fn main() {
     } else {
         &[1, 2, 4, 8]
     };
-    if hardware_threads == 1 {
-        eprintln!("parallel_scaling: single hardware thread, recording threads=1 only");
-    }
-    let scaling = parallel_scaling(&closure, &edges, &facts, &programs, thread_counts);
+    let scaling = if run("parallel_scaling") {
+        if hardware_threads == 1 {
+            eprintln!("parallel_scaling: single hardware thread, recording threads=1 only");
+        }
+        parallel_scaling(&closure, &edges, &facts, &programs, thread_counts)
+    } else {
+        Vec::new()
+    };
 
     // --- index builds: columnar sweep vs the former row-oriented chase.
-    let store = index_build_store(50_000);
-    let index_cases: Vec<IndexBuildCase> = [vec![0usize], vec![0, 2], vec![1, 2, 3]]
-        .into_iter()
-        .map(|cols| {
-            let c = index_build_case(&store, &cols, 40);
-            eprintln!(
-                "index_build cols {:?}: {:.2}x columnar speedup",
-                c.key_cols,
-                c.speedup()
-            );
-            c
-        })
-        .collect();
+    let index_cases: Vec<IndexBuildCase> = if run("index_build") {
+        let store = index_build_store(50_000);
+        [vec![0usize], vec![0, 2], vec![1, 2, 3]]
+            .into_iter()
+            .map(|cols| {
+                let c = index_build_case(&store, &cols, 40);
+                eprintln!(
+                    "index_build cols {:?}: {:.2}x columnar speedup",
+                    c.key_cols,
+                    c.speedup()
+                );
+                c
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
 
     // --- synthesis end-to-end (the consumer of all of the above).
-    let synth_cases: Vec<SynthCase> = ["Tencent-1", "Bike-3", "MLB-1"]
-        .iter()
-        .map(|n| {
-            let c = synth_case(n);
-            eprintln!("done {}", c.name);
-            c
-        })
-        .collect();
+    let synth_cases: Vec<SynthCase> = if run("synthesis") {
+        ["Tencent-1", "Bike-3", "MLB-1"]
+            .iter()
+            .map(|n| {
+                let c = synth_case(n);
+                eprintln!("done {}", c.name);
+                c
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
 
     // --- hand-rolled JSON (the workspace is dependency-free offline).
-    let mut j = String::from("{\n");
+    // Each section is built as its own string and joined at the end so a
+    // `--case`-filtered run still writes a valid document containing
+    // only the sections that actually ran.
     let epoch = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .unwrap_or(Duration::ZERO)
         .as_secs();
-    j.push_str(&format!("  \"unix_time\": {epoch},\n"));
-    j.push_str("  \"cases\": [\n");
-    for (i, c) in eval_cases.iter().enumerate() {
-        j.push_str(&format!(
-            "    {{\"name\": \"{}\", \"facts_in\": {}, \"facts_out\": {}, \"reps\": {}, \
-             \"legacy_secs_per_eval\": {:.6}, \"context_secs_per_eval\": {:.6}, \
-             \"speedup\": {:.2}, \"facts_per_sec\": {:.0}}}{}\n",
-            c.name,
-            c.facts_in,
-            c.facts_out,
-            c.reps,
-            c.legacy_secs,
-            c.context_secs,
-            c.speedup(),
-            c.facts_per_sec(),
-            if i + 1 < eval_cases.len() { "," } else { "" }
-        ));
-    }
-    j.push_str("  ],\n");
-    j.push_str(&format!(
-        "  \"repeated_candidates\": {{\"candidates\": {}, \"facts_in\": {}, \
-         \"legacy_secs\": {:.6}, \"context_secs\": {:.6}, \"speedup\": {:.2}}},\n",
-        repeated.candidates,
-        repeated.facts_in,
-        repeated.legacy_secs,
-        repeated.context_secs,
-        repeated.legacy_secs / repeated.context_secs.max(1e-12),
-    ));
-    j.push_str("  \"index_build\": [\n");
-    for (i, c) in index_cases.iter().enumerate() {
-        let cols: Vec<String> = c.key_cols.iter().map(usize::to_string).collect();
-        j.push_str(&format!(
-            "    {{\"rows\": {}, \"key_cols\": [{}], \"reps\": {}, \
-             \"row_secs_per_build\": {:.6}, \"columnar_secs_per_build\": {:.6}, \
-             \"speedup\": {:.2}}}{}\n",
-            c.rows,
-            cols.join(", "),
-            c.reps,
-            c.row_secs,
-            c.columnar_secs,
-            c.speedup(),
-            if i + 1 < index_cases.len() { "," } else { "" }
-        ));
-    }
-    j.push_str("  ],\n");
-    j.push_str(&format!(
-        "  \"join_ordering\": {{\"candidates\": {}, \"facts_in\": {}, \
-         \"planner_secs\": {:.6}, \"body_order_secs\": {:.6}, \"speedup\": {:.2}}},\n",
-        ordering.candidates,
-        ordering.facts_in,
-        ordering.planner_secs,
-        ordering.body_order_secs,
-        ordering.speedup(),
-    ));
-    j.push_str(&format!(
-        "  \"governance\": {{\"reps\": {}, \"ungoverned_secs_per_eval\": {:.6}, \
-         \"governed_secs_per_eval\": {:.6}, \"overhead\": {:.3}}},\n",
-        governance.reps,
-        governance.ungoverned_secs,
-        governance.governed_secs,
-        governance.overhead(),
-    ));
-    j.push_str("  \"batch_filter\": [\n");
-    for (i, c) in batch_cases.iter().enumerate() {
-        j.push_str(&format!(
-            "    {{\"regime\": \"{}\", \"rows\": {}, \"consts\": {}, \"reps\": {}, \
-             \"scalar_secs_per_scan\": {:.9}, \"batched_secs_per_scan\": {:.9}, \
-             \"speedup\": {:.2}}}{}\n",
-            c.regime,
-            c.rows,
-            c.consts,
-            c.reps,
-            c.scalar_secs,
-            c.batched_secs,
-            c.speedup(),
-            if i + 1 < batch_cases.len() { "," } else { "" }
-        ));
-    }
-    j.push_str("  ],\n");
-    j.push_str(&format!(
-        "  \"parallel_scaling\": {{\"hardware_threads\": {hardware_threads},{} \"cases\": [\n",
-        if hardware_threads == 1 {
-            " \"note\": \"single hardware thread: threads>1 rows would measure fan-out \
-             overhead only, sweep collapsed to the sequential row\","
-        } else {
-            ""
+    let mut sections: Vec<String> = vec![format!("  \"unix_time\": {epoch}")];
+    if !eval_cases.is_empty() {
+        let mut s = String::from("  \"cases\": [\n");
+        for (i, c) in eval_cases.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"name\": \"{}\", \"facts_in\": {}, \"facts_out\": {}, \"reps\": {}, \
+                 \"legacy_secs_per_eval\": {:.6}, \"context_secs_per_eval\": {:.6}, \
+                 \"speedup\": {:.2}, \"facts_per_sec\": {:.0}}}{}\n",
+                c.name,
+                c.facts_in,
+                c.facts_out,
+                c.reps,
+                c.legacy_secs,
+                c.context_secs,
+                c.speedup(),
+                c.facts_per_sec(),
+                if i + 1 < eval_cases.len() { "," } else { "" }
+            ));
         }
-    ));
-    for (i, c) in scaling.iter().enumerate() {
-        j.push_str(&format!(
-            "    {{\"workload\": \"{}\", \"threads\": {}, \"secs\": {:.6}}}{}\n",
-            c.workload,
-            c.threads,
-            c.secs,
-            if i + 1 < scaling.len() { "," } else { "" }
+        s.push_str("  ]");
+        sections.push(s);
+    }
+    if let Some(r) = &repeated {
+        sections.push(format!(
+            "  \"repeated_candidates\": {{\"candidates\": {}, \"facts_in\": {}, \
+             \"legacy_secs\": {:.6}, \"context_secs\": {:.6}, \"speedup\": {:.2}}}",
+            r.candidates,
+            r.facts_in,
+            r.legacy_secs,
+            r.context_secs,
+            r.legacy_secs / r.context_secs.max(1e-12),
         ));
     }
-    j.push_str("  ]},\n");
+    if !index_cases.is_empty() {
+        let mut s = String::from("  \"index_build\": [\n");
+        for (i, c) in index_cases.iter().enumerate() {
+            let cols: Vec<String> = c.key_cols.iter().map(usize::to_string).collect();
+            s.push_str(&format!(
+                "    {{\"rows\": {}, \"key_cols\": [{}], \"reps\": {}, \
+                 \"row_secs_per_build\": {:.6}, \"columnar_secs_per_build\": {:.6}, \
+                 \"speedup\": {:.2}}}{}\n",
+                c.rows,
+                cols.join(", "),
+                c.reps,
+                c.row_secs,
+                c.columnar_secs,
+                c.speedup(),
+                if i + 1 < index_cases.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]");
+        sections.push(s);
+    }
+    if let Some(o) = &ordering {
+        sections.push(format!(
+            "  \"join_ordering\": {{\"candidates\": {}, \"facts_in\": {}, \
+             \"planner_secs\": {:.6}, \"body_order_secs\": {:.6}, \"speedup\": {:.2}}}",
+            o.candidates,
+            o.facts_in,
+            o.planner_secs,
+            o.body_order_secs,
+            o.speedup(),
+        ));
+    }
+    if let Some(g) = &governance {
+        sections.push(format!(
+            "  \"governance\": {{\"reps\": {}, \"ungoverned_secs_per_eval\": {:.6}, \
+             \"governed_secs_per_eval\": {:.6}, \"overhead\": {:.3}}}",
+            g.reps,
+            g.ungoverned_secs,
+            g.governed_secs,
+            g.overhead(),
+        ));
+    }
+    if !batch_cases.is_empty() {
+        let mut s = String::from("  \"batch_filter\": [\n");
+        for (i, c) in batch_cases.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"regime\": \"{}\", \"rows\": {}, \"consts\": {}, \"reps\": {}, \
+                 \"scalar_secs_per_scan\": {:.9}, \"batched_secs_per_scan\": {:.9}, \
+                 \"speedup\": {:.2}}}{}\n",
+                c.regime,
+                c.rows,
+                c.consts,
+                c.reps,
+                c.scalar_secs,
+                c.batched_secs,
+                c.speedup(),
+                if i + 1 < batch_cases.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]");
+        sections.push(s);
+    }
+    if let Some(u) = &update {
+        sections.push(format!(
+            "  \"update_stream\": {{\"edges\": {}, \"output_facts\": {}, \"batches\": {}, \
+             \"batch_inserts\": {}, \"batch_deletes\": {}, \
+             \"maintain_secs_per_batch\": {:.6}, \"full_secs_per_batch\": {:.6}, \
+             \"speedup\": {:.2}, \"maintained_facts_per_sec\": {:.0}}}",
+            u.edges,
+            u.output_facts,
+            u.batches,
+            u.batch_inserts,
+            u.batch_deletes,
+            u.maintain_secs,
+            u.full_secs,
+            u.speedup(),
+            u.maintained_facts_per_sec(),
+        ));
+    }
+    if !scaling.is_empty() {
+        let mut s = format!(
+            "  \"parallel_scaling\": {{\"hardware_threads\": {hardware_threads},{} \"cases\": [\n",
+            if hardware_threads == 1 {
+                " \"note\": \"single hardware thread: threads>1 rows would measure fan-out \
+                 overhead only, sweep collapsed to the sequential row\","
+            } else {
+                ""
+            }
+        );
+        for (i, c) in scaling.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"workload\": \"{}\", \"threads\": {}, \"secs\": {:.6}}}{}\n",
+                c.workload,
+                c.threads,
+                c.secs,
+                if i + 1 < scaling.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]}");
+        sections.push(s);
+    }
     // Perf trajectory: earlier PRs' headline numbers kept verbatim (so a
     // fresh run still records where the engine came from), plus this PR's
-    // measured headline.
-    j.push_str(
-        "  \"history\": [\n    {\"pr\": 1, \"storage\": \"row (Arc<[Value]>)\", \
-         \"repeated_candidates_context_secs\": 0.003963, \
-         \"repeated_candidates_speedup\": 3.90},\n    {\"pr\": 2, \
-         \"storage\": \"columnar (TupleStore)\", \
-         \"repeated_candidates_context_secs\": 0.002964, \
-         \"repeated_candidates_speedup\": 3.91},\n    {\"pr\": 3, \
-         \"storage\": \"columnar + worker pool\", \
-         \"repeated_candidates_context_secs\": 0.002893, \
-         \"repeated_candidates_speedup\": 3.83},\n    {\"pr\": 4, \
-         \"storage\": \"columnar + planner + batched prescan\", \
-         \"repeated_candidates_context_secs\": 0.002764, \
-         \"repeated_candidates_speedup\": 4.49, \
-         \"join_ordering_speedup\": 20.23},\n",
-    );
-    let dense_100k = batch_cases
-        .iter()
-        .find(|c| c.regime == "dense" && c.rows == 100_000);
-    j.push_str(&format!(
-        "    {{\"pr\": 5, \"storage\": \"SoA tag/payload streams + SIMD bitmask kernel\", \
-         \"repeated_candidates_context_secs\": {:.6}, \
-         \"repeated_candidates_speedup\": {:.2}, \
-         \"join_ordering_speedup\": {:.2}, \
-         \"batch_filter_dense_100k_secs\": {:.9}}},\n",
-        repeated.context_secs,
-        repeated.legacy_secs / repeated.context_secs.max(1e-12),
-        ordering.speedup(),
-        dense_100k.map_or(0.0, |c| c.batched_secs),
-    ));
-    j.push_str(&format!(
-        "    {{\"pr\": 6, \"storage\": \"SoA + resource governor (cooperative checks)\", \
-         \"repeated_candidates_context_secs\": {:.6}, \
-         \"repeated_candidates_speedup\": {:.2}, \
-         \"join_ordering_speedup\": {:.2}, \
-         \"governance_overhead\": {:.3}}}\n  ],\n",
-        repeated.context_secs,
-        repeated.legacy_secs / repeated.context_secs.max(1e-12),
-        ordering.speedup(),
-        governance.overhead(),
-    ));
-    j.push_str("  \"synthesis\": [\n");
-    for (i, c) in synth_cases.iter().enumerate() {
-        j.push_str(&format!(
-            "    {{\"name\": \"{}\", \"secs\": {:.4}, \"iterations\": {}}}{}\n",
-            c.name,
-            c.secs,
-            c.iterations,
-            if i + 1 < synth_cases.len() { "," } else { "" }
+    // measured headline. Needs the full run's numbers, so filtered runs
+    // skip it.
+    if case_filter.is_none() {
+        let repeated = repeated.as_ref().expect("full run");
+        let ordering = ordering.as_ref().expect("full run");
+        let governance = governance.as_ref().expect("full run");
+        let update = update.as_ref().expect("full run");
+        let mut s = String::from(
+            "  \"history\": [\n    {\"pr\": 1, \"storage\": \"row (Arc<[Value]>)\", \
+             \"repeated_candidates_context_secs\": 0.003963, \
+             \"repeated_candidates_speedup\": 3.90},\n    {\"pr\": 2, \
+             \"storage\": \"columnar (TupleStore)\", \
+             \"repeated_candidates_context_secs\": 0.002964, \
+             \"repeated_candidates_speedup\": 3.91},\n    {\"pr\": 3, \
+             \"storage\": \"columnar + worker pool\", \
+             \"repeated_candidates_context_secs\": 0.002893, \
+             \"repeated_candidates_speedup\": 3.83},\n    {\"pr\": 4, \
+             \"storage\": \"columnar + planner + batched prescan\", \
+             \"repeated_candidates_context_secs\": 0.002764, \
+             \"repeated_candidates_speedup\": 4.49, \
+             \"join_ordering_speedup\": 20.23},\n",
+        );
+        let dense_100k = batch_cases
+            .iter()
+            .find(|c| c.regime == "dense" && c.rows == 100_000);
+        s.push_str(&format!(
+            "    {{\"pr\": 5, \"storage\": \"SoA tag/payload streams + SIMD bitmask kernel\", \
+             \"repeated_candidates_context_secs\": {:.6}, \
+             \"repeated_candidates_speedup\": {:.2}, \
+             \"join_ordering_speedup\": {:.2}, \
+             \"batch_filter_dense_100k_secs\": {:.9}}},\n",
+            repeated.context_secs,
+            repeated.legacy_secs / repeated.context_secs.max(1e-12),
+            ordering.speedup(),
+            dense_100k.map_or(0.0, |c| c.batched_secs),
         ));
+        s.push_str(&format!(
+            "    {{\"pr\": 6, \"storage\": \"SoA + resource governor (cooperative checks)\", \
+             \"repeated_candidates_context_secs\": {:.6}, \
+             \"repeated_candidates_speedup\": {:.2}, \
+             \"join_ordering_speedup\": {:.2}, \
+             \"governance_overhead\": {:.3}}},\n",
+            repeated.context_secs,
+            repeated.legacy_secs / repeated.context_secs.max(1e-12),
+            ordering.speedup(),
+            governance.overhead(),
+        ));
+        s.push_str(&format!(
+            "    {{\"pr\": 7, \"storage\": \"SoA + incremental maintenance (DRed + warm \
+             semi-naive deltas)\", \"repeated_candidates_context_secs\": {:.6}, \
+             \"repeated_candidates_speedup\": {:.2}, \
+             \"join_ordering_speedup\": {:.2}, \
+             \"update_stream_speedup\": {:.2}, \
+             \"update_stream_maintain_secs_per_batch\": {:.6}}}\n  ]",
+            repeated.context_secs,
+            repeated.legacy_secs / repeated.context_secs.max(1e-12),
+            ordering.speedup(),
+            update.speedup(),
+            update.maintain_secs,
+        ));
+        sections.push(s);
     }
-    j.push_str("  ]\n}\n");
+    if !synth_cases.is_empty() {
+        let mut s = String::from("  \"synthesis\": [\n");
+        for (i, c) in synth_cases.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"name\": \"{}\", \"secs\": {:.4}, \"iterations\": {}}}{}\n",
+                c.name,
+                c.secs,
+                c.iterations,
+                if i + 1 < synth_cases.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]");
+        sections.push(s);
+    }
+    let j = format!("{{\n{}\n}}\n", sections.join(",\n"));
 
     std::fs::write(&out_path, &j).expect("write BENCH_eval.json");
     println!("{j}");

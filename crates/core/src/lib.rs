@@ -38,5 +38,5 @@ pub use sketch::{
 };
 pub use synthesizer::{
     synthesize, CandidateLimits, RuleSolver, RuleStats, Strategy, SynthStats, Synthesis,
-    SynthesisConfig, SynthesisError, Synthesizer,
+    SynthesisConfig, SynthesisError, Synthesizer, TripCounts,
 };

@@ -17,8 +17,8 @@ use std::time::{Duration, Instant};
 
 use dynamite_datalog::pool::{self, WorkerPool};
 use dynamite_datalog::{
-    resolve_fact_budget, resolve_reorder, Evaluator, Governor, Program, ResourceLimits, Rule,
-    RuleCacheHandle,
+    resolve_fact_budget, resolve_reorder, Evaluator, Governor, Program, ResourceLimits,
+    ResourceTrip, Rule, RuleCacheHandle,
 };
 use dynamite_instance::hash::FxHashMap;
 use dynamite_instance::{from_facts, to_facts, Flattened};
@@ -192,10 +192,64 @@ pub struct RuleStats {
     /// Candidates rejected because their evaluation tripped a resource
     /// limit ([`CandidateLimits`]) rather than producing wrong output.
     pub resource_skips: usize,
+    /// `resource_skips` broken down by which limit tripped.
+    pub resource_skip_kinds: TripCounts,
     /// Number of holes in the rule sketch.
     pub holes: usize,
     /// ln of the rule's completion count.
     pub ln_space: f64,
+}
+
+/// Resource-limit trips tallied per kind (see [`ResourceTrip`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TripCounts {
+    /// Wall-clock deadline trips.
+    pub deadline: usize,
+    /// Derived-fact-budget trips.
+    pub fact_budget: usize,
+    /// Fixpoint-round-cap trips.
+    pub round_cap: usize,
+    /// External cancellations.
+    pub cancelled: usize,
+}
+
+impl TripCounts {
+    fn record(&mut self, trip: ResourceTrip) {
+        match trip {
+            ResourceTrip::Deadline => self.deadline += 1,
+            ResourceTrip::FactBudget => self.fact_budget += 1,
+            ResourceTrip::RoundCap => self.round_cap += 1,
+            ResourceTrip::Cancelled => self.cancelled += 1,
+        }
+    }
+
+    /// Total trips across all kinds.
+    pub fn total(&self) -> usize {
+        self.deadline + self.fact_budget + self.round_cap + self.cancelled
+    }
+}
+
+impl fmt::Display for TripCounts {
+    /// Renders only the non-zero kinds, e.g. `deadline ×2, round cap ×40`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (label, n) in [
+            ("deadline", self.deadline),
+            ("fact budget", self.fact_budget),
+            ("round cap", self.round_cap),
+            ("cancelled", self.cancelled),
+        ] {
+            if n == 0 {
+                continue;
+            }
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{label} ×{n}")?;
+            first = false;
+        }
+        Ok(())
+    }
 }
 
 /// Whole-synthesis statistics.
@@ -476,6 +530,7 @@ pub struct RuleSolver<'a> {
     blocking_clauses: usize,
     mdps_computed: usize,
     resource_skips: usize,
+    skip_trips: TripCounts,
     /// Optional wall-clock deadline.
     pub deadline: Option<Instant>,
 }
@@ -578,6 +633,7 @@ impl<'a> RuleSolver<'a> {
             blocking_clauses: 0,
             mdps_computed: 0,
             resource_skips: 0,
+            skip_trips: TripCounts::default(),
             deadline: None,
         })
     }
@@ -590,6 +646,7 @@ impl<'a> RuleSolver<'a> {
             blocking_clauses: self.blocking_clauses,
             mdps_computed: self.mdps_computed,
             resource_skips: self.resource_skips,
+            resource_skip_kinds: self.skip_trips,
             holes: self.sketch.holes.len(),
             ln_space: self.sketch.ln_completions(),
         }
@@ -635,7 +692,7 @@ impl<'a> RuleSolver<'a> {
 
             let mut verdict = self.check(&rule);
             let mut retries = 0;
-            while matches!(verdict, CheckResult::Exhausted) && retries < CANDIDATE_RETRIES {
+            while matches!(verdict, CheckResult::Exhausted(_)) && retries < CANDIDATE_RETRIES {
                 retries += 1;
                 verdict = self.check(&rule);
             }
@@ -657,7 +714,7 @@ impl<'a> RuleSolver<'a> {
                 CheckResult::Failed { actual } => {
                     self.block_failure(&assignment, actual.as_ref());
                 }
-                CheckResult::Exhausted => {
+                CheckResult::Exhausted(trip) => {
                     // Graceful degradation: the candidate repeatedly blew
                     // its per-candidate resource budget. Skip exactly this
                     // model (no MDP generalization — resource exhaustion
@@ -665,6 +722,7 @@ impl<'a> RuleSolver<'a> {
                     // searching. The global deadline check at the loop top
                     // still aborts the whole call when it expires.
                     self.resource_skips += 1;
+                    self.skip_trips.record(trip);
                     self.block_exact(&assignment);
                 }
             }
@@ -733,7 +791,7 @@ impl<'a> RuleSolver<'a> {
             match outcome {
                 ExampleCheck::Pass | ExampleCheck::Skipped => {}
                 ExampleCheck::Error => return CheckResult::Failed { actual: None },
-                ExampleCheck::Exhausted => return CheckResult::Exhausted,
+                ExampleCheck::Exhausted(trip) => return CheckResult::Exhausted(trip),
                 ExampleCheck::Mismatch(actual) => {
                     return CheckResult::Failed {
                         actual: Some((actual, &expected[i])),
@@ -837,7 +895,7 @@ enum ExampleCheck {
     Error,
     /// Evaluation tripped a resource limit (deadline, fact budget, round
     /// cap, or cancellation) before producing an output.
-    Exhausted,
+    Exhausted(ResourceTrip),
     /// The candidate's output differs from the expected flattening.
     Mismatch(Flattened),
     /// Cancelled: a lower-indexed example had already failed.
@@ -859,8 +917,12 @@ fn check_example(
     };
     let out = match result {
         Ok(out) => out,
-        Err(e) if e.is_resource_limit() => return ExampleCheck::Exhausted,
-        Err(_) => return ExampleCheck::Error,
+        Err(e) => {
+            return match e.resource_trip() {
+                Some(trip) => ExampleCheck::Exhausted(trip),
+                None => ExampleCheck::Error,
+            }
+        }
     };
     let Ok(inst) = from_facts(&out, target.clone()) else {
         return ExampleCheck::Error;
@@ -884,9 +946,10 @@ enum CheckResult<'s> {
         /// synthesizer's precomputed flattening.
         actual: Option<(Flattened, &'s Flattened)>,
     },
-    /// Some example evaluation tripped a per-candidate resource limit;
-    /// nothing is known about the candidate's semantics.
-    Exhausted,
+    /// Some example evaluation tripped a per-candidate resource limit
+    /// (of the carried kind); nothing is known about the candidate's
+    /// semantics.
+    Exhausted(ResourceTrip),
 }
 
 #[cfg(test)]

@@ -76,9 +76,13 @@
 //!   [`RuleCacheHandle`] will serve each other wrong plans.
 //! - **Delta-first**: every semi-naive delta variant keeps its delta
 //!   occurrence outermost; the planner may permute only the rest.
-//! - **Overlay indexes are append-only**: row ids never move (the
-//!   store's stable-insertion-order invariant), which is what lets
-//!   `absorb` extend caught-up indexes per inserted row.
+//! - **Overlay indexes are append-only**: row ids never move while the
+//!   overlay grows (the store's stable-insertion-order invariant), which
+//!   is what lets `absorb` extend caught-up indexes per inserted row.
+//!   The incremental-maintenance module's retraction path is the one
+//!   consumer that compacts a store; [`IdbState::remove_rows`] therefore
+//!   drops the mutated relation's indexes wholesale (they rebuild
+//!   lazily), never patches them in place.
 
 use std::cell::RefCell;
 use std::sync::{Arc, OnceLock, RwLock};
@@ -119,11 +123,11 @@ pub struct Evaluator {
 
 /// `relation → column-set → index`: nesting keeps the hot lookup path on
 /// borrowed keys only (no per-probe allocation).
-type IndexCache = FxHashMap<String, FxHashMap<Vec<usize>, Arc<ColumnIndex>>>;
+pub(crate) type IndexCache = FxHashMap<String, FxHashMap<Vec<usize>, Arc<ColumnIndex>>>;
 
 /// Compiled rules memoized across evaluations, keyed by normalized rule
 /// identity (see [`RuleKey`]).
-type RuleCache = FxHashMap<RuleKey, Arc<CompiledRule>>;
+pub(crate) type RuleCache = FxHashMap<RuleKey, Arc<CompiledRule>>;
 
 /// Entry cap for a [`RuleCacheHandle`]: a CEGIS run rejecting thousands
 /// of distinct candidates must not grow the memo without bound. Past the
@@ -311,6 +315,23 @@ impl Evaluator {
         self.run().explain(program)
     }
 
+    /// Builds a stateful [`IncrementalEvaluator`](crate::incremental::IncrementalEvaluator)
+    /// for `program`, seeded
+    /// from this context's EDB snapshot and inheriting its worker pool
+    /// and planner mode. The maintained state is independent of this
+    /// context afterwards — mutating it never affects the snapshot.
+    pub fn incremental(
+        &self,
+        program: &Program,
+    ) -> Result<crate::incremental::IncrementalEvaluator, EvalError> {
+        crate::incremental::IncrementalEvaluator::with_config(
+            program.clone(),
+            self.ctx.edb.clone(),
+            self.pool().clone(),
+            self.ctx.reorder,
+        )
+    }
+
     fn run(&self) -> EvalRun<'_> {
         EvalRun {
             edb: &self.ctx.edb,
@@ -363,7 +384,7 @@ impl Evaluator {
 }
 
 /// Where one evaluation's EDB-side indexes live.
-enum IndexSource<'e> {
+pub(crate) enum IndexSource<'e> {
     /// The context's persistent cache, shared across evaluations.
     Shared(&'e RwLock<IndexCache>),
     /// A single-use cache owned by this evaluation (no lock).
@@ -372,27 +393,32 @@ enum IndexSource<'e> {
 
 /// One evaluation of one program: a borrowed EDB, an index source, an
 /// optional cross-evaluation rule memo, and the pool to fan rounds out on.
-struct EvalRun<'e> {
-    edb: &'e Database,
-    indexes: IndexSource<'e>,
-    rules: Option<&'e RwLock<RuleCache>>,
+///
+/// The incremental-maintenance module assembles these directly (from its
+/// own persistent EDB, index cache, and pool) to drive individual rounds
+/// and fallback full evaluations, so the struct and the round-level entry
+/// points are crate-visible.
+pub(crate) struct EvalRun<'e> {
+    pub(crate) edb: &'e Database,
+    pub(crate) indexes: IndexSource<'e>,
+    pub(crate) rules: Option<&'e RwLock<RuleCache>>,
     /// The owning context's per-context plan cache (fast path), absent
     /// for one-shot runs.
-    plans: Option<&'e RwLock<FxHashMap<RuleKey, Arc<CompiledRule>>>>,
-    pool: PoolSource<'e>,
+    pub(crate) plans: Option<&'e RwLock<FxHashMap<RuleKey, Arc<CompiledRule>>>>,
+    pub(crate) pool: PoolSource<'e>,
     /// Whether join orders come from the cost-based planner (`true`) or
     /// follow body order (`false`).
-    reorder: bool,
+    pub(crate) reorder: bool,
     /// Cooperative resource limits for this evaluation, absent on the
     /// ungoverned paths (which then pay no per-tuple bookkeeping beyond a
     /// predictable `None` branch).
-    gov: Option<&'e Governor>,
+    pub(crate) gov: Option<&'e Governor>,
 }
 
 /// The pool an evaluation fans out on. One-shot evaluations resolve the
 /// process-global pool *lazily* — only when a round actually fans out —
 /// so a small `evaluate()` call never spawns worker threads.
-enum PoolSource<'e> {
+pub(crate) enum PoolSource<'e> {
     Ready(&'e WorkerPool),
     Lazy,
 }
@@ -416,14 +442,18 @@ impl PoolSource<'_> {
 }
 
 /// One variant of one rule scheduled into a round, before partitioning.
-type Spec<'r> = (&'r CompiledRule, &'r Variant, Option<&'r Relation>);
+pub(crate) type Spec<'r> = (&'r CompiledRule, &'r Variant, Option<&'r Relation>);
+
+/// Output of `EvalRun::join_round`: each job's rule paired with its
+/// emitted `(head index, tuple)` buffer, in deterministic job order.
+pub(crate) type JoinRoundOutput<'r> = Vec<(&'r CompiledRule, Vec<(usize, Vec<Value>)>)>;
 
 /// An outer scan shorter than this is never partitioned — below it the
 /// fan-out overhead outweighs the work.
 const PAR_MIN_ROWS: usize = 256;
 
 impl EvalRun<'_> {
-    fn eval(&self, program: &Program) -> Result<Database, EvalError> {
+    pub(crate) fn eval(&self, program: &Program) -> Result<Database, EvalError> {
         if let Some(gov) = self.gov {
             gov.check()?;
         }
@@ -612,12 +642,33 @@ impl EvalRun<'_> {
     /// re-checked after the join phase, *before* absorbing — a tripped
     /// round's job buffers are discarded wholesale, never partially
     /// merged.
-    fn eval_round(
+    pub(crate) fn eval_round(
         &self,
         specs: &[Spec<'_>],
         idb: &mut IdbState,
         delta_out: &mut FxHashMap<String, Relation>,
     ) -> Result<bool, EvalError> {
+        let per_job = self.join_round(specs, idb)?;
+        // Deterministic merge: absorb in job order.
+        let mut any = false;
+        for (rule, derived) in per_job {
+            if absorb(rule, derived, self.edb, idb, delta_out, self.gov)? {
+                any = true;
+            }
+        }
+        Ok(any)
+    }
+
+    /// The join phase of one round without the absorb step: runs `specs`
+    /// against the frozen state and returns each job's rule together with
+    /// its emitted `(head index, tuple)` buffer, in the deterministic job
+    /// order. DRed's over-deletion rounds use this directly, routing the
+    /// derivations into the deletion set instead of the overlay.
+    pub(crate) fn join_round<'r>(
+        &self,
+        specs: &[Spec<'r>],
+        idb: &mut IdbState,
+    ) -> Result<JoinRoundOutput<'r>, EvalError> {
         if let Some(gov) = self.gov {
             gov.begin_round()?;
         }
@@ -667,15 +718,7 @@ impl EvalRun<'_> {
         if let Some(gov) = self.gov {
             gov.check()?;
         }
-
-        // Deterministic merge: absorb in job order.
-        let mut any = false;
-        for (job, derived) in jobs.iter().zip(results) {
-            if absorb(job.rule, derived, self.edb, idb, delta_out, gov)? {
-                any = true;
-            }
-        }
-        Ok(any)
+        Ok(jobs.iter().zip(results).map(|(j, r)| (j.rule, r)).collect())
     }
 
     /// Expands specs into jobs, splitting large outer scans into
@@ -763,7 +806,7 @@ impl EvalRun<'_> {
 
     /// Returns (building and caching on first use) the EDB-side index of
     /// `rel` on `cols`; `None` when the snapshot has no such relation.
-    fn edb_index(&self, rel: &str, cols: &[usize]) -> Option<Arc<ColumnIndex>> {
+    pub(crate) fn edb_index(&self, rel: &str, cols: &[usize]) -> Option<Arc<ColumnIndex>> {
         let relation = self.edb.relation(rel)?;
         match &self.indexes {
             IndexSource::Shared(lock) => {
@@ -965,8 +1008,8 @@ const UNKNOWN_DISTINCT: f64 = 32.0;
 /// [`TupleStore`](dynamite_instance::TupleStore).
 ///
 /// [`ColumnStats`]: dynamite_instance::ColumnStats
-struct CostModel<'e> {
-    edb: &'e Database,
+pub(crate) struct CostModel<'e> {
+    pub(crate) edb: &'e Database,
 }
 
 impl CostModel<'_> {
@@ -1123,7 +1166,7 @@ impl CostModel<'_> {
 /// delta occurrence (delta pinned first). This is everything the planner
 /// contributes to compilation, and therefore exactly what [`RuleKey`]
 /// must carry for the cross-evaluation memo to stay sound.
-struct PlanOrders {
+pub(crate) struct PlanOrders {
     naive: Vec<usize>,
     /// In the order the delta occurrences appear in the body.
     deltas: Vec<Vec<usize>>,
@@ -1137,11 +1180,34 @@ impl PlanOrders {
         strata: &std::collections::HashMap<String, usize>,
         model: Option<&CostModel<'_>>,
     ) -> PlanOrders {
+        Self::of_impl(rule, strata, model, false)
+    }
+
+    /// Like [`PlanOrders::of`], but plans a delta order for **every**
+    /// positive occurrence — EDB and lower-stratum literals included —
+    /// as incremental maintenance requires (a batch can perturb any
+    /// relation, not just the same-stratum recursive ones).
+    pub(crate) fn of_maintenance(
+        rule: &Rule,
+        strata: &std::collections::HashMap<String, usize>,
+        model: Option<&CostModel<'_>>,
+    ) -> PlanOrders {
+        Self::of_impl(rule, strata, model, true)
+    }
+
+    fn of_impl(
+        rule: &Rule,
+        strata: &std::collections::HashMap<String, usize>,
+        model: Option<&CostModel<'_>>,
+        all_deltas: bool,
+    ) -> PlanOrders {
         let stratum = rule_stratum(rule, strata);
         let positives: Vec<&Literal> = rule.body.iter().filter(|l| !l.negated).collect();
         let n = positives.len();
         let delta_idxs: Vec<usize> = (0..n)
-            .filter(|&i| strata.get(&positives[i].atom.relation).copied() == Some(stratum))
+            .filter(|&i| {
+                all_deltas || strata.get(&positives[i].atom.relation).copied() == Some(stratum)
+            })
             .collect();
         let same_stratum = |l: &Literal| strata.get(&l.atom.relation).copied() == Some(stratum);
         match model {
@@ -1189,30 +1255,30 @@ impl PlanOrders {
 
 /// A rule compiled once per evaluation: dense variable indices, the naive
 /// join order, every same-stratum delta variant, and negation probes.
-struct CompiledRule {
-    stratum: usize,
-    nvars: usize,
+pub(crate) struct CompiledRule {
+    pub(crate) stratum: usize,
+    pub(crate) nvars: usize,
     /// Per head: relation name and term templates.
-    heads: Vec<(String, Vec<HeadTerm>)>,
-    negs: Vec<NegPlan>,
-    naive: Variant,
-    deltas: Vec<DeltaVariant>,
+    pub(crate) heads: Vec<(String, Vec<HeadTerm>)>,
+    pub(crate) negs: Vec<NegPlan>,
+    pub(crate) naive: Variant,
+    pub(crate) deltas: Vec<DeltaVariant>,
 }
 
 /// One semi-naive variant: the delta occurrence joined first.
-struct DeltaVariant {
-    relation: String,
-    variant: Variant,
+pub(crate) struct DeltaVariant {
+    pub(crate) relation: String,
+    pub(crate) variant: Variant,
 }
 
 /// A join order over the positive body literals.
-struct Variant {
-    lits: Vec<LitPlan>,
+pub(crate) struct Variant {
+    pub(crate) lits: Vec<LitPlan>,
 }
 
 /// How a literal's tuples are reached at its join depth.
 #[derive(Clone, Copy, PartialEq, Eq)]
-enum Access {
+pub(crate) enum Access {
     /// Full scan (delta occurrences and unconstrained literals).
     Scan,
     /// Constant-filter pre-scan: every key column is a constant, so the
@@ -1223,39 +1289,39 @@ enum Access {
 }
 
 /// One positive literal in a join order.
-struct LitPlan {
-    rel: String,
-    slots: Vec<Slot>,
+pub(crate) struct LitPlan {
+    pub(crate) rel: String,
+    pub(crate) slots: Vec<Slot>,
     /// Columns bound before this literal joins (consts and earlier-bound
     /// variables, in column order) — the index key. Empty means scan.
-    key_cols: Vec<usize>,
+    pub(crate) key_cols: Vec<usize>,
     /// Constant-bound columns, in column order (the pre-scan filter).
-    const_cols: Vec<(usize, Value)>,
-    access: Access,
+    pub(crate) const_cols: Vec<(usize, Value)>,
+    pub(crate) access: Access,
 }
 
-enum Slot {
+pub(crate) enum Slot {
     Const(Value),
     Bound(usize),
     Free(usize),
     Wild,
 }
 
-enum HeadTerm {
+pub(crate) enum HeadTerm {
     Const(Value),
     Var(usize),
 }
 
 /// A negated literal compiled to an index probe on its bound columns.
-struct NegPlan {
-    rel: String,
-    terms: Vec<NegTerm>,
+pub(crate) struct NegPlan {
+    pub(crate) rel: String,
+    pub(crate) terms: Vec<NegTerm>,
     /// Non-wildcard columns, in column order. Empty means the literal is
     /// fully unconstrained: negation fails iff the relation is non-empty.
-    key_cols: Vec<usize>,
+    pub(crate) key_cols: Vec<usize>,
 }
 
-enum NegTerm {
+pub(crate) enum NegTerm {
     Const(Value),
     Var(usize),
     Wild,
@@ -1278,7 +1344,7 @@ enum NegTerm {
 /// contexts that agree on the orders (the usual cross-example case, and
 /// trivially all body-order plans) still share one compilation.
 #[derive(Clone, PartialEq, Eq, Hash)]
-struct RuleKey {
+pub(crate) struct RuleKey {
     /// Serialized heads and body; the shared memo appends the planned
     /// [`PlanOrders`].
     text: String,
@@ -1346,18 +1412,47 @@ impl RuleKey {
     }
 }
 
+/// The dense variable numbering `compile` (and the re-derivation
+/// planner) assigns: first occurrence order over `rule.all_vars()`.
+fn rule_var_index(rule: &Rule) -> FxHashMap<&str, usize> {
+    let mut var_index: FxHashMap<&str, usize> = FxHashMap::default();
+    for v in rule.all_vars() {
+        let next = var_index.len();
+        var_index.entry(v).or_insert(next);
+    }
+    var_index
+}
+
 impl CompiledRule {
     fn compile(
         rule: &Rule,
         strata: &std::collections::HashMap<String, usize>,
         orders: &PlanOrders,
     ) -> CompiledRule {
+        Self::compile_impl(rule, strata, orders, false)
+    }
+
+    /// Like `compile`, but emits a delta variant for **every** positive
+    /// occurrence (paired with [`PlanOrders::of_maintenance`]). Used only
+    /// by the incremental maintainer, which bypasses the shared rule memo
+    /// — maintenance plans must never be served to (or from) the
+    /// same-stratum-only evaluation path.
+    pub(crate) fn compile_maintenance(
+        rule: &Rule,
+        strata: &std::collections::HashMap<String, usize>,
+        orders: &PlanOrders,
+    ) -> CompiledRule {
+        Self::compile_impl(rule, strata, orders, true)
+    }
+
+    fn compile_impl(
+        rule: &Rule,
+        strata: &std::collections::HashMap<String, usize>,
+        orders: &PlanOrders,
+        all_deltas: bool,
+    ) -> CompiledRule {
         let stratum = rule_stratum(rule, strata);
-        let mut var_index: FxHashMap<&str, usize> = FxHashMap::default();
-        for v in rule.all_vars() {
-            let next = var_index.len();
-            var_index.entry(v).or_insert(next);
-        }
+        let var_index = rule_var_index(rule);
         let nvars = var_index.len();
 
         let heads = rule
@@ -1416,7 +1511,7 @@ impl CompiledRule {
         let naive = Variant::compile(&positives, false, &var_index, nvars, &orders.naive);
         let deltas = positives
             .iter()
-            .filter(|(_, l)| strata.get(&l.atom.relation).copied() == Some(stratum))
+            .filter(|(_, l)| all_deltas || strata.get(&l.atom.relation).copied() == Some(stratum))
             .zip(&orders.deltas)
             .map(|(&(_, l), order)| DeltaVariant {
                 relation: l.atom.relation.clone(),
@@ -1476,9 +1571,23 @@ impl Variant {
         nvars: usize,
         order: &[usize],
     ) -> Variant {
+        Self::compile_with(positives, delta_first, var_index, vec![false; nvars], order)
+    }
+
+    /// [`Variant::compile`] starting from a pre-bound variable mask
+    /// instead of an empty one. DRed's re-derivation check compiles each
+    /// rule body with the head variables pre-bound (the candidate fact
+    /// supplies their values), so body literals over those variables plan
+    /// as index probes rather than scans.
+    fn compile_with(
+        positives: &[(usize, &Literal)],
+        delta_first: bool,
+        var_index: &FxHashMap<&str, usize>,
+        mut bound: Vec<bool>,
+        order: &[usize],
+    ) -> Variant {
         debug_assert_eq!(order.len(), positives.len(), "order must be a permutation");
         let ordered: Vec<(usize, &Literal)> = order.iter().map(|&i| positives[i]).collect();
-        let mut bound = vec![false; nvars];
         let lits = ordered
             .iter()
             .enumerate()
@@ -1555,11 +1664,77 @@ impl Variant {
     }
 }
 
+// ----------------------------------------------------------- rederive --
+
+/// A per-(rule, head) point-check plan for DRed's re-derivation phase:
+/// a candidate fact is unified against the head template, and the body
+/// is then tested for *any* satisfying assignment in the current
+/// database. Head variables enter the body pre-bound, so most body
+/// literals compile down to index probes.
+///
+/// Only built for negation-free rules — the incremental maintainer falls
+/// back to full re-evaluation when the program negates (DRed's
+/// over-delete/re-derive split is unsound under negation without
+/// per-stratum recomputation).
+pub(crate) struct RederivePlan {
+    /// The head relation this plan can re-derive.
+    pub(crate) rel: String,
+    pub(crate) head: Vec<HeadTerm>,
+    pub(crate) body: Variant,
+    pub(crate) nvars: usize,
+}
+
+/// Builds one [`RederivePlan`] per head of `rule`, body literals in body
+/// order with the head's variables pre-bound.
+pub(crate) fn rederive_plans(rule: &Rule) -> Vec<RederivePlan> {
+    debug_assert!(
+        rule.body.iter().all(|l| !l.negated),
+        "re-derivation plans are only sound for negation-free rules"
+    );
+    let var_index = rule_var_index(rule);
+    let nvars = var_index.len();
+    let positives: Vec<(usize, &Literal)> = rule
+        .body
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| !l.negated)
+        .collect();
+    let order: Vec<usize> = (0..positives.len()).collect();
+    rule.heads
+        .iter()
+        .map(|h| {
+            let head: Vec<HeadTerm> = h
+                .terms
+                .iter()
+                .map(|t| match t {
+                    Term::Const(c) => HeadTerm::Const(*c),
+                    Term::Var(v) => HeadTerm::Var(var_index[v.as_str()]),
+                    Term::Wildcard => unreachable!("no wildcards in heads"),
+                })
+                .collect();
+            let mut pre_bound = vec![false; nvars];
+            for t in &head {
+                if let HeadTerm::Var(i) = t {
+                    pre_bound[*i] = true;
+                }
+            }
+            let body = Variant::compile_with(&positives, false, &var_index, pre_bound, &order);
+            RederivePlan {
+                rel: h.relation.clone(),
+                head,
+                body,
+                nvars,
+            }
+        })
+        .collect()
+}
+
 // ------------------------------------------------------------- overlay --
 
 /// Per-evaluation IDB overlay: derived relations plus their incrementally
-/// maintained indexes.
-struct IdbState {
+/// maintained indexes. The incremental maintainer keeps one of these warm
+/// across batches (see `crate::incremental`).
+pub(crate) struct IdbState {
     rels: FxHashMap<String, Relation>,
     /// `relation → column-set → index`, borrowed-key lookups on the hot
     /// path (see [`EdbContext::indexes`]).
@@ -1567,15 +1742,39 @@ struct IdbState {
 }
 
 /// An incrementally extended column index over an overlay relation.
-struct IncIndex {
+pub(crate) struct IncIndex {
     map: FxHashMap<Vec<Value>, Vec<usize>>,
     /// Number of overlay tuples already indexed.
     covered: usize,
 }
 
 impl IncIndex {
-    fn get(&self, key: &[Value]) -> &[usize] {
+    pub(crate) fn get(&self, key: &[Value]) -> &[usize] {
         self.map.get(key).map_or(&[], Vec::as_slice)
+    }
+
+    /// Repairs the index across a compaction that removed the ascending
+    /// pre-compaction row ids `dead` (see
+    /// `TupleStore::remove_rows_indices`): dead ids are dropped,
+    /// survivors shift down past the dead ids beneath them, and emptied
+    /// postings go away. `covered` shrinks by the dead ids it had
+    /// absorbed, so a caught-up index stays caught up and a partial one
+    /// still covers exactly the compacted prefix it had seen. Costs one
+    /// sweep of the postings — no key is re-hashed, so a small retraction
+    /// batch does not pay a full rebuild of a large overlay index.
+    fn remap_removed(&mut self, dead: &[usize]) {
+        self.map.retain(|_, ids| {
+            ids.retain_mut(|id| {
+                let below = dead.partition_point(|&d| d < *id);
+                if dead.get(below).is_some_and(|&d| d == *id) {
+                    return false;
+                }
+                *id -= below;
+                true
+            });
+            !ids.is_empty()
+        });
+        self.covered -= dead.partition_point(|&d| d < self.covered);
     }
 }
 
@@ -1592,14 +1791,24 @@ impl IdbState {
         }
     }
 
-    fn relation(&self, name: &str) -> Option<&Relation> {
+    /// Rebuilds an overlay from a previously materialized output
+    /// database (the warm-start path of the incremental maintainer).
+    /// Indexes start empty and catch up lazily via `ensure_index`.
+    pub(crate) fn from_database(db: Database) -> IdbState {
+        IdbState {
+            rels: db.into_relations().collect(),
+            indexes: FxHashMap::default(),
+        }
+    }
+
+    pub(crate) fn relation(&self, name: &str) -> Option<&Relation> {
         self.rels.get(name)
     }
 
     /// Registers the overlay index of `rel` on `cols`, catching it up over
     /// any rows absorbed before it existed. Once caught up, `absorb` keeps
     /// it current eagerly, so re-registration is a cheap no-op.
-    fn ensure_index(&mut self, rel: &str, cols: &[usize]) {
+    pub(crate) fn ensure_index(&mut self, rel: &str, cols: &[usize]) {
         let Some(relation) = self.rels.get(rel) else {
             return; // purely extensional: no overlay side
         };
@@ -1630,14 +1839,70 @@ impl IdbState {
     }
 
     /// The overlay relation and its (previously ensured) index.
-    fn indexed(&self, rel: &str, cols: &[usize]) -> Option<(&Relation, &IncIndex)> {
+    pub(crate) fn indexed(&self, rel: &str, cols: &[usize]) -> Option<(&Relation, &IncIndex)> {
         let relation = self.rels.get(rel)?;
         let idx = self.indexes.get(rel)?.get(cols)?;
         Some((relation, idx))
     }
 
-    fn into_database(self) -> Database {
+    pub(crate) fn into_database(self) -> Database {
         Database::from_relations(self.rels)
+    }
+
+    /// A materialized copy of the overlay (the maintainer's output
+    /// snapshot — the warm state itself stays live).
+    pub(crate) fn to_database(&self) -> Database {
+        Database::from_relations(self.rels.iter().map(|(n, r)| (n.clone(), r.clone())))
+    }
+
+    /// Removes `rows` from the overlay relation `rel`, returning how many
+    /// were present. Removal compacts the store (row ids shift), so the
+    /// relation's overlay indexes are remapped in place — the one
+    /// exception to the append-only index invariant. The remap drops the
+    /// dead postings and shifts the survivors (`IncIndex::remap_removed`)
+    /// instead of rebuilding, keeping a small retraction batch's index
+    /// upkeep proportional to the postings sweep rather than a full
+    /// re-hash of a large overlay relation.
+    pub(crate) fn remove_rows<I, R>(&mut self, rel: &str, rows: I) -> usize
+    where
+        I: IntoIterator<Item = R>,
+        R: AsRef<[Value]>,
+    {
+        let Some(relation) = self.rels.get_mut(rel) else {
+            return 0;
+        };
+        let dead = relation.remove_rows_indices(rows);
+        if !dead.is_empty() {
+            if let Some(by_cols) = self.indexes.get_mut(rel) {
+                for idx in by_cols.values_mut() {
+                    idx.remap_removed(&dead);
+                }
+            }
+        }
+        dead.len()
+    }
+
+    /// Inserts one tuple directly (DRed's re-derivation reinsert path),
+    /// keeping caught-up overlay indexes extended exactly as `absorb`
+    /// does. Returns `false` if the tuple was already present.
+    pub(crate) fn insert(&mut self, rel: &str, row: &[Value]) -> bool {
+        let Some(overlay) = self.rels.get_mut(rel) else {
+            return false;
+        };
+        if !overlay.insert(row) {
+            return false;
+        }
+        let at = overlay.len() - 1;
+        if let Some(by_cols) = self.indexes.get_mut(rel) {
+            for (cols, idx) in by_cols.iter_mut() {
+                if idx.covered == at {
+                    let key: Vec<Value> = cols.iter().map(|&c| row[c]).collect();
+                    idx.map.entry(key).or_default().push(at);
+                    idx.covered = at + 1;
+                }
+            }
+        }
+        true
     }
 }
 
@@ -1655,7 +1920,7 @@ impl IdbState {
 /// the partially extended overlay is torn down with the whole evaluation.
 /// Every [`GOV_STRIDE`] merged tuples the deadline/cancel state is polled
 /// too, so a huge buffer cannot blow past the deadline unchecked.
-fn absorb(
+pub(crate) fn absorb(
     rule: &CompiledRule,
     derived: Vec<(usize, Vec<Value>)>,
     edb: &Database,
@@ -1801,58 +2066,60 @@ struct JoinRun<'a> {
 /// enough that a cross-product blow-up is noticed within microseconds.
 const GOV_STRIDE: u32 = 1024;
 
-impl JoinRun<'_> {
-    /// Binds row `t` against `slots`, extending `env`; records newly bound
-    /// variables in `newly`, restoring `env` on mismatch.
-    fn try_tuple(
-        env: &mut [Option<Value>],
-        newly: &mut Vec<usize>,
-        slots: &[Slot],
-        t: RowRef<'_>,
-    ) -> bool {
-        newly.clear();
-        let undo = |newly: &[usize], env: &mut [Option<Value>]| {
-            for &n in newly {
-                env[n] = None;
-            }
-        };
-        // Zipping the (lazy) row iterator walks the column streams
-        // directly: values reassemble one per loop step — an early
-        // mismatch stops pulling — without a per-slot column lookup.
-        for (s, v) in slots.iter().zip(t.iter()) {
-            match s {
-                Slot::Const(c) => {
-                    if v != *c {
-                        undo(newly, env);
-                        return false;
-                    }
-                }
-                Slot::Bound(b) => {
-                    if env[*b] != Some(v) {
-                        undo(newly, env);
-                        return false;
-                    }
-                }
-                Slot::Free(f) => match env[*f] {
-                    // Free slots may repeat within one literal (e.g.
-                    // R(x, x) with x first bound here).
-                    Some(existing) => {
-                        if existing != v {
-                            undo(newly, env);
-                            return false;
-                        }
-                    }
-                    None => {
-                        env[*f] = Some(v);
-                        newly.push(*f);
-                    }
-                },
-                Slot::Wild => {}
-            }
+/// Binds row `t` against `slots`, extending `env`; records newly bound
+/// variables in `newly`, restoring `env` on mismatch. Shared between the
+/// fixpoint's join descent and the incremental maintainer's
+/// re-derivation existence check.
+pub(crate) fn try_tuple(
+    env: &mut [Option<Value>],
+    newly: &mut Vec<usize>,
+    slots: &[Slot],
+    t: RowRef<'_>,
+) -> bool {
+    newly.clear();
+    let undo = |newly: &[usize], env: &mut [Option<Value>]| {
+        for &n in newly {
+            env[n] = None;
         }
-        true
+    };
+    // Zipping the (lazy) row iterator walks the column streams
+    // directly: values reassemble one per loop step — an early
+    // mismatch stops pulling — without a per-slot column lookup.
+    for (s, v) in slots.iter().zip(t.iter()) {
+        match s {
+            Slot::Const(c) => {
+                if v != *c {
+                    undo(newly, env);
+                    return false;
+                }
+            }
+            Slot::Bound(b) => {
+                if env[*b] != Some(v) {
+                    undo(newly, env);
+                    return false;
+                }
+            }
+            Slot::Free(f) => match env[*f] {
+                // Free slots may repeat within one literal (e.g.
+                // R(x, x) with x first bound here).
+                Some(existing) => {
+                    if existing != v {
+                        undo(newly, env);
+                        return false;
+                    }
+                }
+                None => {
+                    env[*f] = Some(v);
+                    newly.push(*f);
+                }
+            },
+            Slot::Wild => {}
+        }
     }
+    true
+}
 
+impl JoinRun<'_> {
     fn emit(&mut self) {
         for (head_idx, (_, terms)) in self.rule.heads.iter().enumerate() {
             let tuple: Vec<Value> = terms
@@ -1913,7 +2180,7 @@ impl JoinRun<'_> {
                             break;
                         }
                         let t = part.get(i).expect("scan in range");
-                        if Self::try_tuple(&mut self.env, &mut newly, exec.slots, t) {
+                        if try_tuple(&mut self.env, &mut newly, exec.slots, t) {
                             self.descend(depth + 1);
                             for &n in &newly {
                                 self.env[n] = None;
@@ -1931,7 +2198,7 @@ impl JoinRun<'_> {
                             break;
                         }
                         let t = rel.get(i as usize).expect("prescan in range");
-                        if Self::try_tuple(&mut self.env, &mut newly, exec.slots, t) {
+                        if try_tuple(&mut self.env, &mut newly, exec.slots, t) {
                             self.descend(depth + 1);
                             for &n in &newly {
                                 self.env[n] = None;
@@ -1958,7 +2225,7 @@ impl JoinRun<'_> {
                             break;
                         }
                         let t = rel.get(ti).expect("index in range");
-                        if Self::try_tuple(&mut self.env, &mut newly, exec.slots, t) {
+                        if try_tuple(&mut self.env, &mut newly, exec.slots, t) {
                             self.descend(depth + 1);
                             for &n in &newly {
                                 self.env[n] = None;

@@ -40,6 +40,10 @@ pub enum EvalError {
         expected: usize,
         got: usize,
     },
+    /// An incremental delta tried to insert or delete facts of an
+    /// intensional (derived) relation — only extensional facts are
+    /// mutable; derived ones follow from the rules.
+    IntensionalDelta { relation: String },
     /// The governor's wall-clock deadline elapsed mid-evaluation.
     DeadlineExceeded,
     /// The governor's unique-derived-fact budget was exhausted.
@@ -50,6 +54,33 @@ pub enum EvalError {
     Cancelled,
 }
 
+/// Which governor limit tripped an evaluation — the payload-free
+/// classification of [`EvalError`]'s resource variants, for callers that
+/// tally trips per kind (the synthesizer's skip statistics, migrate's
+/// summary) without carrying the budget values around.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ResourceTrip {
+    /// Wall-clock deadline ([`EvalError::DeadlineExceeded`]).
+    Deadline,
+    /// Unique-derived-fact budget ([`EvalError::FactBudgetExceeded`]).
+    FactBudget,
+    /// Fixpoint-round cap ([`EvalError::RoundCapExceeded`]).
+    RoundCap,
+    /// External cancellation ([`EvalError::Cancelled`]).
+    Cancelled,
+}
+
+impl fmt::Display for ResourceTrip {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResourceTrip::Deadline => write!(f, "deadline"),
+            ResourceTrip::FactBudget => write!(f, "fact budget"),
+            ResourceTrip::RoundCap => write!(f, "round cap"),
+            ResourceTrip::Cancelled => write!(f, "cancelled"),
+        }
+    }
+}
+
 impl EvalError {
     /// `true` for the resource-governance trip causes
     /// ([`DeadlineExceeded`](EvalError::DeadlineExceeded),
@@ -58,13 +89,18 @@ impl EvalError {
     /// [`Cancelled`](EvalError::Cancelled)) — the errors that condemn one
     /// evaluation, not the program itself.
     pub fn is_resource_limit(&self) -> bool {
-        matches!(
-            self,
-            EvalError::DeadlineExceeded
-                | EvalError::FactBudgetExceeded { .. }
-                | EvalError::RoundCapExceeded { .. }
-                | EvalError::Cancelled
-        )
+        self.resource_trip().is_some()
+    }
+
+    /// The tripped limit's kind, or `None` for non-resource errors.
+    pub fn resource_trip(&self) -> Option<ResourceTrip> {
+        match self {
+            EvalError::DeadlineExceeded => Some(ResourceTrip::Deadline),
+            EvalError::FactBudgetExceeded { .. } => Some(ResourceTrip::FactBudget),
+            EvalError::RoundCapExceeded { .. } => Some(ResourceTrip::RoundCap),
+            EvalError::Cancelled => Some(ResourceTrip::Cancelled),
+            _ => None,
+        }
     }
 }
 
@@ -85,6 +121,10 @@ impl fmt::Display for EvalError {
             } => write!(
                 f,
                 "input relation `{relation}` has arity {got}, program expects {expected}"
+            ),
+            EvalError::IntensionalDelta { relation } => write!(
+                f,
+                "cannot apply a delta to intensional relation `{relation}`: derived facts follow from the rules"
             ),
             EvalError::DeadlineExceeded => write!(f, "evaluation deadline exceeded"),
             EvalError::FactBudgetExceeded { budget } => {

@@ -1,0 +1,954 @@
+//! Incremental view maintenance over a warm evaluator state.
+//!
+//! [`IncrementalEvaluator`] keeps a Datalog program's output materialized
+//! across batches of extensional (EDB) updates. A batch is applied with
+//! [`apply_delta`](IncrementalEvaluator::apply_delta), which returns the
+//! net change to the derived relations — without re-evaluating the
+//! program from scratch.
+//!
+//! # Algorithm
+//!
+//! Insertions reuse the engine's semi-naive delta machinery: the batch's
+//! genuinely-new facts seed delta rounds against the warm overlay, so
+//! only derivations that involve at least one new fact are recomputed.
+//! Deletions use **DRed** (delete-and-rederive):
+//!
+//! 1. **Over-delete** — propagate the deleted facts through the rules
+//!    against the *pre-deletion* database, collecting every derived fact
+//!    with at least one deleted fact in some derivation. This
+//!    over-approximates: a collected fact may have other derivations.
+//! 2. **Remove** — physically delete the batch's EDB facts and the
+//!    over-deleted derived facts.
+//! 3. **Re-derive** — for each over-deleted fact, check whether some rule
+//!    still derives it from the surviving database; if so, reinstate it.
+//!    Reinstated facts can support further reinstatements, so this runs
+//!    to a fixpoint per stratum. Because re-derivation consults the final
+//!    surviving state directly, reinstated facts need no extra
+//!    insert-propagation pass.
+//! 4. **Insert** — apply the batch's insertions and run semi-naive delta
+//!    rounds seeded from them.
+//!
+//! The maintained output is *set-identical* to a from-scratch evaluation
+//! of the mutated EDB after every batch — the differential tests in
+//! `tests/incremental.rs` pin this at multiple thread counts, with and
+//! without the cost-based planner.
+//!
+//! DRed was chosen over counting-based maintenance because the engine's
+//! stores are sets: tracking multiplicities would tax the non-incremental
+//! fixpoint's hottest path (every `absorb` insert) for the benefit of the
+//! maintenance path only, and recursive rules make exact counts expensive
+//! to maintain. DRed pays its cost only when deletions actually cascade.
+//!
+//! # Warm-state invariants
+//!
+//! - The EDB snapshot and the derived-fact overlay (`IdbState`) persist
+//!   across batches; overlay join indexes survive and are extended
+//!   eagerly on reinserts. Relations that lose rows have their cached
+//!   indexes dropped (compaction shifts row ids) and rebuilt lazily.
+//! - Programs with negation fall back to full re-evaluation plus output
+//!   diffing — DRed's over-delete is unsound under negation (removing a
+//!   fact can *add* derivations). The public contract is unchanged.
+//! - A governed batch that trips a resource limit leaves the maintainer
+//!   **poisoned**: the EDB is rolled back to its pre-batch state (a
+//!   failed batch is atomic), but the overlay may hold partial work. The
+//!   next call (or [`output`](IncrementalEvaluator::output)) rebuilds the
+//!   overlay by full evaluation before proceeding.
+//!
+//! # Governor interaction
+//!
+//! Maintenance rounds run through the same engine entry points as full
+//! evaluation, so a [`Governor`] passed to
+//! [`apply_delta_governed`](IncrementalEvaluator::apply_delta_governed)
+//! observes them identically: every over-deletion and insertion round is
+//! charged against the round cap, reinserted facts are charged against
+//! the fact budget, and the deadline/cancel flags are polled at the same
+//! strides. Re-derivation checks poll the governor once per fixpoint
+//! pass.
+
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+use dynamite_instance::hash::FxHashMap;
+use dynamite_instance::{ColumnIndex, Database, Relation, Value};
+
+use crate::ast::Program;
+use crate::engine::{
+    rederive_plans, try_tuple, Access, CompiledRule, CostModel, EvalRun, HeadTerm, IdbState,
+    IndexCache, IndexSource, LitPlan, PlanOrders, PoolSource, RederivePlan, Slot, Spec,
+};
+use crate::eval::{check_arities, stratify, EvalError};
+use crate::governor::Governor;
+use crate::pool::{self, WorkerPool};
+
+/// The net change to the derived (intensional) relations produced by one
+/// [`IncrementalEvaluator::apply_delta`] batch.
+///
+/// Only *net* changes appear: a fact deleted and re-derived within the
+/// same batch is in neither side. Relations with no changes are omitted.
+/// The extensional change is the caller's own input and is not repeated
+/// here.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OutputDelta {
+    /// Derived facts that are in the output now but were not before.
+    pub inserted: Database,
+    /// Derived facts that were in the output before but are not now.
+    pub deleted: Database,
+}
+
+impl OutputDelta {
+    /// Whether the batch changed no derived facts.
+    pub fn is_empty(&self) -> bool {
+        self.inserted.num_facts() == 0 && self.deleted.num_facts() == 0
+    }
+}
+
+/// A materialized Datalog output maintained incrementally under
+/// extensional updates. See the [module docs](self) for the algorithm.
+///
+/// ```
+/// use dynamite_datalog::{IncrementalEvaluator, Program};
+/// use dynamite_instance::Database;
+///
+/// let program = Program::parse(
+///     "Path(x, y) :- Edge(x, y).
+///      Path(x, z) :- Path(x, y), Edge(y, z).",
+/// )
+/// .unwrap();
+/// let mut edb = Database::new();
+/// edb.insert("Edge", vec![1.into(), 2.into()]);
+/// edb.insert("Edge", vec![2.into(), 3.into()]);
+/// let mut inc = IncrementalEvaluator::new(program, edb).unwrap();
+/// assert_eq!(inc.output().relation("Path").unwrap().len(), 3);
+///
+/// // Retract Edge(2, 3): Path(2, 3) and Path(1, 3) disappear.
+/// let mut dels = Database::new();
+/// dels.insert("Edge", vec![2.into(), 3.into()]);
+/// let delta = inc.apply_delta(&Database::new(), &dels).unwrap();
+/// assert_eq!(delta.deleted.relation("Path").unwrap().len(), 2);
+/// assert_eq!(inc.output().relation("Path").unwrap().len(), 1);
+/// ```
+pub struct IncrementalEvaluator {
+    program: Program,
+    /// Stratum of every intensional relation (the key set *is* the IDB).
+    strata: HashMap<String, usize>,
+    max_stratum: usize,
+    /// Arity of every program-referenced relation.
+    arities: HashMap<String, usize>,
+    /// Intensional `(name, arity)` pairs grouped by stratum — the delta
+    /// maps of insertion rounds are pre-populated from these (`absorb`
+    /// records only into existing entries).
+    stratum_rels: Vec<Vec<(String, usize)>>,
+    /// Maintenance-compiled rules: a delta variant per *positive
+    /// occurrence* (extensional and lower-stratum ones included), unlike
+    /// the evaluation path's same-stratum-only variants. Compiled
+    /// privately — never exchanged with the shared rule memo.
+    compiled: Vec<CompiledRule>,
+    rederive: Vec<RederivePlan>,
+    /// Head relation → indexes into `rederive`.
+    rederive_by_rel: FxHashMap<String, Vec<usize>>,
+    edb: Database,
+    idb: IdbState,
+    indexes: RwLock<IndexCache>,
+    pool: Arc<WorkerPool>,
+    reorder: bool,
+    has_negation: bool,
+    /// Set while the overlay may be inconsistent (failed governed batch);
+    /// cleared by `refresh`.
+    poisoned: bool,
+}
+
+/// Assembles a round-driving [`EvalRun`] over the maintainer's persistent
+/// parts. Free function taking the fields individually so callers keep
+/// disjoint borrows of the rest of `self` (notably `&mut self.idb`).
+fn make_run<'e>(
+    edb: &'e Database,
+    indexes: &'e RwLock<IndexCache>,
+    pool: &'e WorkerPool,
+    reorder: bool,
+    gov: Option<&'e Governor>,
+) -> EvalRun<'e> {
+    EvalRun {
+        edb,
+        indexes: IndexSource::Shared(indexes),
+        rules: None,
+        plans: None,
+        pool: PoolSource::Ready(pool),
+        reorder,
+        gov,
+    }
+}
+
+impl IncrementalEvaluator {
+    /// Evaluates `program` over `edb` and keeps the result maintained.
+    ///
+    /// Uses the `DYNAMITE_THREADS` / `DYNAMITE_NO_REORDER` environment
+    /// defaults; [`Evaluator::incremental`](crate::Evaluator::incremental)
+    /// inherits an existing context's configuration instead.
+    pub fn new(program: Program, edb: Database) -> Result<IncrementalEvaluator, EvalError> {
+        IncrementalEvaluator::with_config(
+            program,
+            edb,
+            pool::with_threads(None),
+            crate::engine::reorder_default(),
+        )
+    }
+
+    /// [`new`](IncrementalEvaluator::new) with an explicit worker pool
+    /// and planner mode.
+    pub fn with_config(
+        program: Program,
+        edb: Database,
+        pool: Arc<WorkerPool>,
+        reorder: bool,
+    ) -> Result<IncrementalEvaluator, EvalError> {
+        program.check_well_formed()?;
+        let arities: HashMap<String, usize> = check_arities(&program, &edb)?
+            .into_iter()
+            .map(|(name, arity)| (name.to_string(), arity))
+            .collect();
+        let idb: Vec<&str> = program.intensional().into_iter().collect();
+        let strata = stratify(&program, &idb)?;
+        let max_stratum = strata.values().copied().max().unwrap_or(0);
+        let has_negation = program
+            .rules
+            .iter()
+            .any(|r| r.body.iter().any(|l| l.negated));
+
+        // Plan against the initial statistics. The snapshot's stats drift
+        // as batches land (like any warm context's would); plans stay
+        // valid — only their cost estimates age.
+        let model = reorder.then_some(CostModel { edb: &edb });
+        let compiled: Vec<CompiledRule> = program
+            .rules
+            .iter()
+            .map(|r| {
+                let orders = PlanOrders::of_maintenance(r, &strata, model.as_ref());
+                CompiledRule::compile_maintenance(r, &strata, &orders)
+            })
+            .collect();
+
+        let (rederive, rederive_by_rel) = if has_negation {
+            (Vec::new(), FxHashMap::default())
+        } else {
+            let mut plans: Vec<RederivePlan> = Vec::new();
+            let mut by_rel: FxHashMap<String, Vec<usize>> = FxHashMap::default();
+            for rule in &program.rules {
+                for plan in rederive_plans(rule) {
+                    by_rel
+                        .entry(plan.rel.clone())
+                        .or_default()
+                        .push(plans.len());
+                    plans.push(plan);
+                }
+            }
+            (plans, by_rel)
+        };
+
+        let stratum_rels: Vec<Vec<(String, usize)>> = (0..=max_stratum)
+            .map(|s| {
+                idb.iter()
+                    .filter(|r| strata.get(**r).copied() == Some(s))
+                    .map(|r| (r.to_string(), arities[*r]))
+                    .collect()
+            })
+            .collect();
+
+        let mut this = IncrementalEvaluator {
+            program,
+            strata,
+            max_stratum,
+            arities,
+            stratum_rels,
+            compiled,
+            rederive,
+            rederive_by_rel,
+            edb,
+            idb: IdbState::from_database(Database::new()),
+            indexes: RwLock::new(FxHashMap::default()),
+            pool,
+            reorder,
+            has_negation,
+            poisoned: true,
+        };
+        this.refresh(None)?;
+        Ok(this)
+    }
+
+    /// The maintained extensional database (post all applied batches).
+    pub fn edb(&self) -> &Database {
+        &self.edb
+    }
+
+    /// A materialized copy of the maintained derived relations.
+    ///
+    /// If a previous governed batch failed, this first rebuilds the
+    /// overlay by (ungoverned) full evaluation.
+    pub fn output(&mut self) -> Database {
+        if self.poisoned {
+            self.refresh(None).expect(
+                "ungoverned refresh cannot fail: the program was validated at construction",
+            );
+        }
+        self.idb.to_database()
+    }
+
+    /// Applies one batch of extensional updates and returns the net
+    /// change to the derived relations.
+    ///
+    /// Deletions are applied before insertions; a fact in both batches
+    /// ends up present. Deleting an absent fact or inserting a present
+    /// one is a no-op. Both batches may only name extensional relations
+    /// ([`EvalError::IntensionalDelta`] otherwise), with arities matching
+    /// the program's usage and the current database.
+    pub fn apply_delta(
+        &mut self,
+        inserts: &Database,
+        deletes: &Database,
+    ) -> Result<OutputDelta, EvalError> {
+        self.apply(inserts, deletes, None)
+    }
+
+    /// [`apply_delta`](IncrementalEvaluator::apply_delta) under
+    /// cooperative resource limits. On `Err` the EDB is unchanged (the
+    /// batch is atomic) but the maintainer is poisoned: the next batch
+    /// first rebuilds the overlay by full (governed) evaluation.
+    pub fn apply_delta_governed(
+        &mut self,
+        inserts: &Database,
+        deletes: &Database,
+        gov: &Governor,
+    ) -> Result<OutputDelta, EvalError> {
+        self.apply(inserts, deletes, Some(gov))
+    }
+
+    fn apply(
+        &mut self,
+        inserts: &Database,
+        deletes: &Database,
+        gov: Option<&Governor>,
+    ) -> Result<OutputDelta, EvalError> {
+        if let Some(gov) = gov {
+            gov.check()?;
+        }
+        self.validate(inserts)?;
+        self.validate(deletes)?;
+        if self.poisoned {
+            // A previous governed batch tripped mid-maintenance: its EDB
+            // mutations were rolled back, but the overlay may hold
+            // partial work. Rebuild before trusting it again.
+            self.refresh(gov)?;
+        }
+        let result = if self.has_negation {
+            self.apply_fallback(inserts, deletes, gov)
+        } else {
+            self.apply_dred(inserts, deletes, gov)
+        };
+        if result.is_err() {
+            self.poisoned = true;
+        }
+        result
+    }
+
+    /// Rejects intensional relation names and arity mismatches (against
+    /// both the program's usage and the live database). Empty relations
+    /// pass regardless of declared arity, mirroring `check_arities`.
+    fn validate(&self, batch: &Database) -> Result<(), EvalError> {
+        for (name, rel) in batch.iter() {
+            if self.strata.contains_key(name) {
+                return Err(EvalError::IntensionalDelta {
+                    relation: name.to_string(),
+                });
+            }
+            if rel.is_empty() {
+                continue;
+            }
+            if let Some(&expected) = self.arities.get(name) {
+                if rel.arity() != expected {
+                    return Err(EvalError::InputArity {
+                        relation: name.to_string(),
+                        expected,
+                        got: rel.arity(),
+                    });
+                }
+            }
+            if let Some(cur) = self.edb.relation(name) {
+                if cur.arity() != rel.arity() {
+                    return Err(EvalError::InputArity {
+                        relation: name.to_string(),
+                        expected: cur.arity(),
+                        got: rel.arity(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Rebuilds the overlay by full evaluation of the current EDB.
+    fn refresh(&mut self, gov: Option<&Governor>) -> Result<(), EvalError> {
+        let run = make_run(&self.edb, &self.indexes, &self.pool, self.reorder, gov);
+        let out = run.eval(&self.program)?;
+        self.idb = IdbState::from_database(out);
+        self.poisoned = false;
+        Ok(())
+    }
+
+    // ---------------------------------------------------------- DRed --
+
+    fn apply_dred(
+        &mut self,
+        inserts: &Database,
+        deletes: &Database,
+        gov: Option<&Governor>,
+    ) -> Result<OutputDelta, EvalError> {
+        // Seed: the deleted extensional facts actually present.
+        let mut edb_dels: FxHashMap<String, Relation> = FxHashMap::default();
+        for (name, rel) in deletes.iter() {
+            let Some(cur) = self.edb.relation(name) else {
+                continue;
+            };
+            if rel.is_empty() {
+                continue;
+            }
+            let mut seed = Relation::new_untracked(rel.arity());
+            for row in rel.iter() {
+                if cur.contains_row(row) {
+                    seed.insert_row(row);
+                }
+            }
+            if !seed.is_empty() {
+                edb_dels.insert(name.to_string(), seed);
+            }
+        }
+
+        // Phase 1 (read-only): over-delete derived consequences against
+        // the pre-deletion database.
+        let mut over = if edb_dels.is_empty() {
+            FxHashMap::default()
+        } else {
+            self.dred_overdelete(&edb_dels, gov)?
+        };
+
+        // Phase 2 (infallible): physical removal. Mutated relations'
+        // cached EDB indexes are dropped (compaction shifts row ids).
+        for (name, dels) in &edb_dels {
+            let rows: Vec<Vec<Value>> = dels.iter().map(|r| r.iter().collect()).collect();
+            self.edb.relation_mut(name, dels.arity()).remove_rows(&rows);
+            self.indexes
+                .write()
+                .expect("index cache poisoned")
+                .remove(name);
+        }
+        for (name, dels) in &over {
+            let rows: Vec<Vec<Value>> = dels.iter().map(|r| r.iter().collect()).collect();
+            self.idb.remove_rows(name, &rows);
+        }
+
+        // Phases 3–5, with the EDB rolled back on error so a failed
+        // governed batch never leaves a half-applied database.
+        let mut applied_ins: FxHashMap<String, Relation> = FxHashMap::default();
+        let tail = self
+            .dred_rederive(&mut over, gov)
+            .and_then(|()| self.dred_insert(inserts, &mut over, &mut applied_ins, gov));
+        match tail {
+            Ok(added) => {
+                let inserted =
+                    Database::from_relations(added.into_iter().filter(|(_, r)| !r.is_empty()));
+                let deleted =
+                    Database::from_relations(over.into_iter().filter(|(_, r)| !r.is_empty()));
+                Ok(OutputDelta { inserted, deleted })
+            }
+            Err(e) => {
+                for (name, rows) in &edb_dels {
+                    let rel = self.edb.relation_mut(name, rows.arity());
+                    for row in rows.iter() {
+                        rel.insert_row(row);
+                    }
+                }
+                for (name, rows) in &applied_ins {
+                    let dead: Vec<Vec<Value>> = rows.iter().map(|r| r.iter().collect()).collect();
+                    self.edb.relation_mut(name, rows.arity()).remove_rows(&dead);
+                }
+                let mut cache = self.indexes.write().expect("index cache poisoned");
+                for name in edb_dels.keys().chain(applied_ins.keys()) {
+                    cache.remove(name);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// DRed phase 1: propagates `edb_dels` through the rules against the
+    /// pre-deletion database, returning all over-deleted derived facts.
+    /// Read-only: the overlay is only consulted (a derived fact not
+    /// currently in the output cannot be retracted).
+    fn dred_overdelete(
+        &mut self,
+        edb_dels: &FxHashMap<String, Relation>,
+        gov: Option<&Governor>,
+    ) -> Result<FxHashMap<String, Relation>, EvalError> {
+        let mut over: FxHashMap<String, Relation> = FxHashMap::default();
+        let run = make_run(&self.edb, &self.indexes, &self.pool, self.reorder, gov);
+        for s in 0..=self.max_stratum {
+            // Round 1 of each stratum seeds from every deletion so far
+            // (the EDB seeds plus lower strata's over-deletions); later
+            // rounds propagate only the previous round's fresh ones.
+            let mut fresh: Option<FxHashMap<String, Relation>> = None;
+            loop {
+                let lookup = |name: &str| -> Option<&Relation> {
+                    match &fresh {
+                        None => edb_dels.get(name).or_else(|| over.get(name)),
+                        Some(f) => f.get(name),
+                    }
+                };
+                let specs: Vec<Spec<'_>> = self
+                    .compiled
+                    .iter()
+                    .filter(|c| c.stratum == s)
+                    .flat_map(|rule| {
+                        rule.deltas.iter().filter_map(move |dv| {
+                            let d = lookup(&dv.relation)?;
+                            (!d.is_empty()).then_some((rule, &dv.variant, Some(d)))
+                        })
+                    })
+                    .collect();
+                if specs.is_empty() {
+                    break;
+                }
+                let per_job = run.join_round(&specs, &mut self.idb)?;
+                // Buffer (relation, tuple) pairs before touching `over`:
+                // the jobs' rule refs pin the spec lifetime, which `over`
+                // participates in.
+                let mut batch: Vec<(String, Vec<Value>)> = Vec::new();
+                for (rule, derived) in per_job {
+                    for (head_idx, tuple) in derived {
+                        batch.push((rule.heads[head_idx].0.clone(), tuple));
+                    }
+                }
+                drop(specs);
+                let mut next: FxHashMap<String, Relation> = FxHashMap::default();
+                for (rel, tuple) in batch {
+                    // Only facts currently in the output can be retracted.
+                    if !self.idb.relation(&rel).is_some_and(|r| r.contains(&tuple)) {
+                        continue;
+                    }
+                    let entry = over
+                        .entry(rel.clone())
+                        .or_insert_with(|| Relation::new_untracked(tuple.len()));
+                    if entry.insert(&tuple) {
+                        next.entry(rel)
+                            .or_insert_with(|| Relation::new_untracked(tuple.len()))
+                            .insert(&tuple);
+                    }
+                }
+                if next.is_empty() {
+                    break;
+                }
+                fresh = Some(next);
+            }
+        }
+        Ok(over)
+    }
+
+    /// DRed phase 3: reinstates every over-deleted fact that still has a
+    /// derivation from the surviving database, removing it from `over`.
+    /// Runs to a fixpoint per stratum (a reinstated fact can support
+    /// another), strata ascending (bodies only reference strata ≤ the
+    /// head's).
+    fn dred_rederive(
+        &mut self,
+        over: &mut FxHashMap<String, Relation>,
+        gov: Option<&Governor>,
+    ) -> Result<(), EvalError> {
+        if over.is_empty() {
+            return Ok(());
+        }
+        let run = make_run(&self.edb, &self.indexes, &self.pool, self.reorder, gov);
+        for s in 0..=self.max_stratum {
+            // Deterministic candidate order: relations by name, rows in
+            // over-deletion (insertion) order.
+            let mut pending: Vec<(String, Vec<Vec<Value>>)> = over
+                .iter()
+                .filter(|(name, _)| self.strata.get(name.as_str()) == Some(&s))
+                .map(|(name, rel)| {
+                    (
+                        name.clone(),
+                        rel.iter().map(|r| r.iter().collect()).collect(),
+                    )
+                })
+                .collect();
+            pending.sort_by(|a, b| a.0.cmp(&b.0));
+            loop {
+                let mut changed = false;
+                for (name, rows) in pending.iter_mut() {
+                    let plans = self
+                        .rederive_by_rel
+                        .get(name.as_str())
+                        .map_or(&[][..], Vec::as_slice);
+                    let mut i = 0;
+                    while i < rows.len() {
+                        let ok = plans.iter().any(|&p| {
+                            rederivable(&run, &self.rederive[p], &rows[i], &mut self.idb)
+                        });
+                        if ok {
+                            let fact = rows.swap_remove(i);
+                            self.idb.insert(name, &fact);
+                            if let Some(o) = over.get_mut(name.as_str()) {
+                                o.remove(&fact);
+                            }
+                            changed = true;
+                        } else {
+                            i += 1;
+                        }
+                    }
+                }
+                if let Some(gov) = gov {
+                    gov.check()?;
+                }
+                if !changed {
+                    break;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// DRed phases 4–5: applies the batch's insertions to the EDB
+    /// (recording the genuinely-new rows into `applied_ins` for error
+    /// rollback) and runs semi-naive delta rounds seeded from them.
+    /// Returns the net-added derived facts; facts re-derived after being
+    /// net-deleted are removed from `over` instead (net zero).
+    fn dred_insert(
+        &mut self,
+        inserts: &Database,
+        over: &mut FxHashMap<String, Relation>,
+        applied_ins: &mut FxHashMap<String, Relation>,
+        gov: Option<&Governor>,
+    ) -> Result<FxHashMap<String, Relation>, EvalError> {
+        for (name, rel) in inserts.iter() {
+            if rel.is_empty() {
+                continue;
+            }
+            let cur = self.edb.relation_mut(name, rel.arity());
+            let mut new_rows = Relation::new_untracked(rel.arity());
+            for row in rel.iter() {
+                if cur.insert_row(row) {
+                    new_rows.insert_row(row);
+                }
+            }
+            if !new_rows.is_empty() {
+                self.indexes
+                    .write()
+                    .expect("index cache poisoned")
+                    .remove(name);
+                applied_ins.insert(name.to_string(), new_rows);
+            }
+        }
+
+        let mut added: FxHashMap<String, Relation> = FxHashMap::default();
+        if applied_ins.is_empty() {
+            return Ok(added);
+        }
+        // The cumulative delta: joined-against facts for round 1 of each
+        // stratum. Non-delta body positions read the post-insertion
+        // database directly, so pairing a new fact with another new fact
+        // is covered (and deduplicated) without delta-delta rounds.
+        let mut accum: FxHashMap<String, Relation> = applied_ins
+            .iter()
+            .map(|(n, r)| (n.clone(), r.clone()))
+            .collect();
+        let run = make_run(&self.edb, &self.indexes, &self.pool, self.reorder, gov);
+        for s in 0..=self.max_stratum {
+            let mut prev: Option<FxHashMap<String, Relation>> = None;
+            loop {
+                let lookup = |name: &str| -> Option<&Relation> {
+                    match &prev {
+                        None => accum.get(name),
+                        Some(f) => f.get(name),
+                    }
+                };
+                let specs: Vec<Spec<'_>> = self
+                    .compiled
+                    .iter()
+                    .filter(|c| c.stratum == s)
+                    .flat_map(|rule| {
+                        rule.deltas.iter().filter_map(move |dv| {
+                            let d = lookup(&dv.relation)?;
+                            (!d.is_empty()).then_some((rule, &dv.variant, Some(d)))
+                        })
+                    })
+                    .collect();
+                if specs.is_empty() {
+                    break;
+                }
+                let mut fresh: FxHashMap<String, Relation> = self.stratum_rels[s]
+                    .iter()
+                    .map(|(n, a)| (n.clone(), Relation::new_untracked(*a)))
+                    .collect();
+                let any = run.eval_round(&specs, &mut self.idb, &mut fresh)?;
+                drop(specs);
+                if !any {
+                    break;
+                }
+                for (name, d) in &fresh {
+                    if d.is_empty() {
+                        continue;
+                    }
+                    let mut o = over.get_mut(name.as_str());
+                    let a = added
+                        .entry(name.clone())
+                        .or_insert_with(|| Relation::new_untracked(d.arity()));
+                    let acc = accum
+                        .entry(name.clone())
+                        .or_insert_with(|| Relation::new_untracked(d.arity()));
+                    for r in d.iter() {
+                        let row: Vec<Value> = r.iter().collect();
+                        // Re-deriving a net-deleted fact cancels out.
+                        let resurrected = o.as_ref().is_some_and(|o| o.contains(&row));
+                        if resurrected {
+                            o.as_deref_mut().expect("checked above").remove(&row);
+                        } else {
+                            a.insert(&row);
+                        }
+                        acc.insert_row(r);
+                    }
+                }
+                prev = Some(fresh);
+            }
+        }
+        Ok(added)
+    }
+
+    // ------------------------------------------------ negation fallback --
+
+    /// Maintenance under negation: apply the EDB mutations, re-evaluate
+    /// from scratch, and diff the outputs. Same public contract, none of
+    /// DRed's savings — stratified-negation-aware retraction is future
+    /// work (see `DESIGN.md`).
+    fn apply_fallback(
+        &mut self,
+        inserts: &Database,
+        deletes: &Database,
+        gov: Option<&Governor>,
+    ) -> Result<OutputDelta, EvalError> {
+        let mut touched: Vec<String> = Vec::new();
+        let mut removed: FxHashMap<String, Relation> = FxHashMap::default();
+        for (name, rel) in deletes.iter() {
+            let Some(cur) = self.edb.relation(name) else {
+                continue;
+            };
+            if rel.is_empty() || cur.is_empty() {
+                continue;
+            }
+            let mut gone = Relation::new_untracked(rel.arity());
+            for row in rel.iter() {
+                if cur.contains_row(row) {
+                    gone.insert_row(row);
+                }
+            }
+            if gone.is_empty() {
+                continue;
+            }
+            let rows: Vec<Vec<Value>> = gone.iter().map(|r| r.iter().collect()).collect();
+            self.edb.relation_mut(name, rel.arity()).remove_rows(&rows);
+            touched.push(name.to_string());
+            removed.insert(name.to_string(), gone);
+        }
+        let mut applied: FxHashMap<String, Relation> = FxHashMap::default();
+        for (name, rel) in inserts.iter() {
+            if rel.is_empty() {
+                continue;
+            }
+            let cur = self.edb.relation_mut(name, rel.arity());
+            let mut new_rows = Relation::new_untracked(rel.arity());
+            for row in rel.iter() {
+                if cur.insert_row(row) {
+                    new_rows.insert_row(row);
+                }
+            }
+            if !new_rows.is_empty() {
+                touched.push(name.to_string());
+                applied.insert(name.to_string(), new_rows);
+            }
+        }
+        {
+            let mut cache = self.indexes.write().expect("index cache poisoned");
+            for name in &touched {
+                cache.remove(name);
+            }
+        }
+
+        let old = self.idb.to_database();
+        match self.full_eval_database(gov) {
+            Ok(new) => {
+                let delta = diff(&old, &new);
+                self.idb = IdbState::from_database(new);
+                Ok(delta)
+            }
+            Err(e) => {
+                // Roll the EDB back: the failed batch is atomic.
+                for (name, rows) in &removed {
+                    let rel = self.edb.relation_mut(name, rows.arity());
+                    for row in rows.iter() {
+                        rel.insert_row(row);
+                    }
+                }
+                for (name, rows) in &applied {
+                    let dead: Vec<Vec<Value>> = rows.iter().map(|r| r.iter().collect()).collect();
+                    self.edb.relation_mut(name, rows.arity()).remove_rows(&dead);
+                }
+                let mut cache = self.indexes.write().expect("index cache poisoned");
+                for name in &touched {
+                    cache.remove(name);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    fn full_eval_database(&mut self, gov: Option<&Governor>) -> Result<Database, EvalError> {
+        let run = make_run(&self.edb, &self.indexes, &self.pool, self.reorder, gov);
+        run.eval(&self.program)
+    }
+}
+
+/// Set difference of two outputs, relation by relation.
+fn diff(old: &Database, new: &Database) -> OutputDelta {
+    let mut inserted = Database::new();
+    let mut deleted = Database::new();
+    for (name, nrel) in new.iter() {
+        let orel = old.relation(name);
+        for row in nrel.iter() {
+            if !orel.is_some_and(|o| o.contains_row(row)) {
+                inserted.relation_mut(name, nrel.arity()).insert_row(row);
+            }
+        }
+    }
+    for (name, orel) in old.iter() {
+        let nrel = new.relation(name);
+        for row in orel.iter() {
+            if !nrel.is_some_and(|n| n.contains_row(row)) {
+                deleted.relation_mut(name, orel.arity()).insert_row(row);
+            }
+        }
+    }
+    OutputDelta { inserted, deleted }
+}
+
+// -------------------------------------------------------- re-derivation --
+
+/// Whether `fact` has a derivation via `plan` in the current database —
+/// DRed's per-fact alternative-support check. Prep mirrors a round's
+/// sequential prep phase: overlay indexes are registered (and caught up)
+/// and EDB index `Arc`s pinned before the recursive probe.
+fn rederivable(run: &EvalRun<'_>, plan: &RederivePlan, fact: &[Value], idb: &mut IdbState) -> bool {
+    if fact.len() != plan.head.len() {
+        return false;
+    }
+    let mut env: Vec<Option<Value>> = vec![None; plan.nvars];
+    for (term, v) in plan.head.iter().zip(fact) {
+        match term {
+            HeadTerm::Const(c) => {
+                if c != v {
+                    return false;
+                }
+            }
+            HeadTerm::Var(i) => match env[*i] {
+                Some(bound) if bound != *v => return false,
+                _ => env[*i] = Some(*v),
+            },
+        }
+    }
+    let edb_ix: Vec<Option<Arc<ColumnIndex>>> = plan
+        .body
+        .lits
+        .iter()
+        .map(|lit| match lit.access {
+            Access::Indexed => {
+                idb.ensure_index(&lit.rel, &lit.key_cols);
+                run.edb_index(&lit.rel, &lit.key_cols)
+            }
+            _ => None,
+        })
+        .collect();
+    body_holds(&plan.body.lits, 0, &mut env, run.edb, idb, &edb_ix)
+}
+
+/// Recursive existence check: can `env` be extended so that
+/// `lits[depth..]` all hold? Probes both storage sides (EDB snapshot and
+/// overlay) per literal; scan-mode literals check their constants per row
+/// via `try_tuple` (the point check touches few rows, so it never
+/// pre-filters).
+fn body_holds(
+    lits: &[LitPlan],
+    depth: usize,
+    env: &mut Vec<Option<Value>>,
+    edb: &Database,
+    idb: &IdbState,
+    edb_ix: &[Option<Arc<ColumnIndex>>],
+) -> bool {
+    let Some(lit) = lits.get(depth) else {
+        return true;
+    };
+    let mut newly: Vec<usize> = Vec::new();
+    match lit.access {
+        Access::Indexed => {
+            let key: Vec<Value> = lit
+                .slots
+                .iter()
+                .filter_map(|s| match s {
+                    Slot::Const(c) => Some(*c),
+                    Slot::Bound(v) => Some(env[*v].expect("bound by plan order")),
+                    _ => None,
+                })
+                .collect();
+            if let (Some(rel), Some(ix)) = (edb.relation(&lit.rel), edb_ix[depth].as_deref()) {
+                for &ti in ix.get(&key) {
+                    let row = rel.get(ti).expect("index position in range");
+                    if try_tuple(env, &mut newly, &lit.slots, row) {
+                        if body_holds(lits, depth + 1, env, edb, idb, edb_ix) {
+                            return true;
+                        }
+                        for &n in &newly {
+                            env[n] = None;
+                        }
+                        newly.clear();
+                    }
+                }
+            }
+            if let Some((rel, ix)) = idb.indexed(&lit.rel, &lit.key_cols) {
+                for &ti in ix.get(&key) {
+                    let row = rel.get(ti).expect("index position in range");
+                    if try_tuple(env, &mut newly, &lit.slots, row) {
+                        if body_holds(lits, depth + 1, env, edb, idb, edb_ix) {
+                            return true;
+                        }
+                        for &n in &newly {
+                            env[n] = None;
+                        }
+                        newly.clear();
+                    }
+                }
+            }
+        }
+        Access::Scan | Access::Prescan => {
+            for part in [edb.relation(&lit.rel), idb.relation(&lit.rel)]
+                .into_iter()
+                .flatten()
+            {
+                for row in part.iter() {
+                    if try_tuple(env, &mut newly, &lit.slots, row) {
+                        if body_holds(lits, depth + 1, env, edb, idb, edb_ix) {
+                            return true;
+                        }
+                        for &n in &newly {
+                            env[n] = None;
+                        }
+                        newly.clear();
+                    }
+                }
+            }
+        }
+    }
+    false
+}

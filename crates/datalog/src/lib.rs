@@ -35,6 +35,7 @@ mod engine;
 mod eval;
 pub mod fault;
 mod governor;
+pub mod incremental;
 pub mod legacy;
 mod parse;
 pub mod pool;
@@ -43,7 +44,8 @@ pub use ast::{
     alpha_equivalent, normalize_singletons, Atom, Literal, Program, Rule, Term, WellFormedError,
 };
 pub use engine::{reorder_default, resolve_reorder, Evaluator, RuleCacheHandle};
-pub use eval::{evaluate, EvalError};
+pub use eval::{evaluate, EvalError, ResourceTrip};
 pub use governor::{resolve_fact_budget, Governor, ResourceLimits};
+pub use incremental::{IncrementalEvaluator, OutputDelta};
 pub use parse::{parse_program, ParseError};
 pub use pool::WorkerPool;

@@ -80,6 +80,12 @@ impl Database {
         self.relations.iter().map(|(n, r)| (n.as_str(), r))
     }
 
+    /// Consumes the database into its named relations, in name order —
+    /// the inverse of [`Database::from_relations`].
+    pub fn into_relations(self) -> impl Iterator<Item = (String, Relation)> {
+        self.relations.into_iter()
+    }
+
     /// Relation names in name order.
     pub fn names(&self) -> impl Iterator<Item = &str> {
         self.relations.keys().map(String::as_str)

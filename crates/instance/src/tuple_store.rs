@@ -45,9 +45,13 @@
 //!   Every insert path probes it first, so the store never holds two
 //!   equal rows and `insert` can report freshness without a scan.
 //! - **Stable insertion order.** Row `i` is the `i`-th distinct tuple
-//!   ever inserted; ids never move, so join indexes and the engine's
-//!   incrementally extended overlay indexes stay valid as the store
-//!   grows.
+//!   ever inserted; ids never move while the store only grows, so join
+//!   indexes and the engine's incrementally extended overlay indexes
+//!   stay valid across inserts. The one exception is
+//!   [`TupleStore::remove_rows`] (incremental maintenance's retraction
+//!   path): it compacts the streams, shifting every id above a removed
+//!   row down, so callers must drop or rebuild any id-keyed structure
+//!   over the store afterwards. Survivors keep their relative order.
 //! - **Valid payloads only.** Payload words are only ever produced by
 //!   [`Value::to_raw`] on a real value, so reassembly (including interned
 //!   [`Symbol`](crate::Symbol) indices) is always sound.
@@ -73,6 +77,37 @@ fn hash_values(values: impl Iterator<Item = Value>) -> u64 {
         v.hash(&mut h);
     }
     h.finish()
+}
+
+/// Removes the entries at the ascending, deduplicated indices `dead`
+/// from `v` in one left-to-right compaction sweep, preserving the
+/// survivors' relative order. `dead` must be non-empty and in range.
+fn drop_indices<T: Copy>(v: &mut Vec<T>, dead: &[usize]) {
+    let mut write = dead[0];
+    let mut next = 0;
+    for read in dead[0]..v.len() {
+        if next < dead.len() && dead[next] == read {
+            next += 1;
+            continue;
+        }
+        v[write] = v[read];
+        write += 1;
+    }
+    v.truncate(write);
+}
+
+/// Remaps one row id across a compaction that removed the ascending,
+/// deduplicated pre-compaction ids `dead`: returns `false` if the id
+/// itself is dead, otherwise shifts it down past the dead ids beneath
+/// it and returns `true`.
+fn remap_row_id(r: &mut u32, dead: &[usize]) -> bool {
+    let id = *r as usize;
+    let below = dead.partition_point(|&d| d < id);
+    if dead.get(below).is_some_and(|&d| d == id) {
+        return false;
+    }
+    *r = (id - below) as u32;
+    true
 }
 
 /// The row indices behind one row hash. Collisions are rare, so the table
@@ -453,6 +488,11 @@ impl TupleStore {
         }
         debug_assert_eq!(pushed, self.arity, "row arity mismatch in push_row");
         self.rows += 1;
+        self.dedup_insert(hash, id);
+    }
+
+    /// Records row `id` under `hash` in the dedup table.
+    fn dedup_insert(&mut self, hash: u64, id: u32) {
         match self.dedup.entry(hash) {
             Entry::Vacant(e) => {
                 e.insert(RowSlot::One(id));
@@ -520,6 +560,106 @@ impl TupleStore {
         for row in rows {
             self.insert(&row);
         }
+    }
+
+    /// Removes every listed row that is present (rows of the wrong arity
+    /// or not in the store are ignored) and compacts the streams;
+    /// returns how many rows were actually removed.
+    ///
+    /// See [`TupleStore::remove_rows_indices`] for the compaction
+    /// contract; this wrapper is for callers that do not own any
+    /// id-keyed structures over the store.
+    pub fn remove_rows<I, R>(&mut self, rows: I) -> usize
+    where
+        I: IntoIterator<Item = R>,
+        R: AsRef<[Value]>,
+    {
+        self.remove_rows_indices(rows).len()
+    }
+
+    /// [`TupleStore::remove_rows`], additionally reporting the removed
+    /// rows' **pre-compaction** ids in ascending order.
+    ///
+    /// This is the retraction path of incremental maintenance and the
+    /// one operation that moves row ids: every id above a removed row
+    /// shifts down by the number of removed rows beneath it, and
+    /// survivors keep their relative insertion order. Callers owning
+    /// id-keyed structures over this store (join indexes, the engine's
+    /// overlay indexes) must repair them with the returned list — drop
+    /// the dead ids and shift the survivors — rather than rebuilding
+    /// from scratch, so a small batch of removals costs the structure
+    /// O(its own size) pointer work instead of a full re-hash of every
+    /// surviving row. The dedup table here is repaired exactly that way.
+    /// A tracked store still recomputes its per-column statistics from
+    /// the survivors — bounds and KMV sketches are add-only and cannot
+    /// "un-observe" a value, so repair is a full re-observation sweep
+    /// (O(rows), which a batch of removals amortizes).
+    pub fn remove_rows_indices<I, R>(&mut self, rows: I) -> Vec<usize>
+    where
+        I: IntoIterator<Item = R>,
+        R: AsRef<[Value]>,
+    {
+        let mut dead: Vec<usize> = rows
+            .into_iter()
+            .filter_map(|row| {
+                let row = row.as_ref();
+                if row.len() != self.arity {
+                    return None;
+                }
+                let hash = hash_values(row.iter().copied());
+                self.locate(hash, row.iter().copied())
+            })
+            .collect();
+        dead.sort_unstable();
+        dead.dedup();
+        if dead.is_empty() {
+            return dead;
+        }
+        for col in &mut self.cols {
+            drop_indices(&mut col.tags, &dead);
+            drop_indices(&mut col.payloads, &dead);
+        }
+        self.rows -= dead.len();
+        self.remap_dedup(&dead);
+        if !self.stats.is_empty() {
+            self.stats = vec![ColumnStats::default(); self.arity];
+            for (st, col) in self.stats.iter_mut().zip(&self.cols) {
+                for (&t, &p) in col.tags.iter().zip(&col.payloads) {
+                    st.observe(Value::from_raw(t, p));
+                }
+            }
+        }
+        dead
+    }
+
+    /// Removes one row if present; returns `true` when it was removed.
+    /// See [`TupleStore::remove_rows_indices`] for the compaction
+    /// contract.
+    pub fn remove(&mut self, row: &[Value]) -> bool {
+        self.remove_rows(std::iter::once(row)) == 1
+    }
+
+    /// Repairs the row-hash table after compaction moved row ids: drops
+    /// the `dead` ids (ascending, pre-compaction) and shifts every
+    /// survivor down by the number of dead ids beneath it. Unlike a
+    /// from-scratch rebuild this never re-hashes a row, so its cost is
+    /// the table sweep itself.
+    fn remap_dedup(&mut self, dead: &[usize]) {
+        self.dedup.retain(|_, slot| {
+            let keep = match slot {
+                RowSlot::One(r) => remap_row_id(r, dead),
+                RowSlot::Many(rs) => {
+                    rs.retain_mut(|r| remap_row_id(r, dead));
+                    !rs.is_empty()
+                }
+            };
+            if let RowSlot::Many(rs) = slot {
+                if rs.len() == 1 {
+                    *slot = RowSlot::One(rs[0]);
+                }
+            }
+            keep
+        });
     }
 
     /// Membership test.
@@ -782,10 +922,11 @@ impl<'a> RowRef<'a> {
     #[inline(always)]
     pub fn at(&self, c: usize) -> Value {
         // SAFETY: a `RowRef` is only created by `TupleStore::get`
-        // (bounds-checked) and `TupleStore::iter` (range-bounded), and
-        // rows are never removed, so `row < rows == column length` is a
-        // construction invariant. The column lookup stays checked (`c`
-        // is caller-supplied).
+        // (bounds-checked) and `TupleStore::iter` (range-bounded), so
+        // `row < rows == column length` holds at construction; removal
+        // (`remove_rows`) takes `&mut self` and therefore cannot overlap
+        // any live `RowRef`, so the bound cannot shrink underneath one.
+        // The column lookup stays checked (`c` is caller-supplied).
         unsafe { self.store.cols[c].value_unchecked(self.row) }
     }
 
@@ -1139,6 +1280,93 @@ mod tests {
                 "constant {v}"
             );
         }
+    }
+
+    #[test]
+    fn remove_rows_compacts_and_keeps_survivor_order() {
+        let mut s = TupleStore::new(2);
+        for i in 0..10i64 {
+            s.insert(&t(&[i, i * 10]));
+        }
+        // Remove a middle row, the first row, the last row, a duplicate
+        // request, an absent row, and a wrong-arity row.
+        let removed = s.remove_rows([
+            t(&[4, 40]),
+            t(&[0, 0]),
+            t(&[9, 90]),
+            t(&[4, 40]),  // duplicate request
+            t(&[77, 77]), // absent
+            t(&[1]),      // wrong arity
+        ]);
+        assert_eq!(removed, 3);
+        assert_eq!(s.len(), 7);
+        let rows: Vec<Vec<Value>> = s.iter().map(|r| r.to_vec()).collect();
+        let want: Vec<Vec<Value>> = [1i64, 2, 3, 5, 6, 7, 8]
+            .iter()
+            .map(|&i| t(&[i, i * 10]))
+            .collect();
+        assert_eq!(rows, want, "survivors keep their relative order");
+        // Dedup table is consistent: membership, re-insertion, and
+        // re-removal all behave on the compacted store.
+        assert!(!s.contains(&t(&[4, 40])));
+        assert!(s.contains(&t(&[5, 50])));
+        assert!(s.insert(&t(&[4, 40])), "removed row inserts as new");
+        assert!(!s.insert(&t(&[5, 50])), "survivor still deduplicates");
+        assert!(s.remove(&t(&[4, 40])));
+        assert!(!s.remove(&t(&[4, 40])), "second removal is a no-op");
+    }
+
+    #[test]
+    fn remove_rows_recomputes_tracked_stats() {
+        let mut s = TupleStore::new(2);
+        for i in 0..100i64 {
+            s.insert(&[Value::Int(i % 4), Value::Int(i)]);
+        }
+        // Drop every row with column 0 >= 2: the observed range shrinks,
+        // and only a full recompute (not add-only upkeep) can know it.
+        let dead: Vec<Vec<Value>> = s
+            .iter()
+            .filter(|r| r.at(0) >= Value::Int(2))
+            .map(|r| r.to_vec())
+            .collect();
+        assert_eq!(s.remove_rows(&dead), 50);
+        let stats0 = s.column_stats(0).expect("tracked");
+        assert_eq!(stats0.distinct_estimate(s.len()), 2);
+        assert!(stats0.excludes(Value::Int(3)), "3 no longer observed");
+        assert!(!stats0.excludes(Value::Int(1)));
+        // Untracked stores skip the recompute but still compact.
+        let mut u = TupleStore::new_untracked(1);
+        u.extend_rows([t(&[1]), t(&[2]), t(&[3])]);
+        assert_eq!(u.remove_rows([t(&[2])]), 1);
+        assert!(u.column_stats(0).is_none());
+        assert_eq!(u.len(), 2);
+    }
+
+    #[test]
+    fn remove_rows_handles_hash_collision_slots_and_zero_arity() {
+        // Many rows through the dedup table exercise both RowSlot forms
+        // during the rebuild; a randomized removal set exercises
+        // interleaved dead runs in the compaction sweep.
+        let mut s = TupleStore::new(1);
+        for i in 0..2000i64 {
+            s.insert(&t(&[i]));
+        }
+        let dead: Vec<Vec<Value>> = (0..2000i64)
+            .filter(|i| i % 3 == 0)
+            .map(|i| t(&[i]))
+            .collect();
+        assert_eq!(s.remove_rows(&dead), dead.len());
+        assert_eq!(s.len(), 2000 - dead.len());
+        for i in 0..2000i64 {
+            assert_eq!(s.contains(&t(&[i])), i % 3 != 0, "row {i}");
+        }
+        // Zero-arity stores compact their (absent) columns consistently.
+        let mut z = TupleStore::new(0);
+        z.insert(&[]);
+        assert!(z.remove(&[]));
+        assert!(z.is_empty());
+        assert!(!z.contains(&[]));
+        assert!(z.insert(&[]));
     }
 
     #[test]

@@ -34,8 +34,10 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use dynamite_core::{synthesize, Example, Synthesis, SynthesisConfig, SynthesisError};
-use dynamite_datalog::{evaluate, EvalError, Evaluator, Governor, Program};
-use dynamite_instance::{from_facts, to_facts, FactsError, Instance};
+use dynamite_datalog::{
+    evaluate, EvalError, Evaluator, Governor, IncrementalEvaluator, OutputDelta, Program,
+};
+use dynamite_instance::{from_facts, to_facts, Database, FactsError, Instance};
 use dynamite_schema::Schema;
 
 pub mod writers;
@@ -163,6 +165,137 @@ fn migrate_inner(
     Ok((instance, report))
 }
 
+/// A migration kept incrementally up to date as the source facts change.
+///
+/// Where [`migrate`] re-evaluates the whole program for every source
+/// version, `MaintainedMigration` evaluates once at construction and then
+/// maintains the derived facts through
+/// [`apply_delta`](MaintainedMigration::apply_delta) batches — insertions
+/// via warm semi-naive delta rounds, deletions via DRed retraction (see
+/// `dynamite_datalog::incremental`). The current target instance is
+/// rebuilt on demand from the maintained facts.
+///
+/// ```
+/// use dynamite_core::test_fixtures::motivating;
+/// use dynamite_datalog::Program;
+/// use dynamite_instance::Database;
+/// use dynamite_migrate::MaintainedMigration;
+///
+/// let (_, target, ex) = motivating();
+/// let program = Program::parse(
+///     "Admission(grad, ug, num) :- Univ(id1, grad, v1), Admit(v1, id2, num), Univ(id2, ug, _).",
+/// )
+/// .unwrap();
+/// let mut live = MaintainedMigration::new(&program, &ex.input, target).unwrap();
+/// assert!(live.target().unwrap().canon_eq(&ex.output));
+///
+/// // Retract one Admit fact: the target shrinks without re-evaluation.
+/// let row = live.facts().relation("Admit").unwrap().iter().next().unwrap();
+/// let row: Vec<_> = row.iter().collect();
+/// let mut dels = Database::new();
+/// dels.insert("Admit", row);
+/// let delta = live.apply_delta(&Database::new(), &dels).unwrap();
+/// assert_eq!(delta.deleted.num_facts(), 1);
+/// ```
+pub struct MaintainedMigration {
+    inc: IncrementalEvaluator,
+    target_schema: Arc<Schema>,
+}
+
+impl MaintainedMigration {
+    /// Translates `source` to facts, evaluates `program`, and keeps the
+    /// result maintained.
+    pub fn new(
+        program: &Program,
+        source: &Instance,
+        target_schema: Arc<Schema>,
+    ) -> Result<MaintainedMigration, MigrateError> {
+        let facts = to_facts(source);
+        let inc = IncrementalEvaluator::new(program.clone(), facts)?;
+        Ok(MaintainedMigration { inc, target_schema })
+    }
+
+    /// Applies one batch of extensional fact updates (deletions first,
+    /// then insertions) and returns the net change to the derived facts.
+    pub fn apply_delta(
+        &mut self,
+        inserts: &Database,
+        deletes: &Database,
+    ) -> Result<OutputDelta, MigrateError> {
+        Ok(self.inc.apply_delta(inserts, deletes)?)
+    }
+
+    /// [`apply_delta`](MaintainedMigration::apply_delta) under resource
+    /// limits; a tripped batch is rolled back (see
+    /// `IncrementalEvaluator::apply_delta_governed`).
+    pub fn apply_delta_governed(
+        &mut self,
+        inserts: &Database,
+        deletes: &Database,
+        gov: &Governor,
+    ) -> Result<OutputDelta, MigrateError> {
+        Ok(self.inc.apply_delta_governed(inserts, deletes, gov)?)
+    }
+
+    /// The maintained extensional facts (post all applied batches).
+    pub fn facts(&self) -> &Database {
+        self.inc.edb()
+    }
+
+    /// Rebuilds the current target instance from the maintained derived
+    /// facts.
+    pub fn target(&mut self) -> Result<Instance, MigrateError> {
+        Ok(from_facts(&self.inc.output(), self.target_schema.clone())?)
+    }
+}
+
+/// Renders a human-readable end-to-end summary: per-rule synthesis
+/// effort — including candidates skipped on resource limits, broken down
+/// by which governor limit tripped — and the migration's sizes and
+/// timings.
+pub fn render_summary(synthesis: &Synthesis, report: &MigrationReport) -> String {
+    use fmt::Write;
+    let stats = &synthesis.stats;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "synthesis: {} rule(s), {} candidate(s), search space {}, {:.1?}",
+        stats.rules.len(),
+        stats.total_iterations(),
+        stats.search_space_string(),
+        stats.elapsed,
+    );
+    for rule in &stats.rules {
+        let _ = write!(
+            out,
+            "  rule `{}`: {} iteration(s), {} blocking clause(s)",
+            rule.target_record, rule.iterations, rule.blocking_clauses,
+        );
+        if rule.resource_skips > 0 {
+            let _ = write!(
+                out,
+                ", {} resource skip(s) ({})",
+                rule.resource_skips, rule.resource_skip_kinds,
+            );
+        }
+        let _ = writeln!(out);
+    }
+    let _ = writeln!(
+        out,
+        "migration: {} -> {} records, {} -> {} facts, {:.1?} total \
+         ({:.1?} to-facts, {:.1?} eval, {:.1?} build)",
+        report.records_in,
+        report.records_out,
+        report.facts_in,
+        report.facts_out,
+        report.total_time(),
+        report.to_facts_time,
+        report.eval_time,
+        report.build_time,
+    );
+    out
+}
+
 /// Synthesizes a migration program from `examples` and immediately applies
 /// it to `source` (the end-to-end Figure 1 workflow).
 pub fn synthesize_and_migrate(
@@ -237,6 +370,85 @@ mod tests {
             err,
             MigrateError::Eval(EvalError::FactBudgetExceeded { budget: 1 })
         ));
+    }
+
+    #[test]
+    fn maintained_migration_tracks_source_changes() {
+        let (_, target, ex) = motivating();
+        let program = Program::parse(
+            "Admission(grad, ug, num) :- Univ(id1, grad, v1), Admit(v1, id2, num), Univ(id2, ug, _).",
+        )
+        .unwrap();
+        let mut live = MaintainedMigration::new(&program, &ex.input, target.clone()).unwrap();
+        assert!(live.target().unwrap().canon_eq(&ex.output));
+
+        // Retract one Admit fact and check against a from-scratch
+        // migration over the mutated fact set.
+        let row: Vec<_> = live
+            .facts()
+            .relation("Admit")
+            .unwrap()
+            .iter()
+            .next()
+            .unwrap()
+            .iter()
+            .collect();
+        let mut dels = dynamite_instance::Database::new();
+        dels.insert("Admit", row.clone());
+        let delta = live.apply_delta(&Database::new(), &dels).unwrap();
+        assert_eq!(delta.deleted.num_facts(), 1);
+        assert!(delta.inserted.num_facts() == 0);
+
+        let scratch_out = evaluate(&program, live.facts()).unwrap();
+        let scratch = from_facts(&scratch_out, target.clone()).unwrap();
+        assert!(live.target().unwrap().canon_eq(&scratch));
+
+        // Reinsert it: back to the original target.
+        let mut ins = Database::new();
+        ins.insert("Admit", row);
+        let delta = live.apply_delta(&ins, &Database::new()).unwrap();
+        assert_eq!(delta.inserted.num_facts(), 1);
+        assert!(live.target().unwrap().canon_eq(&ex.output));
+    }
+
+    #[test]
+    fn summary_reports_resource_skip_kinds() {
+        use dynamite_core::{RuleStats, SynthStats, TripCounts};
+        let synthesis = Synthesis {
+            program: Program::parse("T(x) :- S(x).").unwrap(),
+            stats: SynthStats {
+                rules: vec![RuleStats {
+                    target_record: "T".into(),
+                    iterations: 42,
+                    blocking_clauses: 7,
+                    mdps_computed: 3,
+                    resource_skips: 5,
+                    resource_skip_kinds: TripCounts {
+                        round_cap: 4,
+                        deadline: 1,
+                        ..Default::default()
+                    },
+                    holes: 2,
+                    ln_space: 10.0,
+                }],
+                ..Default::default()
+            },
+        };
+        let report = MigrationReport {
+            records_in: 6,
+            records_out: 4,
+            facts_in: 6,
+            facts_out: 4,
+            ..Default::default()
+        };
+        let text = render_summary(&synthesis, &report);
+        assert!(text.contains("5 resource skip(s)"), "{text}");
+        assert!(text.contains("round cap ×4"), "{text}");
+        assert!(text.contains("deadline ×1"), "{text}");
+        assert!(text.contains("6 -> 4 records"), "{text}");
+        // Kinds always sum to the total the solver reported.
+        let r = &synthesis.stats.rules[0];
+        assert_eq!(r.resource_skip_kinds.total(), r.resource_skips);
     }
 
     #[test]

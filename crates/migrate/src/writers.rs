@@ -154,18 +154,57 @@ mod tests {
     }
 
     #[test]
-    fn rendered_facts_parse_back_to_the_same_database() {
+    fn rendered_facts_parse_back_bit_identically() {
+        // Every cell kind the format carries: ints (negative and zero),
+        // `#id` references, bools, plain strings, and strings holding
+        // every escaped structural character.
         let mut db = Database::new();
         db.insert("Univ", vec![1.into(), "U1".into(), Value::Id(100)]);
         db.insert("Univ", vec![2.into(), "U2".into(), Value::Id(200)]);
         db.insert("Admit", vec![Value::Id(100), 2.into(), 50.into()]);
         db.insert("R", vec!["a\tb".into(), "c\nd\\e".into()]);
+        db.insert(
+            "Mix",
+            vec![Value::Bool(true), (-7).into(), "plain".into(), Value::Id(0)],
+        );
+        db.insert(
+            "Mix",
+            vec![
+                Value::Bool(false),
+                0.into(),
+                "\\t is not a tab".into(),
+                Value::Id(9),
+            ],
+        );
         let files = render_facts(&db);
         let back = dynamite_instance::parse_facts_files(
             files.iter().map(|(n, t)| (n.as_str(), t.as_str())),
         )
         .unwrap();
+        // Set equality first (the headline contract)...
         assert_eq!(back, db);
+        // ...then the stronger bit-identity: the same relations holding
+        // the same rows in the same order, cell for cell.
+        assert_eq!(back.iter().count(), db.iter().count());
+        for ((name, rel), (back_name, back_rel)) in db.iter().zip(back.iter()) {
+            assert_eq!(name, back_name);
+            assert_eq!(rel.arity(), back_rel.arity(), "{name} arity");
+            assert_eq!(rel.len(), back_rel.len(), "{name} row count");
+            for (i, (row, back_row)) in rel.iter().zip(back_rel.iter()).enumerate() {
+                let want: Vec<Value> = row.iter().collect();
+                let got: Vec<Value> = back_row.iter().collect();
+                assert_eq!(got, want, "{name} row {i}");
+            }
+        }
+        // Re-rendering the parsed database reproduces the files byte for
+        // byte, so export → import → export is a fixed point.
+        assert_eq!(render_facts(&back), files);
+        // The single-relation entry point agrees with the bulk one.
+        for (file, text) in &files {
+            let rel_name = file.strip_suffix(".facts").unwrap();
+            let rel = dynamite_instance::parse_facts(rel_name, text).unwrap();
+            assert_eq!(&rel, back.relation(rel_name).unwrap(), "{rel_name}");
+        }
     }
 
     #[test]
