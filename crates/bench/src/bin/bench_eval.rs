@@ -8,7 +8,10 @@
 //! pre-scan vs the SIMD bitmask kernel over the SoA tag/payload streams),
 //! the `update_stream` incremental-maintenance workload
 //! ([`IncrementalEvaluator::apply_delta`] vs full re-evaluation over a
-//! stream of small mixed batches), and a parallel-scaling sweep of the
+//! stream of small mixed batches), the `durability` workload (the same
+//! stream through a WAL-logging [`DurableEvaluator`] vs the in-memory
+//! maintainer, plus checkpoint-write and cold-recovery latencies), and a
+//! parallel-scaling sweep of the
 //! worker-pool fixpoint (threads = 1/2/4/8, skipped on single-core
 //! hardware), comparing the reusable [`Evaluator`] context against the
 //! legacy one-shot interpreter. Writes `BENCH_eval.json` so later PRs
@@ -26,10 +29,11 @@
 //! With `BENCH_ASSERT=1` in the environment the run additionally asserts
 //! that the filter kernel's dense and two-constant cases are at least at
 //! parity with the scalar sweep, that never-tripping governance stays
-//! within noise of the ungoverned path, and that incremental maintenance
-//! is at least at parity with full re-evaluation (the CI smoke gates;
-//! absolute times are never gated — container noise swings them ±10–15%
-//! across days).
+//! within noise of the ungoverned path, that incremental maintenance
+//! is at least at parity with full re-evaluation, and that the WAL's
+//! append+fsync tax stays within 1.5x of the in-memory apply (the CI
+//! smoke gates; absolute times are never gated — container noise swings
+//! them ±10–15% across days).
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -37,8 +41,8 @@ use std::time::{Duration, Instant};
 use dynamite_bench_suite::by_name;
 use dynamite_core::{synthesize, SynthesisConfig};
 use dynamite_datalog::{
-    legacy, Evaluator, Governor, IncrementalEvaluator, Program, ResourceLimits, RuleCacheHandle,
-    WorkerPool,
+    legacy, pool, reorder_default, DurableEvaluator, DurableOptions, Evaluator, Governor,
+    IncrementalEvaluator, Program, ResourceLimits, RuleCacheHandle, WorkerPool,
 };
 use dynamite_instance::hash::FxHashMap;
 use dynamite_instance::{to_facts, ColumnIndex, Database, TupleStore, Value};
@@ -605,6 +609,151 @@ fn update_stream_case() -> UpdateStreamCase {
     }
 }
 
+struct DurabilityCase {
+    edges: usize,
+    batches: usize,
+    /// Seconds per batch through the plain in-memory maintainer.
+    memory_secs: f64,
+    /// Seconds per batch through `DurableEvaluator::apply_delta` (WAL
+    /// frame encode + append + fsync, then the same in-memory apply).
+    durable_secs: f64,
+    /// One forced checkpoint (full-state serialize + fsync + rename +
+    /// read-back verification + WAL rotation) at end of stream.
+    checkpoint_secs: f64,
+    /// Cold `open()`: newest checkpoint load + WAL suffix replay.
+    recover_secs: f64,
+    wal_bytes: u64,
+}
+
+impl DurabilityCase {
+    /// Durable apply over in-memory apply; the WAL's append+fsync tax.
+    fn overhead(&self) -> f64 {
+        self.durable_secs / self.memory_secs.max(1e-12)
+    }
+}
+
+/// The durability acceptance workload: the `update_stream` EDB and batch
+/// shape, applied in lockstep to a plain `IncrementalEvaluator` and a
+/// `DurableEvaluator` logging every batch to a fsync'd WAL (compaction
+/// disabled so the stream measures the raw append tax, not an amortized
+/// checkpoint). Interleaved A/B per batch, same-run relative numbers
+/// only. Afterwards one forced checkpoint and one cold recovery are
+/// timed, and the recovered output is asserted bit-identical (row order
+/// included) to the uninterrupted run's.
+fn durability_case() -> DurabilityCase {
+    const CHAINS: u64 = 3333;
+    const LEN: u64 = 30;
+    const BATCHES: usize = 8;
+    const INS: usize = 32;
+    const DELS: usize = 32;
+    let program = Program::parse(
+        "Path(x, y) :- Edge(x, y).
+         Path(x, z) :- Path(x, y), Edge(y, z).",
+    )
+    .expect("parses");
+    let mut db = Database::new();
+    db.extend_rows(
+        "Edge",
+        2,
+        (0..CHAINS as i64).flat_map(|c| {
+            let base = c * (LEN as i64 + 1);
+            (0..LEN as i64).map(move |i| vec![(base + i).into(), (base + i + 1).into()])
+        }),
+    );
+    let edges = db.num_facts();
+    let dir =
+        std::env::temp_dir().join(format!("dynamite-bench-durability-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let opts = DurableOptions {
+        compact_min_wal_bytes: u64::MAX,
+        ..DurableOptions::default()
+    };
+    let mut mem = IncrementalEvaluator::new(program.clone(), db.clone()).expect("maintainer");
+    let mut dur = DurableEvaluator::create_with_config(
+        &dir,
+        program,
+        db,
+        opts,
+        pool::with_threads(None),
+        reorder_default(),
+    )
+    .expect("durable maintainer");
+
+    let mut state = 0x9e37_79b9_7f4a_7c15u64;
+    let mut rnd = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+
+    let (mut memory, mut durable) = (0.0f64, 0.0f64);
+    for _ in 0..BATCHES {
+        let mut ins = Database::new();
+        for _ in 0..INS {
+            let base = (rnd() % CHAINS * (LEN + 1)) as i64;
+            let i = rnd() % (LEN - 1);
+            let j = i + 2 + rnd() % (LEN - i - 1);
+            ins.insert(
+                "Edge",
+                vec![(base + i as i64).into(), (base + j as i64).into()],
+            );
+        }
+        // Delete from the chain interiors so both sides see identical
+        // batches without tracking live rows.
+        let mut dels = Database::new();
+        for _ in 0..DELS {
+            let base = (rnd() % CHAINS * (LEN + 1)) as i64;
+            let i = (rnd() % LEN) as i64;
+            dels.insert("Edge", vec![(base + i).into(), (base + i + 1).into()]);
+        }
+
+        let t = Instant::now();
+        mem.apply_delta(&ins, &dels).expect("maintains");
+        memory += t.elapsed().as_secs_f64();
+
+        let t = Instant::now();
+        dur.apply_delta(&ins, &dels).expect("maintains durably");
+        durable += t.elapsed().as_secs_f64();
+    }
+    let wal_bytes = dur.wal_bytes();
+
+    let t = Instant::now();
+    dur.checkpoint().expect("checkpoints");
+    let checkpoint_secs = t.elapsed().as_secs_f64();
+
+    let live = dur.output();
+    drop(dur);
+    let t = Instant::now();
+    let mut back =
+        DurableEvaluator::open_with_config(&dir, opts, pool::with_threads(None), reorder_default())
+            .expect("recovers");
+    let recover_secs = t.elapsed().as_secs_f64();
+    let rows = |d: &Database| -> Vec<(String, Vec<Vec<Value>>)> {
+        d.iter()
+            .map(|(n, r)| {
+                (
+                    n.to_string(),
+                    r.iter().map(|x| x.iter().collect()).collect(),
+                )
+            })
+            .collect()
+    };
+    assert_eq!(rows(&back.output()), rows(&live), "recovery diverged");
+    drop(back);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    DurabilityCase {
+        edges,
+        batches: BATCHES,
+        memory_secs: memory / BATCHES as f64,
+        durable_secs: durable / BATCHES as f64,
+        checkpoint_secs,
+        recover_secs,
+        wal_bytes,
+    }
+}
+
 /// Thread-scaling sweep over explicit pools: the recursive-closure
 /// fixpoint (partitioned outer scans) and the repeated-candidate sweep
 /// (whole-variant fan-out), at 1/2/4/8 workers. `threads = 1` is the
@@ -681,6 +830,7 @@ const CASE_NAMES: &[&str] = &[
     "join_ordering",
     "batch_filter",
     "update_stream",
+    "durability",
     "parallel_scaling",
     "index_build",
     "synthesis",
@@ -841,6 +991,22 @@ fn main() {
         );
     }
 
+    // --- durability: WAL-logged maintenance vs in-memory, plus
+    // checkpoint and cold-recovery latencies.
+    let durability = run("durability").then(durability_case);
+    if let Some(d) = &durability {
+        eprintln!(
+            "durability: {:.2}x WAL overhead ({:.6}s durable vs {:.6}s in-memory per batch), \
+             checkpoint {:.4}s, recovery {:.4}s, {} WAL bytes",
+            d.overhead(),
+            d.durable_secs,
+            d.memory_secs,
+            d.checkpoint_secs,
+            d.recover_secs,
+            d.wal_bytes
+        );
+    }
+
     // CI smoke assertions (`BENCH_ASSERT=1`): the kernel must never lose
     // to the scalar sweep in the regimes it is built for (dense and
     // two-constant probes), and incremental maintenance must never lose
@@ -895,6 +1061,24 @@ fn main() {
             eprintln!(
                 "BENCH_ASSERT: update_stream speedup {:.1}x >= 1.0x ok",
                 u.speedup()
+            );
+        }
+        // The WAL tax (frame encode + append + fsync) rides on top of the
+        // same in-memory apply, interleaved in one session; 1.5x is the
+        // acceptance ceiling from the durability issue, with the fsync
+        // cost dominated by the multi-millisecond maintenance batches.
+        if let Some(d) = &durability {
+            assert!(
+                d.overhead() <= 1.5,
+                "durability regression: durable apply {:.6}s/batch vs in-memory {:.6}s/batch \
+                 ({:.2}x > 1.5x WAL overhead)",
+                d.durable_secs,
+                d.memory_secs,
+                d.overhead()
+            );
+            eprintln!(
+                "BENCH_ASSERT: durability WAL overhead {:.2}x <= 1.5x ok",
+                d.overhead()
             );
         }
     }
@@ -1068,6 +1252,22 @@ fn main() {
             u.maintained_facts_per_sec(),
         ));
     }
+    if let Some(d) = &durability {
+        sections.push(format!(
+            "  \"durability\": {{\"edges\": {}, \"batches\": {}, \
+             \"memory_secs_per_batch\": {:.6}, \"durable_secs_per_batch\": {:.6}, \
+             \"wal_overhead\": {:.3}, \"checkpoint_secs\": {:.6}, \
+             \"recover_secs\": {:.6}, \"wal_bytes\": {}}}",
+            d.edges,
+            d.batches,
+            d.memory_secs,
+            d.durable_secs,
+            d.overhead(),
+            d.checkpoint_secs,
+            d.recover_secs,
+            d.wal_bytes,
+        ));
+    }
     if !scaling.is_empty() {
         let mut s = format!(
             "  \"parallel_scaling\": {{\"hardware_threads\": {hardware_threads},{} \"cases\": [\n",
@@ -1099,6 +1299,7 @@ fn main() {
         let ordering = ordering.as_ref().expect("full run");
         let governance = governance.as_ref().expect("full run");
         let update = update.as_ref().expect("full run");
+        let durability = durability.as_ref().expect("full run");
         let mut s = String::from(
             "  \"history\": [\n    {\"pr\": 1, \"storage\": \"row (Arc<[Value]>)\", \
              \"repeated_candidates_context_secs\": 0.003963, \
@@ -1145,12 +1346,25 @@ fn main() {
              \"repeated_candidates_speedup\": {:.2}, \
              \"join_ordering_speedup\": {:.2}, \
              \"update_stream_speedup\": {:.2}, \
-             \"update_stream_maintain_secs_per_batch\": {:.6}}}\n  ]",
+             \"update_stream_maintain_secs_per_batch\": {:.6}}},\n",
             repeated.context_secs,
             repeated.legacy_secs / repeated.context_secs.max(1e-12),
             ordering.speedup(),
             update.speedup(),
             update.maintain_secs,
+        ));
+        s.push_str(&format!(
+            "    {{\"pr\": 8, \"storage\": \"SoA + durable checkpoint/WAL (crash recovery)\", \
+             \"repeated_candidates_context_secs\": {:.6}, \
+             \"repeated_candidates_speedup\": {:.2}, \
+             \"join_ordering_speedup\": {:.2}, \
+             \"update_stream_speedup\": {:.2}, \
+             \"durability_wal_overhead\": {:.3}}}\n  ]",
+            repeated.context_secs,
+            repeated.legacy_secs / repeated.context_secs.max(1e-12),
+            ordering.speedup(),
+            update.speedup(),
+            durability.overhead(),
         ));
         sections.push(s);
     }

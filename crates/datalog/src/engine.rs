@@ -1805,6 +1805,16 @@ impl IdbState {
         self.rels.get(name)
     }
 
+    /// Ensures `name` exists in the overlay (created empty, untracked).
+    /// Recovery guard: `absorb` requires every intensional head relation
+    /// to be present, and a checkpointed overlay legitimately omits
+    /// relations only when they were empty.
+    pub(crate) fn ensure_relation(&mut self, name: &str, arity: usize) {
+        self.rels
+            .entry(name.to_string())
+            .or_insert_with(|| Relation::new_untracked(arity));
+    }
+
     /// Registers the overlay index of `rel` on `cols`, catching it up over
     /// any rows absorbed before it existed. Once caught up, `absorb` keeps
     /// it current eagerly, so re-registration is a cheap no-op.

@@ -9,20 +9,28 @@
 //! recovery logic (candidate retry in the synthesizer, pool panic
 //! propagation) be observed on the very next attempt.
 //!
-//! Hook points only fire on **governed** evaluations (a [`Governor`]
-//! present); plain `evaluate()` calls never consult this module's
-//! counters, so production data paths cannot trip an armed fault left
-//! over in the environment.
+//! The *evaluation* hook points only fire on **governed** evaluations (a
+//! [`Governor`] present); plain `evaluate()` calls never consult this
+//! module's counters, so production data paths cannot trip an armed
+//! fault left over in the environment. The *durable I/O* points are the
+//! exception: they model disk failures, which do not care whether a
+//! governor is watching, so the durability layer (`durable`) consults
+//! them on every write. An armed I/O fault surfaces as an `Err` from the
+//! durable API (never silent corruption of applied state), which is what
+//! lets the whole test suite run under `DYNAMITE_FAULT=wal-torn-write`.
 //!
 //! [`Governor`]: crate::Governor
 //!
-//! Known points (the engine's hook sites):
+//! Known points (the engine's and durability layer's hook sites):
 //!
-//! | point              | effect                                            |
-//! |--------------------|---------------------------------------------------|
-//! | `mid-round-cancel` | cancels the governor between prep and join        |
-//! | `worker-panic`     | panics at the start of one join job               |
-//! | `budget`           | forces a fact-budget trip at the next absorb      |
+//! | point                | effect                                             |
+//! |----------------------|----------------------------------------------------|
+//! | `mid-round-cancel`   | cancels the governor between prep and join         |
+//! | `worker-panic`       | panics at the start of one join job                |
+//! | `budget`             | forces a fact-budget trip at the next absorb       |
+//! | `wal-torn-write`     | truncates a WAL frame mid-write (no fsync)         |
+//! | `wal-bit-flip`       | flips one payload bit in a written WAL frame       |
+//! | `checkpoint-partial` | truncates a checkpoint file mid-write              |
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -34,6 +42,12 @@ pub const MID_ROUND_CANCEL: &str = "mid-round-cancel";
 pub const WORKER_PANIC: &str = "worker-panic";
 /// Forces a fact-budget trip at the next absorb.
 pub const BUDGET: &str = "budget";
+/// Truncates a WAL frame mid-write and skips its fsync (torn tail).
+pub const WAL_TORN_WRITE: &str = "wal-torn-write";
+/// Flips one payload bit in a written WAL frame (checksum mismatch).
+pub const WAL_BIT_FLIP: &str = "wal-bit-flip";
+/// Truncates a checkpoint file mid-write (partial checkpoint).
+pub const CHECKPOINT_PARTIAL: &str = "checkpoint-partial";
 
 /// Fast path: `false` until anything has ever been armed, so an inert
 /// process pays one relaxed load per hook site.

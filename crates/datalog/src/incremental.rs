@@ -77,7 +77,7 @@ use crate::engine::{
     IndexCache, IndexSource, LitPlan, PlanOrders, PoolSource, RederivePlan, Slot, Spec,
 };
 use crate::eval::{check_arities, stratify, EvalError};
-use crate::governor::Governor;
+use crate::governor::{Governor, ResourceLimits};
 use crate::pool::{self, WorkerPool};
 
 /// The net change to the derived (intensional) relations produced by one
@@ -201,6 +201,24 @@ impl IncrementalEvaluator {
         pool: Arc<WorkerPool>,
         reorder: bool,
     ) -> Result<IncrementalEvaluator, EvalError> {
+        let mut this = IncrementalEvaluator::assemble(program, edb, pool, reorder)?;
+        this.refresh(None)?;
+        Ok(this)
+    }
+
+    /// Compiles and wires every persistent part *except* the derived
+    /// overlay, which is left empty and poisoned. [`with_config`]
+    /// materializes it by full evaluation; [`from_parts`] installs a
+    /// previously checkpointed overlay instead.
+    ///
+    /// [`with_config`]: IncrementalEvaluator::with_config
+    /// [`from_parts`]: IncrementalEvaluator::from_parts
+    fn assemble(
+        program: Program,
+        edb: Database,
+        pool: Arc<WorkerPool>,
+        reorder: bool,
+    ) -> Result<IncrementalEvaluator, EvalError> {
         program.check_well_formed()?;
         let arities: HashMap<String, usize> = check_arities(&program, &edb)?
             .into_iter()
@@ -253,7 +271,7 @@ impl IncrementalEvaluator {
             })
             .collect();
 
-        let mut this = IncrementalEvaluator {
+        Ok(IncrementalEvaluator {
             program,
             strata,
             max_stratum,
@@ -269,14 +287,109 @@ impl IncrementalEvaluator {
             reorder,
             has_negation,
             poisoned: true,
-        };
-        this.refresh(None)?;
+        })
+    }
+
+    /// Reconstructs a maintainer from a checkpointed `(program, edb,
+    /// overlay)` triple **without re-evaluating the program** — the
+    /// durability layer's recovery constructor. The caller asserts that
+    /// `overlay` is exactly the derived output of `program` over `edb`
+    /// (checkpoints record precisely that); nothing here re-verifies it.
+    ///
+    /// The overlay is validated structurally: every relation it names
+    /// must be intensional with the program's arity (a mismatch means the
+    /// checkpoint is corrupt or from a different program — recovery maps
+    /// the error to "corrupt, fall back"). Intensional relations *absent*
+    /// from the overlay are created empty: the maintenance rounds'
+    /// `absorb` requires every head relation to exist.
+    ///
+    /// Join plans are computed from the restored EDB's statistics, which
+    /// equal the checkpointing process's — statistics are a function of
+    /// the current distinct-value set, and the codec round-trips values
+    /// exactly. (Cross-process, `Str` statistics can still differ through
+    /// interner layout; see `durable`'s module docs for the determinism
+    /// contract.)
+    pub(crate) fn from_parts(
+        program: Program,
+        edb: Database,
+        overlay: Database,
+        pool: Arc<WorkerPool>,
+        reorder: bool,
+    ) -> Result<IncrementalEvaluator, EvalError> {
+        let mut this = IncrementalEvaluator::assemble(program, edb, pool, reorder)?;
+        for (name, rel) in overlay.iter() {
+            match this.strata.get(name) {
+                None => {
+                    return Err(EvalError::IntensionalDelta {
+                        relation: name.to_string(),
+                    })
+                }
+                Some(_) => {
+                    let expected = this.arities[name];
+                    if rel.arity() != expected && !rel.is_empty() {
+                        return Err(EvalError::InputArity {
+                            relation: name.to_string(),
+                            expected,
+                            got: rel.arity(),
+                        });
+                    }
+                }
+            }
+        }
+        let mut idb = IdbState::from_database(overlay);
+        for rels in &this.stratum_rels {
+            for (name, arity) in rels {
+                idb.ensure_relation(name, *arity);
+            }
+        }
+        this.idb = idb;
+        this.poisoned = false;
         Ok(this)
+    }
+
+    /// Recomputes the join plans from the *current* EDB statistics.
+    ///
+    /// Plans are normally computed once at construction and allowed to
+    /// age as batches land. The durability layer calls this at every
+    /// checkpoint so that the live maintainer's plans equal the plans a
+    /// recovery from that checkpoint would compute — the root of the
+    /// bit-identical-recovery guarantee under the cost-based planner.
+    pub(crate) fn replan(&mut self) {
+        let model = self.reorder.then_some(CostModel { edb: &self.edb });
+        self.compiled = self
+            .program
+            .rules
+            .iter()
+            .map(|r| {
+                let orders = PlanOrders::of_maintenance(r, &self.strata, model.as_ref());
+                CompiledRule::compile_maintenance(r, &self.strata, &orders)
+            })
+            .collect();
+    }
+
+    /// The maintained program (the durability layer serializes its text).
+    pub(crate) fn program(&self) -> &Program {
+        &self.program
     }
 
     /// The maintained extensional database (post all applied batches).
     pub fn edb(&self) -> &Database {
         &self.edb
+    }
+
+    /// Whether the derived overlay is in the degraded (poisoned) state: a
+    /// previous governed batch failed (or panicked) mid-maintenance, so
+    /// the next batch — or the next [`output`] call — first pays a full
+    /// re-evaluation to rebuild the overlay. The EDB itself is never
+    /// degraded: failed batches roll it back atomically.
+    ///
+    /// Service callers use this to observe that the next operation will
+    /// be expensive (and, say, schedule it off-peak) — the state is
+    /// otherwise self-healing.
+    ///
+    /// [`output`]: IncrementalEvaluator::output
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
     }
 
     /// A materialized copy of the maintained derived relations.
@@ -321,6 +434,37 @@ impl IncrementalEvaluator {
         self.apply(inserts, deletes, Some(gov))
     }
 
+    /// [`apply_delta_governed`](IncrementalEvaluator::apply_delta_governed)
+    /// with bounded retries — the maintenance
+    /// counterpart of the synthesizer's candidate-retry policy (one
+    /// initial attempt plus up to `retries` re-attempts, each under a
+    /// **fresh** [`Governor`] built from `limits()`).
+    ///
+    /// `limits` is called once per attempt, so deadline-style limits
+    /// re-anchor to "now" instead of a retry inheriting an already-spent
+    /// clock. Only *resource* trips ([`EvalError::is_resource_limit`])
+    /// are retried — a transient trip (deadline race, injected fault)
+    /// should not condemn the batch, while validation errors are
+    /// deterministic and re-attempting them is pure waste. After a failed
+    /// attempt the maintainer is poisoned, so each retry transparently
+    /// pays the overlay rebuild first, exactly as any next batch would.
+    pub fn apply_delta_with_retry(
+        &mut self,
+        inserts: &Database,
+        deletes: &Database,
+        retries: u32,
+        mut limits: impl FnMut() -> ResourceLimits,
+    ) -> Result<OutputDelta, EvalError> {
+        let mut attempt = 0;
+        loop {
+            let gov = Governor::new(limits());
+            match self.apply(inserts, deletes, Some(&gov)) {
+                Err(e) if e.is_resource_limit() && attempt < retries => attempt += 1,
+                result => return result,
+            }
+        }
+    }
+
     fn apply(
         &mut self,
         inserts: &Database,
@@ -338,13 +482,18 @@ impl IncrementalEvaluator {
             // partial work. Rebuild before trusting it again.
             self.refresh(gov)?;
         }
+        // Poison on entry, clear on success: if maintenance *panics*
+        // (worker panic propagated through the pool) and the caller
+        // catches the unwind, the overlay must already read as degraded —
+        // an `Err`-path flag set after the fact would never run.
+        self.poisoned = true;
         let result = if self.has_negation {
             self.apply_fallback(inserts, deletes, gov)
         } else {
             self.apply_dred(inserts, deletes, gov)
         };
-        if result.is_err() {
-            self.poisoned = true;
+        if result.is_ok() {
+            self.poisoned = false;
         }
         result
     }

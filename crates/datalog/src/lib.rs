@@ -31,6 +31,7 @@
 //! ```
 
 mod ast;
+pub mod durable;
 mod engine;
 mod eval;
 pub mod fault;
@@ -43,6 +44,7 @@ pub mod pool;
 pub use ast::{
     alpha_equivalent, normalize_singletons, Atom, Literal, Program, Rule, Term, WellFormedError,
 };
+pub use durable::{DurableError, DurableEvaluator, DurableOptions, RecoveryReport};
 pub use engine::{reorder_default, resolve_reorder, Evaluator, RuleCacheHandle};
 pub use eval::{evaluate, EvalError, ResourceTrip};
 pub use governor::{resolve_fact_budget, Governor, ResourceLimits};

@@ -60,6 +60,7 @@
 //! assert!(inst.canon_eq(&back));
 //! ```
 
+pub mod binio;
 mod database;
 mod facts;
 mod flatten;

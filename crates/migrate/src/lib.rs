@@ -33,9 +33,12 @@ use std::fmt;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use std::path::Path;
+
 use dynamite_core::{synthesize, Example, Synthesis, SynthesisConfig, SynthesisError};
 use dynamite_datalog::{
-    evaluate, EvalError, Evaluator, Governor, IncrementalEvaluator, OutputDelta, Program,
+    evaluate, DurableError, DurableEvaluator, EvalError, Evaluator, Governor, IncrementalEvaluator,
+    OutputDelta, Program, ResourceLimits,
 };
 use dynamite_instance::{from_facts, to_facts, Database, FactsError, Instance};
 use dynamite_schema::Schema;
@@ -51,6 +54,8 @@ pub enum MigrateError {
     Build(FactsError),
     /// Synthesis failed (only from [`synthesize_and_migrate`]).
     Synthesis(SynthesisError),
+    /// The durability layer failed (only from [`DurableMigration`]).
+    Durable(DurableError),
 }
 
 impl fmt::Display for MigrateError {
@@ -59,6 +64,7 @@ impl fmt::Display for MigrateError {
             MigrateError::Eval(e) => write!(f, "evaluation failed: {e}"),
             MigrateError::Build(e) => write!(f, "target construction failed: {e}"),
             MigrateError::Synthesis(e) => write!(f, "synthesis failed: {e}"),
+            MigrateError::Durable(e) => write!(f, "durability failed: {e}"),
         }
     }
 }
@@ -80,6 +86,17 @@ impl From<FactsError> for MigrateError {
 impl From<SynthesisError> for MigrateError {
     fn from(e: SynthesisError) -> Self {
         MigrateError::Synthesis(e)
+    }
+}
+
+impl From<DurableError> for MigrateError {
+    fn from(e: DurableError) -> Self {
+        // An `Eval` inside the durable layer is the same failure callers
+        // already match on for in-memory maintenance; unwrap it.
+        match e {
+            DurableError::Eval(e) => MigrateError::Eval(e),
+            other => MigrateError::Durable(other),
+        }
     }
 }
 
@@ -237,6 +254,27 @@ impl MaintainedMigration {
         Ok(self.inc.apply_delta_governed(inserts, deletes, gov)?)
     }
 
+    /// [`apply_delta_governed`](MaintainedMigration::apply_delta_governed)
+    /// with bounded retries under a fresh governor per attempt — see
+    /// `IncrementalEvaluator::apply_delta_with_retry`.
+    pub fn apply_delta_with_retry(
+        &mut self,
+        inserts: &Database,
+        deletes: &Database,
+        retries: u32,
+        limits: impl FnMut() -> ResourceLimits,
+    ) -> Result<OutputDelta, MigrateError> {
+        Ok(self
+            .inc
+            .apply_delta_with_retry(inserts, deletes, retries, limits)?)
+    }
+
+    /// Whether the maintained state is degraded (the next batch pays a
+    /// full rebuild) — see `IncrementalEvaluator::is_poisoned`.
+    pub fn is_poisoned(&self) -> bool {
+        self.inc.is_poisoned()
+    }
+
     /// The maintained extensional facts (post all applied batches).
     pub fn facts(&self) -> &Database {
         self.inc.edb()
@@ -246,6 +284,116 @@ impl MaintainedMigration {
     /// facts.
     pub fn target(&mut self) -> Result<Instance, MigrateError> {
         Ok(from_facts(&self.inc.output(), self.target_schema.clone())?)
+    }
+}
+
+/// A [`MaintainedMigration`] whose maintained state survives process
+/// death: every applied batch is durably logged before it is
+/// acknowledged, and [`DurableMigration::open`] recovers the maintained
+/// facts from disk with bounded replay instead of re-running the
+/// migration. See `dynamite_datalog::durable` for the on-disk formats
+/// and the crash-consistency guarantees.
+///
+/// ```
+/// use dynamite_core::test_fixtures::motivating;
+/// use dynamite_datalog::Program;
+/// use dynamite_instance::Database;
+/// use dynamite_migrate::DurableMigration;
+///
+/// let (_, target, ex) = motivating();
+/// let program = Program::parse(
+///     "Admission(grad, ug, num) :- Univ(id1, grad, v1), Admit(v1, id2, num), Univ(id2, ug, _).",
+/// )
+/// .unwrap();
+/// let dir = std::env::temp_dir().join(format!("dyn-doc-{}", std::process::id()));
+/// let _ = std::fs::remove_dir_all(&dir);
+/// let mut live = DurableMigration::create(&dir, &program, &ex.input, target.clone()).unwrap();
+/// assert!(live.target().unwrap().canon_eq(&ex.output));
+/// drop(live); // …process dies…
+///
+/// let mut back = DurableMigration::open(&dir, target).unwrap();
+/// assert!(back.target().unwrap().canon_eq(&ex.output));
+/// # std::fs::remove_dir_all(&dir).unwrap();
+/// ```
+pub struct DurableMigration {
+    dur: DurableEvaluator,
+    target_schema: Arc<Schema>,
+}
+
+impl DurableMigration {
+    /// Translates `source` to facts, evaluates `program`, and starts a
+    /// durable state directory at `dir` (checkpoint generation 0).
+    pub fn create(
+        dir: impl AsRef<Path>,
+        program: &Program,
+        source: &Instance,
+        target_schema: Arc<Schema>,
+    ) -> Result<DurableMigration, MigrateError> {
+        let facts = to_facts(source);
+        let dur = DurableEvaluator::create(dir, program.clone(), facts)?;
+        Ok(DurableMigration { dur, target_schema })
+    }
+
+    /// Recovers a durable migration from `dir` (newest valid checkpoint
+    /// plus WAL replay). The program and facts come from disk; only the
+    /// target schema — which the durable layer does not persist — is the
+    /// caller's to supply.
+    pub fn open(
+        dir: impl AsRef<Path>,
+        target_schema: Arc<Schema>,
+    ) -> Result<DurableMigration, MigrateError> {
+        let dur = DurableEvaluator::open(dir)?;
+        Ok(DurableMigration { dur, target_schema })
+    }
+
+    /// Applies one batch durably (WAL append before in-memory apply) and
+    /// returns the net change to the derived facts.
+    pub fn apply_delta(
+        &mut self,
+        inserts: &Database,
+        deletes: &Database,
+    ) -> Result<OutputDelta, MigrateError> {
+        Ok(self.dur.apply_delta(inserts, deletes)?)
+    }
+
+    /// [`apply_delta`](DurableMigration::apply_delta) under resource
+    /// limits; a tripped batch is rolled back in memory *and* truncated
+    /// back out of the WAL.
+    pub fn apply_delta_governed(
+        &mut self,
+        inserts: &Database,
+        deletes: &Database,
+        gov: &Governor,
+    ) -> Result<OutputDelta, MigrateError> {
+        Ok(self.dur.apply_delta_governed(inserts, deletes, gov)?)
+    }
+
+    /// The maintained extensional facts (post all applied batches).
+    pub fn facts(&self) -> &Database {
+        self.dur.edb()
+    }
+
+    /// Whether the maintained state is degraded (next batch pays a full
+    /// rebuild).
+    pub fn is_poisoned(&self) -> bool {
+        self.dur.is_poisoned()
+    }
+
+    /// Forces a checkpoint (normally automatic via the WAL-size ratio).
+    pub fn checkpoint(&mut self) -> Result<(), MigrateError> {
+        Ok(self.dur.checkpoint()?)
+    }
+
+    /// Direct access to the underlying durable evaluator (recovery
+    /// report, generation, WAL size).
+    pub fn evaluator(&self) -> &DurableEvaluator {
+        &self.dur
+    }
+
+    /// Rebuilds the current target instance from the maintained derived
+    /// facts.
+    pub fn target(&mut self) -> Result<Instance, MigrateError> {
+        Ok(from_facts(&self.dur.output(), self.target_schema.clone())?)
     }
 }
 
@@ -449,6 +597,102 @@ mod tests {
         // Kinds always sum to the total the solver reported.
         let r = &synthesis.stats.rules[0];
         assert_eq!(r.resource_skip_kinds.total(), r.resource_skips);
+    }
+
+    #[test]
+    fn maintained_migration_exposes_poisoned_state_and_retries() {
+        use dynamite_datalog::fault;
+        let _guard = fault::test_lock();
+        fault::reset();
+        let (_, target, ex) = motivating();
+        let program = Program::parse(
+            "Admission(grad, ug, num) :- Univ(id1, grad, v1), Admit(v1, id2, num), Univ(id2, ug, _).",
+        )
+        .unwrap();
+        let mut live = MaintainedMigration::new(&program, &ex.input, target).unwrap();
+        assert!(!live.is_poisoned(), "fresh maintainer starts healthy");
+
+        let row: Vec<_> = live
+            .facts()
+            .relation("Admit")
+            .unwrap()
+            .iter()
+            .next()
+            .unwrap()
+            .iter()
+            .collect();
+        let mut ins = Database::new();
+        ins.insert("Admit", row.clone());
+        let mut dels = Database::new();
+        dels.insert("Admit", row);
+
+        // A batch that trips every attempt exhausts the retries and
+        // leaves the maintainer observably poisoned…
+        let err = live
+            .apply_delta_with_retry(&Database::new(), &dels, 2, || {
+                ResourceLimits::none().with_round_cap(0)
+            })
+            .unwrap_err();
+        assert!(matches!(err, MigrateError::Eval(e) if e.is_resource_limit()));
+        assert!(live.is_poisoned(), "exhausted retries leave degraded state");
+
+        // …while generous limits let the retry helper succeed (paying
+        // the rebuild transparently) and clear the state.
+        let delta = live
+            .apply_delta_with_retry(&Database::new(), &dels, 2, ResourceLimits::none)
+            .unwrap();
+        assert_eq!(delta.deleted.num_facts(), 1);
+        assert!(!live.is_poisoned());
+        live.apply_delta(&ins, &Database::new()).unwrap();
+    }
+
+    #[test]
+    fn durable_migration_survives_reopen() {
+        use dynamite_datalog::fault;
+        let _guard = fault::test_lock();
+        fault::reset();
+        let dir =
+            std::env::temp_dir().join(format!("dynamite-durable-migrate-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let (_, target, ex) = motivating();
+        let program = Program::parse(
+            "Admission(grad, ug, num) :- Univ(id1, grad, v1), Admit(v1, id2, num), Univ(id2, ug, _).",
+        )
+        .unwrap();
+        let mut live = DurableMigration::create(&dir, &program, &ex.input, target.clone()).unwrap();
+        assert!(live.target().unwrap().canon_eq(&ex.output));
+
+        // Retract one Admit fact durably, then "crash".
+        let row: Vec<_> = live
+            .facts()
+            .relation("Admit")
+            .unwrap()
+            .iter()
+            .next()
+            .unwrap()
+            .iter()
+            .collect();
+        let mut dels = Database::new();
+        dels.insert("Admit", row);
+        let delta = live.apply_delta(&Database::new(), &dels).unwrap();
+        assert_eq!(delta.deleted.num_facts(), 1);
+        let shrunk = live.target().unwrap();
+        drop(live);
+
+        // Recovery rebuilds the same shrunken target without re-running
+        // the migration.
+        let mut back = DurableMigration::open(&dir, target).unwrap();
+        assert_eq!(
+            back.evaluator().recovery_report().unwrap().frames_replayed,
+            1
+        );
+        assert!(!back.is_poisoned());
+        assert!(back.target().unwrap().canon_eq(&shrunk));
+        back.checkpoint().unwrap();
+        assert_eq!(back.evaluator().generation(), 1);
+
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
