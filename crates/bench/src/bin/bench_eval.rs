@@ -622,6 +622,12 @@ struct DurabilityCase {
     checkpoint_secs: f64,
     /// Cold `open()`: newest checkpoint load + WAL suffix replay.
     recover_secs: f64,
+    /// Integrity scrub of the closed directory (CRC + fail-closed
+    /// decode of every checkpoint and WAL frame, nothing applied).
+    scrub_secs: f64,
+    /// One drift audit on the recovered evaluator (a full from-scratch
+    /// re-evaluation plus a set-wise diff against the overlay).
+    audit_secs: f64,
     wal_bytes: u64,
 }
 
@@ -724,11 +730,21 @@ fn durability_case() -> DurabilityCase {
 
     let live = dur.output();
     drop(dur);
+
+    let t = Instant::now();
+    let scrub = DurableEvaluator::scrub(&dir).expect("scrubs");
+    let scrub_secs = t.elapsed().as_secs_f64();
+    assert!(scrub.is_clean(), "scrub found damage in a clean run");
+
     let t = Instant::now();
     let mut back =
         DurableEvaluator::open_with_config(&dir, opts, pool::with_threads(None), reorder_default())
             .expect("recovers");
     let recover_secs = t.elapsed().as_secs_f64();
+
+    let t = Instant::now();
+    back.audit().expect("audits clean");
+    let audit_secs = t.elapsed().as_secs_f64();
     let rows = |d: &Database| -> Vec<(String, Vec<Vec<Value>>)> {
         d.iter()
             .map(|(n, r)| {
@@ -750,6 +766,8 @@ fn durability_case() -> DurabilityCase {
         durable_secs: durable / BATCHES as f64,
         checkpoint_secs,
         recover_secs,
+        scrub_secs,
+        audit_secs,
         wal_bytes,
     }
 }
@@ -997,12 +1015,14 @@ fn main() {
     if let Some(d) = &durability {
         eprintln!(
             "durability: {:.2}x WAL overhead ({:.6}s durable vs {:.6}s in-memory per batch), \
-             checkpoint {:.4}s, recovery {:.4}s, {} WAL bytes",
+             checkpoint {:.4}s, recovery {:.4}s, scrub {:.4}s, audit {:.4}s, {} WAL bytes",
             d.overhead(),
             d.durable_secs,
             d.memory_secs,
             d.checkpoint_secs,
             d.recover_secs,
+            d.scrub_secs,
+            d.audit_secs,
             d.wal_bytes
         );
     }
@@ -1257,7 +1277,8 @@ fn main() {
             "  \"durability\": {{\"edges\": {}, \"batches\": {}, \
              \"memory_secs_per_batch\": {:.6}, \"durable_secs_per_batch\": {:.6}, \
              \"wal_overhead\": {:.3}, \"checkpoint_secs\": {:.6}, \
-             \"recover_secs\": {:.6}, \"wal_bytes\": {}}}",
+             \"recover_secs\": {:.6}, \"scrub_secs\": {:.6}, \
+             \"audit_secs\": {:.6}, \"wal_bytes\": {}}}",
             d.edges,
             d.batches,
             d.memory_secs,
@@ -1265,6 +1286,8 @@ fn main() {
             d.overhead(),
             d.checkpoint_secs,
             d.recover_secs,
+            d.scrub_secs,
+            d.audit_secs,
             d.wal_bytes,
         ));
     }
@@ -1359,12 +1382,29 @@ fn main() {
              \"repeated_candidates_speedup\": {:.2}, \
              \"join_ordering_speedup\": {:.2}, \
              \"update_stream_speedup\": {:.2}, \
-             \"durability_wal_overhead\": {:.3}}}\n  ]",
+             \"durability_wal_overhead\": {:.3}}},\n",
             repeated.context_secs,
             repeated.legacy_secs / repeated.context_secs.max(1e-12),
             ordering.speedup(),
             update.speedup(),
             durability.overhead(),
+        ));
+        s.push_str(&format!(
+            "    {{\"pr\": 9, \"storage\": \"SoA + crash harness, scrubber, drift audit, \
+             group commit\", \"repeated_candidates_context_secs\": {:.6}, \
+             \"repeated_candidates_speedup\": {:.2}, \
+             \"join_ordering_speedup\": {:.2}, \
+             \"update_stream_speedup\": {:.2}, \
+             \"durability_wal_overhead\": {:.3}, \
+             \"durability_scrub_secs\": {:.6}, \
+             \"durability_audit_secs\": {:.6}}}\n  ]",
+            repeated.context_secs,
+            repeated.legacy_secs / repeated.context_secs.max(1e-12),
+            ordering.speedup(),
+            update.speedup(),
+            durability.overhead(),
+            durability.scrub_secs,
+            durability.audit_secs,
         ));
         sections.push(s);
     }

@@ -81,27 +81,74 @@
 //! only when *no* checkpoint in the directory is valid
 //! ([`DurableError::NoUsableCheckpoint`]).
 //!
+//! # Group commit
+//!
+//! [`DurableOptions::group_commit`] trades the per-batch fsync for a
+//! bounded window: frames are staged in **user memory** (deliberately
+//! not in the OS page cache — a staged frame is indistinguishable from
+//! one lost to power failure) and written + fsync'd together when the
+//! frame count or age threshold is reached, at [`flush`], at
+//! [`checkpoint`], or on drop. Recovery after a crash sees exactly the
+//! flushed prefix — at most the un-fsync'd suffix of acknowledged
+//! batches is lost, and the WAL still equals an exact prefix of the
+//! applied batches (never a torn or reordered subset).
+//!
+//! [`flush`]: DurableEvaluator::flush
+//! [`checkpoint`]: DurableEvaluator::checkpoint
+//!
+//! # Scrubbing
+//!
+//! [`DurableEvaluator::scrub`] walks a **closed** state directory and
+//! validates every checkpoint and every WAL frame — magic, CRC,
+//! fail-closed payload decode, frame-chain contiguity — without applying
+//! anything. Damage is *contained*, never destroyed: a corrupt
+//! checkpoint is renamed to `ckpt-<gen>.quarantine` (recovery ignores
+//! it; a human or a debugger can still inspect it), a damaged WAL tail
+//! is pre-truncated at the last valid frame boundary, and a WAL segment
+//! that cannot be stitched to the surviving checkpoint chain is
+//! quarantined whole. After a scrub, `open` performs no corruption
+//! handling of its own — [`DurableOptions::scrub_on_open`] runs one
+//! automatically. Scrubbing an in-use directory is not supported (the
+//! scrubber takes the directory by path, the evaluator owns its files).
+//!
 //! # Determinism
 //!
 //! Recovery is **bit-identical** to the uninterrupted run — same
 //! derived facts *in the same row order* — the determinism bar the rest
-//! of the engine sets. Two mechanisms make this hold under the
-//! cost-based planner: the maintainer re-plans from current statistics
-//! at every checkpoint (so the live
-//! plans equal the plans recovery computes from that checkpoint), and
-//! per-column statistics are a pure function of the current
-//! distinct-value set (the codec round-trips values exactly, so the
-//! recovered EDB's statistics match). One caveat: `Str` statistics
-//! incorporate interner indices, so a *different process* that interned
-//! other strings first can plan differently; with the planner disabled
-//! (`DYNAMITE_NO_REORDER=1`) recovery is bit-identical cross-process
-//! unconditionally.
+//! of the engine sets, and it holds **across processes**: the crash
+//! harness kills a child at arbitrary points and re-opens its directory
+//! in the parent, asserting byte-equal output. Three mechanisms make
+//! this hold under the cost-based planner: the maintainer re-plans from
+//! current statistics at every checkpoint (so the live plans equal the
+//! plans recovery computes from that checkpoint); per-column statistics
+//! are a pure function of the current distinct-value set (the codec
+//! round-trips values exactly, so the recovered EDB's statistics match);
+//! and the statistics key `Str` values by a content-derived stable hash
+//! ([`Value::to_stable_bits`](dynamite_instance::Value::to_stable_bits)),
+//! never by process-local interner indices — so a recovering process
+//! that interned other strings first still derives the same estimates,
+//! the same join orders, and the same row order.
+//!
+//! # Fault points
+//!
+//! The durable write path hosts two families of injected faults (see
+//! [`fault`]): *I/O faults* (`wal-torn-write`, `wal-bit-flip`,
+//! `checkpoint-partial`) damage bytes and surface as errors — or, in
+//! abort mode (`DYNAMITE_FAULT_MODE=abort`), kill the process right
+//! after the damage lands; and *crash points* (`crash-after-wal-append`,
+//! `crash-wal-partial`, `crash-after-ckpt-temp`,
+//! `crash-after-ckpt-rename`, `crash-before-wal-rotate`,
+//! `crash-after-wal-rotate`) always kill the process at a clean seam
+//! between two I/O operations. Every one of them leaves the directory in
+//! a state [`open`](DurableEvaluator::open) (or scrub-then-open)
+//! recovers from with the bit-identical guarantee above.
 
 use std::fs::{self, File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::panic::{self, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use dynamite_instance::binio::{self, BinError, Reader};
 use dynamite_instance::Database;
@@ -111,13 +158,23 @@ use crate::engine::reorder_default;
 use crate::eval::EvalError;
 use crate::fault;
 use crate::governor::Governor;
-use crate::incremental::{IncrementalEvaluator, OutputDelta};
+use crate::incremental::{DriftError, IncrementalEvaluator, OutputDelta};
 use crate::pool::{self, WorkerPool};
 
 const CKPT_MAGIC: &[u8; 8] = b"DYNCKPT1";
 const WAL_MAGIC: &[u8; 8] = b"DYNWAL01";
 /// WAL segment header: magic + generation.
 const WAL_HEADER_LEN: u64 = 16;
+
+/// Group-commit window: see [`DurableOptions::group_commit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupCommit {
+    /// Flush once this many frames are staged.
+    pub frames: usize,
+    /// Flush a non-empty stage once its oldest frame is this old,
+    /// checked at the next apply (there is no background timer).
+    pub max_delay: Duration,
+}
 
 /// Tuning knobs for a [`DurableEvaluator`].
 #[derive(Debug, Clone, Copy)]
@@ -133,6 +190,15 @@ pub struct DurableOptions {
     /// that for append speed (an OS crash can lose the tail, a clean
     /// process exit cannot). Checkpoint writes always fsync.
     pub fsync: bool,
+    /// When set, WAL frames are staged in memory and written + fsync'd
+    /// together (see the [group commit](self#group-commit) section);
+    /// `None` (the default) writes and fsyncs every frame immediately.
+    pub group_commit: Option<GroupCommit>,
+    /// Run [`DurableEvaluator::scrub`] on the directory before every
+    /// [`open`](DurableEvaluator::open), quarantining corruption up
+    /// front; the scrub's findings land in [`RecoveryReport::scrub`].
+    /// Default `false`.
+    pub scrub_on_open: bool,
 }
 
 impl Default for DurableOptions {
@@ -141,7 +207,27 @@ impl Default for DurableOptions {
             compact_wal_ratio: 4.0,
             compact_min_wal_bytes: 64 * 1024,
             fsync: true,
+            group_commit: None,
+            scrub_on_open: false,
         }
+    }
+}
+
+impl DurableOptions {
+    /// Stage up to `frames` WAL frames (or `max_delay` of wall-clock age)
+    /// per fsync. Builder-style.
+    pub fn group_commit(mut self, frames: usize, max_delay: Duration) -> DurableOptions {
+        self.group_commit = Some(GroupCommit {
+            frames: frames.max(1),
+            max_delay,
+        });
+        self
+    }
+
+    /// Scrub the directory before opening it. Builder-style.
+    pub fn scrub_on_open(mut self, yes: bool) -> DurableOptions {
+        self.scrub_on_open = yes;
+        self
     }
 }
 
@@ -156,6 +242,36 @@ pub struct RecoveryReport {
     pub frames_replayed: u64,
     /// Bytes of torn/corrupt WAL tail truncated during replay.
     pub torn_tail_bytes: u64,
+    /// What the pre-open scrub found and contained, when
+    /// [`DurableOptions::scrub_on_open`] was set.
+    pub scrub: Option<ScrubReport>,
+}
+
+/// What [`DurableEvaluator::scrub`] found — and contained — in a state
+/// directory. Quarantined files are *renamed* (`*.quarantine`), never
+/// deleted; truncated tails are cut at the last valid frame boundary.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// Checkpoint generations that passed full validation.
+    pub checkpoints_ok: Vec<u64>,
+    /// Checkpoint generations renamed to `ckpt-<gen>.quarantine`.
+    pub checkpoints_quarantined: Vec<u64>,
+    /// WAL frames that passed CRC + fail-closed decode, across segments.
+    pub wal_frames_ok: u64,
+    /// `(generation, bytes)` of damaged WAL tails truncated away.
+    pub wal_tails_truncated: Vec<(u64, u64)>,
+    /// WAL segment generations renamed to `wal-<gen>.quarantine` (bad
+    /// header, or unstitchable to the surviving checkpoint chain).
+    pub wal_quarantined: Vec<u64>,
+}
+
+impl ScrubReport {
+    /// `true` when the scrub changed nothing: every file validated.
+    pub fn is_clean(&self) -> bool {
+        self.checkpoints_quarantined.is_empty()
+            && self.wal_tails_truncated.is_empty()
+            && self.wal_quarantined.is_empty()
+    }
 }
 
 /// Failures of the durable layer.
@@ -277,11 +393,19 @@ pub struct DurableEvaluator {
     /// Sequence number the next appended frame will carry.
     next_seq: u64,
     wal: File,
-    /// Valid length of the current WAL segment (compaction numerator).
+    /// Valid length of the current WAL segment (compaction numerator;
+    /// flushed bytes only — staged group-commit frames don't count).
     wal_len: u64,
     ckpt_len: u64,
     dead: bool,
     report: Option<RecoveryReport>,
+    /// Group-commit stage: encoded frames applied in memory but not yet
+    /// written to the WAL file. Always empty when group commit is off.
+    gc_buf: Vec<u8>,
+    /// Number of frames in `gc_buf`.
+    gc_frames: usize,
+    /// When the oldest staged frame was acknowledged.
+    gc_since: Option<Instant>,
 }
 
 impl DurableEvaluator {
@@ -343,6 +467,9 @@ impl DurableEvaluator {
             ckpt_len,
             dead: false,
             report: None,
+            gc_buf: Vec::new(),
+            gc_frames: 0,
+            gc_since: None,
         })
     }
 
@@ -370,6 +497,9 @@ impl DurableEvaluator {
     ) -> Result<DurableEvaluator, DurableError> {
         let dir = dir.as_ref().to_path_buf();
         let mut report = RecoveryReport::default();
+        if opts.scrub_on_open {
+            report.scrub = Some(DurableEvaluator::scrub(&dir)?);
+        }
 
         // Newest checkpoint that validates *and* reconstructs wins.
         let mut gens = list_generations(&dir, "ckpt-")?;
@@ -450,6 +580,9 @@ impl DurableEvaluator {
             ckpt_len: ckpt.file_len,
             dead: false,
             report: Some(report),
+            gc_buf: Vec::new(),
+            gc_frames: 0,
+            gc_since: None,
         })
     }
 
@@ -461,12 +594,48 @@ impl DurableEvaluator {
         program: Program,
         edb: Database,
     ) -> Result<DurableEvaluator, DurableError> {
+        DurableEvaluator::open_or_create_with_config(
+            dir,
+            program,
+            edb,
+            DurableOptions::default(),
+            pool::with_threads(None),
+            reorder_default(),
+        )
+    }
+
+    /// [`open_or_create`](DurableEvaluator::open_or_create) with explicit
+    /// options, worker pool, and planner mode. With
+    /// [`DurableOptions::scrub_on_open`] set, the scrub runs *before* the
+    /// open-vs-create decision — a directory whose only checkpoint is
+    /// corrupt (a crash during `create`) is quarantined and re-created
+    /// instead of failing with [`DurableError::NoUsableCheckpoint`].
+    pub fn open_or_create_with_config(
+        dir: impl AsRef<Path>,
+        program: Program,
+        edb: Database,
+        opts: DurableOptions,
+        pool: Arc<WorkerPool>,
+        reorder: bool,
+    ) -> Result<DurableEvaluator, DurableError> {
         let d = dir.as_ref();
-        if d.is_dir() && !list_generations(d, "ckpt-")?.is_empty() {
-            DurableEvaluator::open(d)
-        } else {
-            DurableEvaluator::create(d, program, edb)
+        let mut opts = opts;
+        let mut scrub = None;
+        if opts.scrub_on_open && d.is_dir() {
+            scrub = Some(DurableEvaluator::scrub(d)?);
+            opts.scrub_on_open = false; // don't scrub a second time
         }
+        let mut dur = if d.is_dir() && !list_generations(d, "ckpt-")?.is_empty() {
+            DurableEvaluator::open_with_config(d, opts, pool, reorder)?
+        } else {
+            DurableEvaluator::create_with_config(d, program, edb, opts, pool, reorder)?
+        };
+        if scrub.is_some() {
+            if let Some(report) = &mut dur.report {
+                report.scrub = scrub;
+            }
+        }
+        Ok(dur)
     }
 
     /// Applies one batch durably: WAL append (fsync'd) first, in-memory
@@ -504,8 +673,16 @@ impl DurableEvaluator {
             return Err(DurableError::Dead);
         }
         let frame = encode_frame(self.next_seq, inserts, deletes);
+        let staged = self.opts.group_commit.is_some();
+        let gc_pre = self.gc_buf.len();
         let pre_offset = self.wal_len;
-        self.append_frame(&frame)?;
+        if staged {
+            // Group commit: stage the frame in memory; the write + fsync
+            // happen together with its window-mates at the next flush.
+            self.gc_buf.extend_from_slice(&frame);
+        } else {
+            self.append_frame(&frame)?;
+        }
 
         // In-memory apply. A panic unwinding out of the engine (e.g. the
         // worker-panic fault) must not leave the WAL ahead of memory:
@@ -517,7 +694,11 @@ impl DurableEvaluator {
         let applied = match applied {
             Ok(result) => result,
             Err(unwind) => {
-                let _ = self.truncate_wal(pre_offset);
+                if staged {
+                    self.gc_buf.truncate(gc_pre);
+                } else {
+                    let _ = self.truncate_wal(pre_offset);
+                }
                 self.dead = true;
                 panic::resume_unwind(unwind);
             }
@@ -525,14 +706,52 @@ impl DurableEvaluator {
         match applied {
             Ok(delta) => {
                 self.next_seq += 1;
+                if staged {
+                    self.gc_frames += 1;
+                    self.gc_since.get_or_insert_with(Instant::now);
+                    let win = self.opts.group_commit.expect("staged implies window");
+                    let due = self.gc_frames >= win.frames
+                        || self.gc_since.is_some_and(|t| t.elapsed() >= win.max_delay);
+                    if due {
+                        self.flush()?;
+                    }
+                }
                 self.maybe_compact();
                 Ok(delta)
             }
             Err(e) => {
-                self.truncate_wal(pre_offset)?;
+                if staged {
+                    self.gc_buf.truncate(gc_pre);
+                } else {
+                    self.truncate_wal(pre_offset)?;
+                }
                 Err(DurableError::Eval(e))
             }
         }
+    }
+
+    /// Writes and fsyncs every staged group-commit frame. A no-op when
+    /// nothing is staged (in particular, whenever group commit is off).
+    /// On an unrecovered I/O failure the staged frames are lost and the
+    /// evaluator retires — the bounded-loss contract group commit is
+    /// explicit about.
+    pub fn flush(&mut self) -> Result<(), DurableError> {
+        if self.dead {
+            return Err(DurableError::Dead);
+        }
+        if self.gc_buf.is_empty() {
+            return Ok(());
+        }
+        let buf = std::mem::take(&mut self.gc_buf);
+        self.gc_frames = 0;
+        self.gc_since = None;
+        self.append_frame(&buf)
+    }
+
+    /// Frames acknowledged but still staged in memory (zero when group
+    /// commit is off) — the maximum loss a crash right now could cause.
+    pub fn staged_frames(&self) -> usize {
+        self.gc_frames
     }
 
     /// A materialized copy of the maintained derived relations.
@@ -569,9 +788,45 @@ impl DurableEvaluator {
         self.report.as_ref()
     }
 
-    /// Bytes currently in the active WAL segment (header included).
+    /// Bytes currently in the active WAL segment (header included;
+    /// staged group-commit frames not included).
     pub fn wal_bytes(&self) -> u64 {
         self.wal_len
+    }
+
+    /// The sequence number the next applied batch will carry — equal to
+    /// the number of batches applied over this state's lifetime. The
+    /// crash harness uses it to locate a recovered directory on the
+    /// reference timeline.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Verifies the maintained overlay against a from-scratch
+    /// re-evaluation *without modifying anything* — see
+    /// [`IncrementalEvaluator::audit`]. Returns
+    /// [`DurableError::Eval`]`(`[`EvalError::Drift`]`)` when the overlay
+    /// has silently diverged.
+    ///
+    /// [`EvalError::Drift`]: crate::EvalError::Drift
+    pub fn audit(&mut self) -> Result<(), DurableError> {
+        if self.dead {
+            return Err(DurableError::Dead);
+        }
+        self.inner.audit().map_err(DurableError::Eval)
+    }
+
+    /// Rebuilds the maintained overlay from scratch and writes a fresh,
+    /// read-back-verified checkpoint of the rebuilt state, so the repair
+    /// is durable — see [`IncrementalEvaluator::repair`]. Returns the
+    /// drift the rebuild erased, if any.
+    pub fn repair(&mut self) -> Result<Option<DriftError>, DurableError> {
+        if self.dead {
+            return Err(DurableError::Dead);
+        }
+        let drift = self.inner.repair().map_err(DurableError::Eval)?;
+        self.checkpoint()?;
+        Ok(drift)
     }
 
     /// Forces a compaction: write a new checkpoint, verify it by reading
@@ -583,6 +838,9 @@ impl DurableEvaluator {
         if self.dead {
             return Err(DurableError::Dead);
         }
+        // Staged frames must be in the WAL before the checkpoint claims
+        // their sequence numbers.
+        self.flush()?;
         let prev_gen = self.ckpt_gen;
         let new_gen = self.wal_gen + 1;
         self.ckpt_len = write_checkpoint_retry(&self.dir, new_gen, &mut self.inner, self.next_seq)?;
@@ -593,10 +851,12 @@ impl DurableEvaluator {
         // verification, since recovery would then fall back to an older
         // generation and replay with the older plans.
         self.inner.replan();
+        fault::crash_point(fault::CRASH_BEFORE_WAL_ROTATE);
         self.wal = start_wal_segment(&self.dir, new_gen)?;
         self.wal_gen = new_gen;
         self.wal_len = WAL_HEADER_LEN;
         self.ckpt_gen = new_gen;
+        fault::crash_point(fault::CRASH_AFTER_WAL_ROTATE);
         // Keep one fallback generation; purge everything older.
         for prefix in ["ckpt-", "wal-"] {
             for gen in list_generations(&self.dir, prefix)? {
@@ -606,6 +866,131 @@ impl DurableEvaluator {
             }
         }
         Ok(())
+    }
+
+    /// Integrity-scrubs a **closed** state directory: every checkpoint
+    /// and every WAL frame is CRC-verified and fail-closed-decoded
+    /// without applying anything, and damage is contained — corrupt
+    /// checkpoints are renamed to `*.quarantine` (never deleted),
+    /// damaged WAL tails are truncated at the last valid frame boundary,
+    /// and WAL segments that cannot be stitched to the surviving
+    /// checkpoint chain are quarantined whole. A subsequent
+    /// [`open`](DurableEvaluator::open) then recovers from the newest
+    /// surviving generation without tripping over the damage.
+    ///
+    /// Scrubbing is idempotent: a second run over an already-scrubbed
+    /// directory reports [`ScrubReport::is_clean`].
+    pub fn scrub(dir: impl AsRef<Path>) -> Result<ScrubReport, DurableError> {
+        let dir = dir.as_ref();
+        let mut report = ScrubReport::default();
+        let mut changed = false;
+
+        // Pass 1: checkpoints. Full validation (magic, CRC, decode,
+        // reparse, generation match); failures are quarantined so later
+        // passes — and recovery — see only trusted checkpoints.
+        let mut newest_valid: Option<(u64, u64)> = None; // (gen, next_seq)
+        for gen in list_generations(dir, "ckpt-")? {
+            let path = dir.join(format!("ckpt-{gen}"));
+            match load_checkpoint(&path, gen) {
+                Ok(ckpt) => {
+                    newest_valid = Some((gen, ckpt.next_seq));
+                    report.checkpoints_ok.push(gen);
+                }
+                Err(_) => {
+                    quarantine(&path)?;
+                    report.checkpoints_quarantined.push(gen);
+                    changed = true;
+                }
+            }
+        }
+
+        // Pass 2: WAL segments, structural. A bad header condemns the
+        // segment (no frame in it can be trusted to belong to it); a bad
+        // frame condemns the tail from that offset on.
+        let mut segs: Vec<(u64, Option<(u64, u64)>)> = Vec::new();
+        for gen in list_generations(dir, "wal-")? {
+            let path = dir.join(format!("wal-{gen}"));
+            let mut file = OpenOptions::new().read(true).write(true).open(&path)?;
+            let mut bytes = Vec::new();
+            file.read_to_end(&mut bytes)?;
+            let header_ok = bytes.len() >= WAL_HEADER_LEN as usize
+                && &bytes[..8] == WAL_MAGIC
+                && u64::from_le_bytes(bytes[8..16].try_into().unwrap()) == gen;
+            if !header_ok {
+                drop(file);
+                quarantine(&path)?;
+                report.wal_quarantined.push(gen);
+                changed = true;
+                continue;
+            }
+            let mut offset = WAL_HEADER_LEN as usize;
+            let mut span: Option<(u64, u64)> = None;
+            let truncate_at = loop {
+                if offset == bytes.len() {
+                    break None;
+                }
+                match decode_frame_at(&bytes, offset, span.map(|(_, last)| last + 1)) {
+                    Some((seq, end)) => {
+                        span = Some(match span {
+                            None => (seq, seq),
+                            Some((first, _)) => (first, seq),
+                        });
+                        report.wal_frames_ok += 1;
+                        offset = end;
+                    }
+                    None => break Some(offset),
+                }
+            };
+            if let Some(at) = truncate_at {
+                report
+                    .wal_tails_truncated
+                    .push((gen, (bytes.len() - at) as u64));
+                file.set_len(at as u64)?;
+                file.sync_data()?;
+                changed = true;
+            }
+            segs.push((gen, span));
+        }
+
+        // Pass 3: stitch check. Frames replay from the newest valid
+        // checkpoint through ascending segments with globally contiguous
+        // sequence numbers; a segment that opens past the expected
+        // sequence — possible only when bit rot destroyed part of the
+        // chain — is unusable, as is everything after it. With no valid
+        // checkpoint at all, every segment is unusable (and would
+        // otherwise poison a future re-`create` of the directory).
+        let mut expect = newest_valid.map(|(_, next_seq)| next_seq);
+        for &(gen, span) in &segs {
+            if newest_valid.is_some_and(|(ckpt_gen, _)| gen < ckpt_gen) {
+                continue; // fallback segment, never replayed from here
+            }
+            match (&mut expect, span) {
+                (None, _) => {
+                    // Chain already broken (or no checkpoint survives).
+                    quarantine(&dir.join(format!("wal-{gen}")))?;
+                    report.wal_quarantined.push(gen);
+                    changed = true;
+                }
+                (Some(_), None) => {} // empty segment: stitches trivially
+                (Some(e), Some((first, last))) => {
+                    if first > *e {
+                        expect = None; // gap: this and all later segments
+                        quarantine(&dir.join(format!("wal-{gen}")))?;
+                        report.wal_quarantined.push(gen);
+                        changed = true;
+                    } else if last >= *e {
+                        *e = last + 1;
+                    }
+                }
+            }
+        }
+
+        if changed {
+            sync_dir(dir)?;
+        }
+        report.wal_quarantined.sort_unstable();
+        report.wal_quarantined.dedup();
+        Ok(report)
     }
 
     // ------------------------------------------------------- internals --
@@ -636,6 +1021,9 @@ impl DurableEvaluator {
             match self.try_append(frame) {
                 Ok(()) => {
                     self.wal_len = pre_offset + frame.len() as u64;
+                    // The frame chain is durable; dying here models a
+                    // crash between the ack and the in-memory apply.
+                    fault::crash_point(fault::CRASH_AFTER_WAL_APPEND);
                     return Ok(());
                 }
                 Err(e) if attempt == 0 => {
@@ -658,10 +1046,21 @@ impl DurableEvaluator {
     /// points model disk failures, so unlike the engine's evaluation
     /// hooks they fire with or without a governor.
     fn try_append(&mut self, frame: &[u8]) -> Result<(), DurableError> {
+        if fault::fire(fault::CRASH_WAL_PARTIAL) {
+            // Real process death mid-write: an arbitrary prefix of the
+            // frame reaches the file (offset swept by the harness via
+            // DYNAMITE_CRASH_OFFSET), then the process dies — no error
+            // path, no cleanup, no fsync.
+            let n = fault::crash_offset().min(frame.len());
+            let _ = self.wal.write_all(&frame[..n]);
+            std::process::abort();
+        }
         if fault::fire(fault::WAL_TORN_WRITE) {
             // A torn write: half the frame reaches the platter, the
-            // fsync never happens.
+            // fsync never happens. In abort mode the process dies on the
+            // spot, damage in place.
             self.wal.write_all(&frame[..frame.len() / 2])?;
+            fault::maybe_abort();
             return Err(DurableError::Io(std::io::Error::new(
                 std::io::ErrorKind::Interrupted,
                 "injected torn write",
@@ -673,6 +1072,7 @@ impl DurableEvaluator {
             let last = bad.len() - 1;
             bad[last] ^= 0x40;
             self.wal.write_all(&bad)?;
+            fault::maybe_abort();
             return Err(DurableError::Io(std::io::Error::new(
                 std::io::ErrorKind::InvalidData,
                 "injected bit flip",
@@ -752,7 +1152,8 @@ fn write_checkpoint(
     bytes.extend_from_slice(&payload);
     binio::write_u32(&mut bytes, binio::crc32(&payload));
 
-    if fault::fire(fault::CHECKPOINT_PARTIAL) {
+    let injected_partial = fault::fire(fault::CHECKPOINT_PARTIAL);
+    if injected_partial {
         // A partial checkpoint write: the tail (CRC included) never
         // reaches the disk. The rename still happens — read-back
         // verification is what catches it.
@@ -766,8 +1167,19 @@ fn write_checkpoint(
         file.write_all(&bytes)?;
         file.sync_all()?;
     }
+    // The temp file is durable but invisible to recovery (its name
+    // matches no generation pattern); dying here must be a clean no-op.
+    fault::crash_point(fault::CRASH_AFTER_CKPT_TEMP);
     fs::rename(&tmp, &path)?;
     sync_dir(dir)?;
+    if injected_partial {
+        // Abort mode: the truncated checkpoint is durably in place under
+        // its real name — die before the read-back verify can object.
+        fault::maybe_abort();
+    }
+    // The rename is durable but this process never verified the bytes or
+    // advanced its generation; recovery is free to use either chain.
+    fault::crash_point(fault::CRASH_AFTER_CKPT_RENAME);
 
     // Read-back verification: a checkpoint only counts once the bytes on
     // disk decode to exactly what recovery needs.
@@ -775,9 +1187,69 @@ fn write_checkpoint(
     Ok(bytes.len() as u64)
 }
 
+/// Best-effort flush of staged group-commit frames on drop: a *clean*
+/// shutdown should not exercise the bounded-loss window. (A crash — the
+/// case the window is priced for — never runs this.)
+impl Drop for DurableEvaluator {
+    fn drop(&mut self) {
+        if !self.dead && !self.gc_buf.is_empty() {
+            let _ = self.flush();
+        }
+    }
+}
+
 /// fsyncs a directory so renames/creations within it are durable.
 fn sync_dir(dir: &Path) -> std::io::Result<()> {
     File::open(dir)?.sync_all()
+}
+
+/// Renames `path` aside as `<name>.quarantine` (suffixed with a counter
+/// when that name is already taken — quarantined evidence is never
+/// overwritten, let alone deleted).
+fn quarantine(path: &Path) -> std::io::Result<()> {
+    let name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or("damaged")
+        .to_string();
+    let mut dest = path.with_file_name(format!("{name}.quarantine"));
+    let mut n = 1u32;
+    while dest.exists() {
+        dest = path.with_file_name(format!("{name}.quarantine{n}"));
+        n += 1;
+    }
+    fs::rename(path, dest)
+}
+
+/// Validates the frame at `offset` without applying it: length header in
+/// bounds, CRC match, full fail-closed payload decode, and (when
+/// `expect_seq` is set) intra-segment sequence contiguity. Returns the
+/// frame's sequence number and end offset, or `None` on any damage.
+fn decode_frame_at(bytes: &[u8], offset: usize, expect_seq: Option<u64>) -> Option<(u64, usize)> {
+    if bytes.len() - offset < 8 {
+        return None;
+    }
+    let len = u32::from_le_bytes(bytes[offset..offset + 4].try_into().unwrap()) as usize;
+    let stored = u32::from_le_bytes(bytes[offset + 4..offset + 8].try_into().unwrap());
+    let end = (offset + 8).checked_add(len)?;
+    if end > bytes.len() {
+        return None;
+    }
+    let payload = &bytes[offset + 8..end];
+    if binio::crc32(payload) != stored {
+        return None;
+    }
+    let mut r = Reader::new(payload);
+    let seq = r.read_u64().ok()?;
+    if expect_seq.is_some_and(|e| seq != e) {
+        return None;
+    }
+    binio::read_database(&mut r).ok()?;
+    binio::read_database(&mut r).ok()?;
+    if !r.is_empty() {
+        return None;
+    }
+    Some((seq, end))
 }
 
 /// The generations present in `dir` with filename prefix `prefix`

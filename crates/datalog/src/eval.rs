@@ -52,6 +52,12 @@ pub enum EvalError {
     RoundCapExceeded { cap: u64 },
     /// The evaluation was cancelled via [`Governor::cancel`](crate::Governor::cancel).
     Cancelled,
+    /// An audit found the maintained overlay diverged from what full
+    /// evaluation derives — see
+    /// [`IncrementalEvaluator::audit`](crate::IncrementalEvaluator::audit).
+    /// Not a resource trip: retrying changes nothing,
+    /// [`repair`](crate::IncrementalEvaluator::repair) is the remedy.
+    Drift(crate::incremental::DriftError),
 }
 
 /// Which governor limit tripped an evaluation — the payload-free
@@ -134,6 +140,7 @@ impl fmt::Display for EvalError {
                 write!(f, "evaluation exceeded the fixpoint-round cap ({cap})")
             }
             EvalError::Cancelled => write!(f, "evaluation cancelled"),
+            EvalError::Drift(d) => write!(f, "{d}"),
         }
     }
 }

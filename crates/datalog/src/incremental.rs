@@ -77,6 +77,7 @@ use crate::engine::{
     IndexCache, IndexSource, LitPlan, PlanOrders, PoolSource, RederivePlan, Slot, Spec,
 };
 use crate::eval::{check_arities, stratify, EvalError};
+use crate::fault;
 use crate::governor::{Governor, ResourceLimits};
 use crate::pool::{self, WorkerPool};
 
@@ -100,6 +101,70 @@ impl OutputDelta {
     pub fn is_empty(&self) -> bool {
         self.inserted.num_facts() == 0 && self.deleted.num_facts() == 0
     }
+}
+
+/// One relation's divergence between the maintained overlay and a
+/// from-scratch re-evaluation, as found by
+/// [`IncrementalEvaluator::audit`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelationDrift {
+    /// The derived relation that diverged.
+    pub relation: String,
+    /// Rows a from-scratch evaluation derives that the overlay lost.
+    pub missing: u64,
+    /// Rows the overlay holds that a from-scratch evaluation refutes.
+    pub extra: u64,
+}
+
+/// The maintained overlay no longer equals what full evaluation derives
+/// — silent corruption the WAL/checkpoint machinery cannot see (it
+/// faithfully persists whatever the overlay says). Returned by
+/// [`IncrementalEvaluator::audit`]; erased by
+/// [`IncrementalEvaluator::repair`].
+///
+/// The comparison is **set**-wise per relation: a row-order difference
+/// alone is not drift (maintained insertion order legitimately differs
+/// from fixpoint order).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DriftError {
+    /// Every diverged relation, name-ascending.
+    pub relations: Vec<RelationDrift>,
+}
+
+impl std::fmt::Display for DriftError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "maintained overlay drifted from re-evaluation:")?;
+        for d in &self.relations {
+            write!(f, " {}(-{} +{})", d.relation, d.missing, d.extra)?;
+        }
+        Ok(())
+    }
+}
+
+/// The drift between a maintained `overlay` and a from-scratch `scratch`
+/// output, or `None` when they hold the same fact sets.
+fn drift_between(overlay: &Database, scratch: &Database) -> Option<DriftError> {
+    let d = diff(overlay, scratch);
+    if d.is_empty() {
+        return None;
+    }
+    let mut by_rel: std::collections::BTreeMap<String, (u64, u64)> = Default::default();
+    for (name, rel) in d.inserted.iter() {
+        by_rel.entry(name.to_string()).or_default().0 = rel.len() as u64;
+    }
+    for (name, rel) in d.deleted.iter() {
+        by_rel.entry(name.to_string()).or_default().1 = rel.len() as u64;
+    }
+    Some(DriftError {
+        relations: by_rel
+            .into_iter()
+            .map(|(relation, (missing, extra))| RelationDrift {
+                relation,
+                missing,
+                extra,
+            })
+            .collect(),
+    })
 }
 
 /// A materialized Datalog output maintained incrementally under
@@ -465,6 +530,74 @@ impl IncrementalEvaluator {
         }
     }
 
+    /// Verifies the maintained overlay against a from-scratch
+    /// re-evaluation of the current EDB, **without modifying anything**
+    /// (a poisoned overlay is rebuilt first — it is *known* stale, and
+    /// rebuilding is its documented self-healing path). Returns
+    /// [`EvalError::Drift`] when the fact sets diverge — the one failure
+    /// mode (a maintenance bug, a stray bit flip in overlay memory) that
+    /// no checksum on the persistence path can catch, because the
+    /// persistence path faithfully records whatever the overlay claims.
+    pub fn audit(&mut self) -> Result<(), EvalError> {
+        self.audit_inner(None)
+    }
+
+    /// [`audit`](IncrementalEvaluator::audit) under cooperative resource
+    /// limits (the re-evaluation is a full fixpoint — on large states,
+    /// govern it like any other full evaluation).
+    pub fn audit_governed(&mut self, gov: &Governor) -> Result<(), EvalError> {
+        self.audit_inner(Some(gov))
+    }
+
+    fn audit_inner(&mut self, gov: Option<&Governor>) -> Result<(), EvalError> {
+        if self.poisoned {
+            self.refresh(gov)?;
+        }
+        let scratch = self.full_eval_database(gov)?;
+        match drift_between(&self.idb.to_database(), &scratch) {
+            None => Ok(()),
+            Some(drift) => Err(EvalError::Drift(drift)),
+        }
+    }
+
+    /// Rebuilds the overlay from scratch, erasing any drift, and reports
+    /// the drift that was present (`None` when the overlay was already
+    /// correct). The EDB is untouched — drift is an *overlay* disease.
+    pub fn repair(&mut self) -> Result<Option<DriftError>, EvalError> {
+        if self.poisoned {
+            // Known-stale overlay: the rebuild is the ordinary healing
+            // path, and comparing against poisoned garbage would report
+            // phantom drift.
+            self.refresh(None)?;
+            return Ok(None);
+        }
+        let scratch = self.full_eval_database(None)?;
+        let drift = drift_between(&self.idb.to_database(), &scratch);
+        self.idb = IdbState::from_database(scratch);
+        Ok(drift)
+    }
+
+    /// Fault-injection support ([`fault::DRIFT`]): silently removes one
+    /// derived row from the overlay — the first row of the
+    /// lexicographically first non-empty derived relation, so the damage
+    /// is deterministic. Models the corruption class `audit` exists for.
+    fn inject_drift(&mut self) {
+        let mut names: Vec<&String> = self.strata.keys().collect();
+        names.sort();
+        for name in names {
+            let Some(rel) = self.idb.relation(name) else {
+                continue;
+            };
+            let Some(row) = rel.iter().next() else {
+                continue;
+            };
+            let row: Vec<Value> = row.iter().collect();
+            let name = name.clone();
+            self.idb.remove_rows(&name, [row]);
+            return;
+        }
+    }
+
     fn apply(
         &mut self,
         inserts: &Database,
@@ -494,6 +627,9 @@ impl IncrementalEvaluator {
         };
         if result.is_ok() {
             self.poisoned = false;
+            if fault::fire(fault::DRIFT) {
+                self.inject_drift();
+            }
         }
         result
     }

@@ -44,10 +44,12 @@ pub mod pool;
 pub use ast::{
     alpha_equivalent, normalize_singletons, Atom, Literal, Program, Rule, Term, WellFormedError,
 };
-pub use durable::{DurableError, DurableEvaluator, DurableOptions, RecoveryReport};
+pub use durable::{
+    DurableError, DurableEvaluator, DurableOptions, GroupCommit, RecoveryReport, ScrubReport,
+};
 pub use engine::{reorder_default, resolve_reorder, Evaluator, RuleCacheHandle};
 pub use eval::{evaluate, EvalError, ResourceTrip};
 pub use governor::{resolve_fact_budget, Governor, ResourceLimits};
-pub use incremental::{IncrementalEvaluator, OutputDelta};
+pub use incremental::{DriftError, IncrementalEvaluator, OutputDelta, RelationDrift};
 pub use parse::{parse_program, ParseError};
 pub use pool::WorkerPool;

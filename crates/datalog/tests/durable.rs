@@ -128,7 +128,7 @@ fn aggressive() -> DurableOptions {
     DurableOptions {
         compact_wal_ratio: 0.0,
         compact_min_wal_bytes: 256,
-        fsync: true,
+        ..DurableOptions::default()
     }
 }
 

@@ -14,11 +14,12 @@
 //! of candidate evaluations.
 
 use std::fmt;
+use std::hash::Hasher;
 use std::ptr;
 use std::sync::atomic::{AtomicPtr, Ordering};
 use std::sync::{Mutex, OnceLock};
 
-use crate::hash::FxHashMap;
+use crate::hash::{FxHashMap, FxHasher};
 
 /// An interned string: a dense index into the global intern table.
 ///
@@ -32,18 +33,41 @@ pub struct Symbol(u32);
 // comparisons (`FlatTable`'s BTreeSets), `Display`, and the writers, so
 // it must not take a lock. Symbols index into a chunked, append-only
 // side table: a fixed array of chunk pointers, each chunk a fixed array
-// of slots holding a pointer to a leaked `&'static str` holder. Chunks
-// and slots are only ever written under the intern mutex and published
-// with release stores, so a reader holding a `Symbol` (whose id it can
-// only have received after the slot was written) loads the slot with
-// acquire and dereferences without synchronization.
+// of slots holding a pointer to a leaked [`Slot`]. Chunks and slots are
+// only ever written under the intern mutex and published with release
+// stores, so a reader holding a `Symbol` (whose id it can only have
+// received after the slot was written) loads the slot with acquire and
+// dereferences without synchronization.
 const CHUNK_SIZE: usize = 1 << 12;
 const NUM_CHUNKS: usize = 1 << 12; // 16.7M distinct strings max
 
-type Chunk = [AtomicPtr<&'static str>; CHUNK_SIZE];
+/// Per-symbol side-table entry: the leaked string plus a *stable* hash of
+/// its bytes, computed once at intern time. The stable hash is a pure
+/// function of the string content — unlike the symbol index, which
+/// depends on process-local intern order — so consumers that must be
+/// deterministic across processes (the planner's column statistics) key
+/// on it instead of the index.
+struct Slot {
+    text: &'static str,
+    stable: u64,
+}
+
+type Chunk = [AtomicPtr<Slot>; CHUNK_SIZE];
 
 static CHUNKS: [AtomicPtr<Chunk>; NUM_CHUNKS] =
     [const { AtomicPtr::new(ptr::null_mut()) }; NUM_CHUNKS];
+
+/// Deterministic, seedless hash of a string's bytes. Must agree across
+/// processes and runs: it feeds [`Symbol::stable_hash`], which the column
+/// statistics use as the canonical `Str` pattern for planner estimates.
+fn stable_str_hash(s: &str) -> u64 {
+    let mut h = FxHasher::default();
+    // Length first: the byte stream is zero-padded to word granularity,
+    // so without it "a" and "a\0" would collide.
+    h.write_usize(s.len());
+    h.write(s.as_bytes());
+    h.finish()
+}
 
 /// Writer-side state: the string→id map (ids are allocated densely).
 fn interner() -> &'static Mutex<FxHashMap<&'static str, u32>> {
@@ -71,10 +95,13 @@ impl Symbol {
             CHUNKS[chunk_i].store(chunk_ptr, Ordering::Release);
         }
         let leaked: &'static str = Box::leak(s.into());
-        let holder: &'static &'static str = Box::leak(Box::new(leaked));
+        let slot: &'static Slot = Box::leak(Box::new(Slot {
+            text: leaked,
+            stable: stable_str_hash(leaked),
+        }));
         // SAFETY: chunk_ptr is non-null and points to a leaked Chunk.
         let chunk: &Chunk = unsafe { &*chunk_ptr };
-        chunk[slot_i].store(holder as *const _ as *mut _, Ordering::Release);
+        chunk[slot_i].store(slot as *const Slot as *mut Slot, Ordering::Release);
         map.insert(leaked, id);
         Symbol(id)
     }
@@ -82,6 +109,22 @@ impl Symbol {
     /// The interned string, resolved lock-free. Interned strings live for
     /// the process lifetime, hence the `'static` borrow.
     pub fn as_str(self) -> &'static str {
+        self.slot().text
+    }
+
+    /// A hash of the interned string's **bytes**, computed once at intern
+    /// time and resolved lock-free. Two symbols for the same string hash
+    /// identically in every process, regardless of intern order — the
+    /// property the planner's column statistics need for cross-process
+    /// deterministic plans (distinct strings may collide, which can only
+    /// weaken estimates, never soundness).
+    #[inline]
+    pub fn stable_hash(self) -> u64 {
+        self.slot().stable
+    }
+
+    #[inline]
+    fn slot(self) -> &'static Slot {
         let (chunk_i, slot_i) = (self.0 as usize / CHUNK_SIZE, self.0 as usize % CHUNK_SIZE);
         let chunk_ptr = CHUNKS[chunk_i].load(Ordering::Acquire);
         // SAFETY: a `Symbol` can only be obtained from `intern`, which
@@ -90,8 +133,8 @@ impl Symbol {
         // happens-before edge, and the acquire loads pair with the
         // release stores for direct racing access.
         let slots: &Chunk = unsafe { &*chunk_ptr };
-        let holder = slots[slot_i].load(Ordering::Acquire);
-        unsafe { *holder.cast_const() }
+        let slot = slots[slot_i].load(Ordering::Acquire);
+        unsafe { &*slot.cast_const() }
     }
 
     /// The raw index (useful for dense side tables).
@@ -171,6 +214,23 @@ mod tests {
         let a = Symbol::intern("aa-order-test");
         assert!(a < b);
         assert!(a <= a);
+    }
+
+    #[test]
+    fn stable_hash_is_content_derived() {
+        let a = Symbol::intern("stable-hash-a");
+        let b = Symbol::intern("stable-hash-a");
+        let c = Symbol::intern("stable-hash-c");
+        assert_eq!(a.stable_hash(), b.stable_hash());
+        assert_ne!(a.stable_hash(), c.stable_hash());
+        // Pure function of the bytes, not the intern-order index.
+        assert_eq!(a.stable_hash(), stable_str_hash("stable-hash-a"));
+        // Prefix-padding does not collide with the padded word.
+        assert_ne!(
+            stable_str_hash("p"),
+            stable_str_hash("p\0"),
+            "length must participate in the stable hash"
+        );
     }
 
     #[test]

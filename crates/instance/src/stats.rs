@@ -7,11 +7,14 @@
 //! estimated cardinality. [`ColumnStats`] therefore keeps exactly two
 //! small summaries per column:
 //!
-//! - **Bounds**: the least and greatest [`Value::to_bits`] pattern
-//!   observed. Bit order is a total order consistent with equality (not
-//!   the semantic `Ord`), so `excludes` can prune a constant probe that
-//!   lies outside the observed range — soundly, because a value outside
-//!   `[min, max]` in *any* total order cannot be in the column.
+//! - **Bounds**: the least and greatest [`Value::to_stable_bits`]
+//!   pattern observed. Stable-bit order is a total order on patterns
+//!   consistent with value equality in one direction (equal values have
+//!   equal patterns), so `excludes` can prune a constant probe whose
+//!   pattern lies outside the observed range — soundly, because a value
+//!   whose pattern is outside `[min, max]` cannot share a pattern with
+//!   any stored value. (Distinct strings may *collide* on a pattern,
+//!   which can only make pruning less effective, never wrong.)
 //! - **KMV distinct sketch**: the `K` smallest distinct value-hashes
 //!   seen (the classic k-minimum-values estimator). Below `K` distinct
 //!   values the estimate is exact (up to hash collisions); above it, the
@@ -26,15 +29,20 @@
 //!   [`ColumnStats::observe`] runs once per value of every *accepted*
 //!   (deduplicated) insert, and only for tracked stores — untracked
 //!   stores report no statistics at all rather than stale ones;
-//! - the bounds are in canonical bit-pattern order ([`Value::to_bits`],
-//!   i.e. the tag/payload pair the structure-of-arrays columns store),
-//!   which is consistent with equality but **not** with [`Value`]'s
-//!   semantic `Ord` — sound for membership pruning (`excludes`) and
-//!   nothing else.
+//! - every summary is a pure function of the stored **value set**, via
+//!   the process-independent [`Value::to_stable_bits`] pattern (`Str`
+//!   payloads are content hashes, not intern-table indices). The planner
+//!   therefore derives identical estimates — hence identical join orders
+//!   and identical output row order — in every process that holds the
+//!   same data, which is what makes durable recovery bit-identical
+//!   across process restarts;
+//! - the bound order is consistent with equality but **not** with
+//!   [`Value`]'s semantic `Ord` — sound for membership pruning
+//!   (`excludes`) and nothing else.
 //!
 //! [`TupleStore`]: crate::TupleStore
 //! [`Value`]: crate::Value
-//! [`Value::to_bits`]: crate::Value::to_bits
+//! [`Value::to_stable_bits`]: crate::Value::to_stable_bits
 
 use std::hash::Hasher;
 
@@ -57,11 +65,11 @@ fn hash_bits(bits: u128) -> u64 {
 
 /// Incremental statistics over one column of a
 /// [`TupleStore`](crate::TupleStore): observed value bounds (in
-/// [`Value::to_bits`] order) and a KMV distinct-count sketch.
+/// [`Value::to_stable_bits`] order) and a KMV distinct-count sketch.
 #[derive(Clone, Debug, Default)]
 pub struct ColumnStats {
-    /// `(min, max)` of the observed `to_bits` patterns; `None` while the
-    /// column is empty.
+    /// `(min, max)` of the observed `to_stable_bits` patterns; `None`
+    /// while the column is empty.
     bounds: Option<(u128, u128)>,
     /// The `KMV_K` smallest **distinct** value-hashes seen, ascending.
     kmv: Vec<u64>,
@@ -73,7 +81,7 @@ impl ColumnStats {
     /// so the statistics describe exactly the stored column contents.
     #[inline]
     pub(crate) fn observe(&mut self, v: Value) {
-        let bits = v.to_bits();
+        let bits = v.to_stable_bits();
         match &mut self.bounds {
             None => self.bounds = Some((bits, bits)),
             Some((lo, hi)) => {
@@ -99,14 +107,14 @@ impl ColumnStats {
     }
 
     /// `true` when `v` is provably absent from the column: nothing was
-    /// ever observed, or `v`'s bit pattern lies outside the observed
-    /// range. A `false` return means only "possibly present".
+    /// ever observed, or `v`'s stable bit pattern lies outside the
+    /// observed range. A `false` return means only "possibly present".
     #[inline]
     pub fn excludes(&self, v: Value) -> bool {
         match self.bounds {
             None => true,
             Some((lo, hi)) => {
-                let b = v.to_bits();
+                let b = v.to_stable_bits();
                 b < lo || b > hi
             }
         }
@@ -156,6 +164,27 @@ mod tests {
         // Other variants have disjoint tag words, hence out of range.
         assert!(s.excludes(Value::Id(15)));
         assert!(s.excludes(Value::Bool(true)));
+    }
+
+    #[test]
+    fn string_stats_are_a_function_of_the_value_set() {
+        // Intern-order independence: observing the same string set in two
+        // different orders (and with unrelated strings interned in
+        // between, shifting every intern index) yields identical
+        // summaries. This is the property cross-process deterministic
+        // planning rests on.
+        let mut a = ColumnStats::default();
+        for s in ["st-one", "st-two", "st-three"] {
+            a.observe(Value::str(s));
+        }
+        let _skew = Value::str("st-unrelated-padding");
+        let mut b = ColumnStats::default();
+        for s in ["st-three", "st-one", "st-two"] {
+            b.observe(Value::str(s));
+        }
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        assert!(!a.excludes(Value::str("st-two")));
+        assert_eq!(a.distinct_estimate(3), 3);
     }
 
     #[test]

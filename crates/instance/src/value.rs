@@ -115,6 +115,23 @@ impl Value {
         (u128::from(tag) << 64) | u128::from(payload)
     }
 
+    /// Like [`Value::to_bits`], but **stable across processes**: the `Str`
+    /// payload is the content-derived [`Symbol::stable_hash`] instead of
+    /// the process-local intern index. Equal values always map to equal
+    /// patterns; distinct strings may collide (hash), so this pattern is
+    /// *one-sided* — suitable for conservative membership pruning and
+    /// sketching ([`ColumnStats`](crate::ColumnStats)), where a collision
+    /// only weakens an estimate, and required wherever the derived
+    /// quantity must be identical in every process (the planner's join
+    /// orders, hence durable recovery's bit-identical replay).
+    #[inline(always)]
+    pub fn to_stable_bits(self) -> u128 {
+        match self {
+            Value::Str(s) => (1u128 << 64) | u128::from(s.stable_hash()),
+            other => other.to_bits(),
+        }
+    }
+
     /// Variant rank used to keep the `Ord` impl aligned with the historic
     /// derive order (`Int < Str < Bool < Id`).
     fn rank(&self) -> u8 {
@@ -253,6 +270,31 @@ mod tests {
         // Cross-variant payload collisions stay distinct via the tag word.
         assert_ne!(Value::Int(3).to_bits(), Value::Id(3).to_bits());
         assert_ne!(Value::Bool(true).to_bits(), Value::Int(1).to_bits());
+    }
+
+    #[test]
+    fn stable_bits_agree_with_equality_and_ignore_intern_order() {
+        let values = [
+            Value::Int(-1),
+            Value::str("stable-bits-a"),
+            Value::str("stable-bits-b"),
+            Value::Bool(true),
+            Value::Id(9),
+        ];
+        for a in values {
+            for b in values {
+                assert_eq!(
+                    a == b,
+                    a.to_stable_bits() == b.to_stable_bits(),
+                    "{a} vs {b}"
+                );
+            }
+        }
+        // Non-string variants: stable bits are exactly the canonical bits.
+        assert_eq!(Value::Int(-1).to_stable_bits(), Value::Int(-1).to_bits());
+        assert_eq!(Value::Id(9).to_stable_bits(), Value::Id(9).to_bits());
+        // Strings keep the Str tag word (cross-variant disjointness).
+        assert_eq!(Value::str("x").to_stable_bits() >> 64, 1);
     }
 
     #[test]

@@ -37,8 +37,9 @@ use std::path::Path;
 
 use dynamite_core::{synthesize, Example, Synthesis, SynthesisConfig, SynthesisError};
 use dynamite_datalog::{
-    evaluate, DurableError, DurableEvaluator, EvalError, Evaluator, Governor, IncrementalEvaluator,
-    OutputDelta, Program, ResourceLimits,
+    evaluate, pool, reorder_default, DriftError, DurableError, DurableEvaluator, DurableOptions,
+    EvalError, Evaluator, Governor, IncrementalEvaluator, OutputDelta, Program, RecoveryReport,
+    ResourceLimits, ScrubReport,
 };
 use dynamite_instance::{from_facts, to_facts, Database, FactsError, Instance};
 use dynamite_schema::Schema;
@@ -124,6 +125,21 @@ impl MigrationReport {
     pub fn total_time(&self) -> Duration {
         self.to_facts_time + self.eval_time + self.build_time
     }
+}
+
+/// Counters for the periodic overlay audit
+/// ([`MaintainedMigration::set_audit_every`] /
+/// [`DurableMigration::set_audit_every`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AuditStats {
+    /// Audits run (each is a full re-evaluation compared set-wise
+    /// against the maintained overlay).
+    pub audits: u64,
+    /// Audits that found drift.
+    pub drifts_detected: u64,
+    /// Automatic repairs performed (overlay rebuilt; for durable
+    /// migrations, also a fresh verified checkpoint).
+    pub repairs: u64,
 }
 
 /// Migrates `source` to the target schema by executing `program`.
@@ -217,6 +233,9 @@ fn migrate_inner(
 pub struct MaintainedMigration {
     inc: IncrementalEvaluator,
     target_schema: Arc<Schema>,
+    audit_every: Option<u64>,
+    batches_since_audit: u64,
+    audit_stats: AuditStats,
 }
 
 impl MaintainedMigration {
@@ -229,7 +248,13 @@ impl MaintainedMigration {
     ) -> Result<MaintainedMigration, MigrateError> {
         let facts = to_facts(source);
         let inc = IncrementalEvaluator::new(program.clone(), facts)?;
-        Ok(MaintainedMigration { inc, target_schema })
+        Ok(MaintainedMigration {
+            inc,
+            target_schema,
+            audit_every: None,
+            batches_since_audit: 0,
+            audit_stats: AuditStats::default(),
+        })
     }
 
     /// Applies one batch of extensional fact updates (deletions first,
@@ -239,7 +264,9 @@ impl MaintainedMigration {
         inserts: &Database,
         deletes: &Database,
     ) -> Result<OutputDelta, MigrateError> {
-        Ok(self.inc.apply_delta(inserts, deletes)?)
+        let delta = self.inc.apply_delta(inserts, deletes)?;
+        self.maybe_audit()?;
+        Ok(delta)
     }
 
     /// [`apply_delta`](MaintainedMigration::apply_delta) under resource
@@ -251,7 +278,9 @@ impl MaintainedMigration {
         deletes: &Database,
         gov: &Governor,
     ) -> Result<OutputDelta, MigrateError> {
-        Ok(self.inc.apply_delta_governed(inserts, deletes, gov)?)
+        let delta = self.inc.apply_delta_governed(inserts, deletes, gov)?;
+        self.maybe_audit()?;
+        Ok(delta)
     }
 
     /// [`apply_delta_governed`](MaintainedMigration::apply_delta_governed)
@@ -264,9 +293,63 @@ impl MaintainedMigration {
         retries: u32,
         limits: impl FnMut() -> ResourceLimits,
     ) -> Result<OutputDelta, MigrateError> {
-        Ok(self
+        let delta = self
             .inc
-            .apply_delta_with_retry(inserts, deletes, retries, limits)?)
+            .apply_delta_with_retry(inserts, deletes, retries, limits)?;
+        self.maybe_audit()?;
+        Ok(delta)
+    }
+
+    /// Audit the maintained overlay every `n` successfully applied
+    /// batches. Each audit re-evaluates from scratch and compares
+    /// set-wise; drift is repaired automatically and recorded in
+    /// [`audit_stats`](MaintainedMigration::audit_stats). `None` (and
+    /// `Some(0)`) disables periodic auditing.
+    pub fn set_audit_every(&mut self, every: Option<u64>) {
+        self.audit_every = every.filter(|&n| n > 0);
+        self.batches_since_audit = 0;
+    }
+
+    /// Counters for the periodic audit (see
+    /// [`set_audit_every`](MaintainedMigration::set_audit_every)).
+    pub fn audit_stats(&self) -> AuditStats {
+        self.audit_stats
+    }
+
+    /// Verifies the maintained overlay against a from-scratch
+    /// re-evaluation without modifying anything. Drift surfaces as
+    /// [`MigrateError::Eval`]`(`[`EvalError::Drift`]`)`;
+    /// [`repair`](MaintainedMigration::repair) is the remedy.
+    pub fn audit(&mut self) -> Result<(), MigrateError> {
+        Ok(self.inc.audit()?)
+    }
+
+    /// Rebuilds the maintained overlay from scratch, returning the drift
+    /// the rebuild corrected (if any).
+    pub fn repair(&mut self) -> Result<Option<DriftError>, MigrateError> {
+        Ok(self.inc.repair()?)
+    }
+
+    fn maybe_audit(&mut self) -> Result<(), MigrateError> {
+        let Some(n) = self.audit_every else {
+            return Ok(());
+        };
+        self.batches_since_audit += 1;
+        if self.batches_since_audit < n {
+            return Ok(());
+        }
+        self.batches_since_audit = 0;
+        self.audit_stats.audits += 1;
+        match self.inc.audit() {
+            Ok(()) => Ok(()),
+            Err(EvalError::Drift(_)) => {
+                self.audit_stats.drifts_detected += 1;
+                self.inc.repair()?;
+                self.audit_stats.repairs += 1;
+                Ok(())
+            }
+            Err(e) => Err(e.into()),
+        }
     }
 
     /// Whether the maintained state is degraded (the next batch pays a
@@ -318,9 +401,22 @@ impl MaintainedMigration {
 pub struct DurableMigration {
     dur: DurableEvaluator,
     target_schema: Arc<Schema>,
+    audit_every: Option<u64>,
+    batches_since_audit: u64,
+    audit_stats: AuditStats,
 }
 
 impl DurableMigration {
+    fn wrap(dur: DurableEvaluator, target_schema: Arc<Schema>) -> DurableMigration {
+        DurableMigration {
+            dur,
+            target_schema,
+            audit_every: None,
+            batches_since_audit: 0,
+            audit_stats: AuditStats::default(),
+        }
+    }
+
     /// Translates `source` to facts, evaluates `program`, and starts a
     /// durable state directory at `dir` (checkpoint generation 0).
     pub fn create(
@@ -329,9 +425,35 @@ impl DurableMigration {
         source: &Instance,
         target_schema: Arc<Schema>,
     ) -> Result<DurableMigration, MigrateError> {
+        DurableMigration::create_with_options(
+            dir,
+            program,
+            source,
+            target_schema,
+            DurableOptions::default(),
+        )
+    }
+
+    /// [`create`](DurableMigration::create) with explicit
+    /// [`DurableOptions`] — checkpointing thresholds, group commit,
+    /// scrub-on-open.
+    pub fn create_with_options(
+        dir: impl AsRef<Path>,
+        program: &Program,
+        source: &Instance,
+        target_schema: Arc<Schema>,
+        opts: DurableOptions,
+    ) -> Result<DurableMigration, MigrateError> {
         let facts = to_facts(source);
-        let dur = DurableEvaluator::create(dir, program.clone(), facts)?;
-        Ok(DurableMigration { dur, target_schema })
+        let dur = DurableEvaluator::create_with_config(
+            dir,
+            program.clone(),
+            facts,
+            opts,
+            pool::with_threads(None),
+            reorder_default(),
+        )?;
+        Ok(DurableMigration::wrap(dur, target_schema))
     }
 
     /// Recovers a durable migration from `dir` (newest valid checkpoint
@@ -342,8 +464,33 @@ impl DurableMigration {
         dir: impl AsRef<Path>,
         target_schema: Arc<Schema>,
     ) -> Result<DurableMigration, MigrateError> {
-        let dur = DurableEvaluator::open(dir)?;
-        Ok(DurableMigration { dur, target_schema })
+        DurableMigration::open_with_options(dir, target_schema, DurableOptions::default())
+    }
+
+    /// [`open`](DurableMigration::open) with explicit [`DurableOptions`].
+    /// With [`DurableOptions::scrub_on_open`], the state directory is
+    /// scrubbed (corrupt checkpoints quarantined, damaged WAL tails
+    /// truncated) before recovery, and the [`ScrubReport`] rides along on
+    /// [`recovery_report`](DurableMigration::recovery_report).
+    pub fn open_with_options(
+        dir: impl AsRef<Path>,
+        target_schema: Arc<Schema>,
+        opts: DurableOptions,
+    ) -> Result<DurableMigration, MigrateError> {
+        let dur = DurableEvaluator::open_with_config(
+            dir,
+            opts,
+            pool::with_threads(None),
+            reorder_default(),
+        )?;
+        Ok(DurableMigration::wrap(dur, target_schema))
+    }
+
+    /// Verifies every checkpoint and WAL frame under `dir` without
+    /// opening or modifying live state, quarantining what fails
+    /// verification — see [`DurableEvaluator::scrub`].
+    pub fn scrub(dir: impl AsRef<Path>) -> Result<ScrubReport, MigrateError> {
+        Ok(DurableEvaluator::scrub(dir)?)
     }
 
     /// Applies one batch durably (WAL append before in-memory apply) and
@@ -353,7 +500,9 @@ impl DurableMigration {
         inserts: &Database,
         deletes: &Database,
     ) -> Result<OutputDelta, MigrateError> {
-        Ok(self.dur.apply_delta(inserts, deletes)?)
+        let delta = self.dur.apply_delta(inserts, deletes)?;
+        self.maybe_audit()?;
+        Ok(delta)
     }
 
     /// [`apply_delta`](DurableMigration::apply_delta) under resource
@@ -365,7 +514,69 @@ impl DurableMigration {
         deletes: &Database,
         gov: &Governor,
     ) -> Result<OutputDelta, MigrateError> {
-        Ok(self.dur.apply_delta_governed(inserts, deletes, gov)?)
+        let delta = self.dur.apply_delta_governed(inserts, deletes, gov)?;
+        self.maybe_audit()?;
+        Ok(delta)
+    }
+
+    /// Audit the maintained overlay every `n` successfully applied
+    /// batches, repairing automatically on drift (the repair also writes
+    /// a fresh verified checkpoint). `None` (and `Some(0)`) disables
+    /// periodic auditing.
+    pub fn set_audit_every(&mut self, every: Option<u64>) {
+        self.audit_every = every.filter(|&n| n > 0);
+        self.batches_since_audit = 0;
+    }
+
+    /// Counters for the periodic audit (see
+    /// [`set_audit_every`](DurableMigration::set_audit_every)).
+    pub fn audit_stats(&self) -> AuditStats {
+        self.audit_stats
+    }
+
+    /// Verifies the maintained overlay against a from-scratch
+    /// re-evaluation without modifying anything. Drift surfaces as
+    /// [`MigrateError::Eval`]`(`[`EvalError::Drift`]`)`;
+    /// [`repair`](DurableMigration::repair) is the remedy.
+    pub fn audit(&mut self) -> Result<(), MigrateError> {
+        Ok(self.dur.audit()?)
+    }
+
+    /// Rebuilds the maintained overlay from scratch and writes a fresh
+    /// verified checkpoint, returning the drift the rebuild corrected
+    /// (if any).
+    pub fn repair(&mut self) -> Result<Option<DriftError>, MigrateError> {
+        Ok(self.dur.repair()?)
+    }
+
+    /// What recovery did at [`open`](DurableMigration::open) — replayed
+    /// frames, skipped checkpoints, truncated tails, and the scrub
+    /// report when scrub-on-open was requested. `None` for a freshly
+    /// created directory.
+    pub fn recovery_report(&self) -> Option<&RecoveryReport> {
+        self.dur.recovery_report()
+    }
+
+    fn maybe_audit(&mut self) -> Result<(), MigrateError> {
+        let Some(n) = self.audit_every else {
+            return Ok(());
+        };
+        self.batches_since_audit += 1;
+        if self.batches_since_audit < n {
+            return Ok(());
+        }
+        self.batches_since_audit = 0;
+        self.audit_stats.audits += 1;
+        match self.dur.audit() {
+            Ok(()) => Ok(()),
+            Err(DurableError::Eval(EvalError::Drift(_))) => {
+                self.audit_stats.drifts_detected += 1;
+                self.dur.repair()?;
+                self.audit_stats.repairs += 1;
+                Ok(())
+            }
+            Err(e) => Err(e.into()),
+        }
     }
 
     /// The maintained extensional facts (post all applied batches).
@@ -702,5 +913,185 @@ mod tests {
         let program = Program::parse("Admission(g, u, n) :- Univ(id1, g, _).").unwrap();
         let err = migrate(&program, &ex.input, target).unwrap_err();
         assert!(matches!(err, MigrateError::Eval(_)));
+    }
+
+    /// One Admit row from the motivating fixture, packaged as an
+    /// insert batch and a delete batch for churn tests.
+    fn admit_churn(live_facts: &Database) -> (Database, Database) {
+        let row: Vec<_> = live_facts
+            .relation("Admit")
+            .unwrap()
+            .iter()
+            .next()
+            .unwrap()
+            .iter()
+            .collect();
+        let mut ins = Database::new();
+        ins.insert("Admit", row.clone());
+        let mut dels = Database::new();
+        dels.insert("Admit", row);
+        (ins, dels)
+    }
+
+    #[test]
+    fn periodic_audit_catches_and_repairs_injected_drift() {
+        use dynamite_datalog::fault;
+        let _guard = fault::test_lock();
+        fault::reset();
+        let (_, target, ex) = motivating();
+        let program = Program::parse(
+            "Admission(grad, ug, num) :- Univ(id1, grad, v1), Admit(v1, id2, num), Univ(id2, ug, _).",
+        )
+        .unwrap();
+        let mut live = MaintainedMigration::new(&program, &ex.input, target.clone()).unwrap();
+        live.set_audit_every(Some(1));
+        let (ins, dels) = admit_churn(live.facts());
+
+        // A clean batch audits without incident.
+        live.apply_delta(&Database::new(), &dels).unwrap();
+        assert_eq!(
+            live.audit_stats(),
+            AuditStats {
+                audits: 1,
+                drifts_detected: 0,
+                repairs: 0
+            }
+        );
+
+        // The next batch silently corrupts the overlay; the scheduled
+        // audit catches it and repairs transparently.
+        fault::arm(fault::DRIFT, 1);
+        live.apply_delta(&ins, &Database::new()).unwrap();
+        assert_eq!(
+            live.audit_stats(),
+            AuditStats {
+                audits: 2,
+                drifts_detected: 1,
+                repairs: 1
+            }
+        );
+        assert!(live.target().unwrap().canon_eq(&ex.output));
+        live.audit().unwrap();
+    }
+
+    #[test]
+    fn manual_audit_reports_drift_and_repair_returns_it() {
+        use dynamite_datalog::fault;
+        let _guard = fault::test_lock();
+        fault::reset();
+        let (_, target, ex) = motivating();
+        let program = Program::parse(
+            "Admission(grad, ug, num) :- Univ(id1, grad, v1), Admit(v1, id2, num), Univ(id2, ug, _).",
+        )
+        .unwrap();
+        let mut live = MaintainedMigration::new(&program, &ex.input, target.clone()).unwrap();
+        let (ins, dels) = admit_churn(live.facts());
+
+        // No periodic audit armed: the injected drift goes unnoticed…
+        fault::arm(fault::DRIFT, 1);
+        live.apply_delta(&Database::new(), &dels).unwrap();
+        // …until a manual audit reports it, typed.
+        let err = live.audit().unwrap_err();
+        assert!(matches!(err, MigrateError::Eval(EvalError::Drift(_))));
+        let drift = live.repair().unwrap().expect("repair corrects the drift");
+        assert!(!drift.relations.is_empty());
+        live.audit().unwrap();
+        live.apply_delta(&ins, &Database::new()).unwrap();
+        assert!(live.target().unwrap().canon_eq(&ex.output));
+        assert_eq!(live.audit_stats(), AuditStats::default());
+    }
+
+    #[test]
+    fn durable_repair_checkpoints_and_survives_reopen() {
+        use dynamite_datalog::fault;
+        let _guard = fault::test_lock();
+        fault::reset();
+        let dir =
+            std::env::temp_dir().join(format!("dynamite-durable-repair-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let (_, target, ex) = motivating();
+        let program = Program::parse(
+            "Admission(grad, ug, num) :- Univ(id1, grad, v1), Admit(v1, id2, num), Univ(id2, ug, _).",
+        )
+        .unwrap();
+        let mut live = DurableMigration::create(&dir, &program, &ex.input, target.clone()).unwrap();
+        live.set_audit_every(Some(1));
+        let (ins, dels) = admit_churn(live.facts());
+
+        live.apply_delta(&Database::new(), &dels).unwrap();
+        let gen_before = live.evaluator().generation();
+
+        // Injected drift: the periodic audit repairs it AND rolls a
+        // fresh verified checkpoint, so the corruption can never be
+        // replayed from disk.
+        fault::arm(fault::DRIFT, 1);
+        live.apply_delta(&ins, &Database::new()).unwrap();
+        assert_eq!(
+            live.audit_stats(),
+            AuditStats {
+                audits: 2,
+                drifts_detected: 1,
+                repairs: 1
+            }
+        );
+        assert!(
+            live.evaluator().generation() > gen_before,
+            "auto-repair writes a checkpoint"
+        );
+        let expected = live.target().unwrap();
+        assert!(expected.canon_eq(&ex.output));
+        drop(live);
+
+        let mut back = DurableMigration::open(&dir, target).unwrap();
+        back.audit().unwrap();
+        assert!(back.target().unwrap().canon_eq(&expected));
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn durable_options_and_scrub_surface_through_migrate() {
+        use dynamite_datalog::fault;
+        use std::time::Duration;
+        let _guard = fault::test_lock();
+        fault::reset();
+        let dir =
+            std::env::temp_dir().join(format!("dynamite-migrate-scrub-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let (_, target, ex) = motivating();
+        let program = Program::parse(
+            "Admission(grad, ug, num) :- Univ(id1, grad, v1), Admit(v1, id2, num), Univ(id2, ug, _).",
+        )
+        .unwrap();
+        let opts = DurableOptions::default().group_commit(8, Duration::from_secs(3600));
+        let mut live =
+            DurableMigration::create_with_options(&dir, &program, &ex.input, target.clone(), opts)
+                .unwrap();
+        let (_ins, dels) = admit_churn(live.facts());
+        live.apply_delta(&Database::new(), &dels).unwrap();
+        let expected = live.target().unwrap();
+        // Drop flushes the staged group-commit frame before the file
+        // handle closes.
+        drop(live);
+
+        let report = DurableMigration::scrub(&dir).unwrap();
+        assert!(report.is_clean(), "{report:?}");
+        assert_eq!(report.wal_frames_ok, 1);
+
+        let mut back = DurableMigration::open_with_options(
+            &dir,
+            target,
+            DurableOptions::default().scrub_on_open(true),
+        )
+        .unwrap();
+        let rec = back.recovery_report().expect("reopen produces a report");
+        assert_eq!(rec.frames_replayed, 1);
+        let scrub = rec.scrub.as_ref().expect("scrub-on-open rides along");
+        assert!(scrub.is_clean(), "{scrub:?}");
+        assert!(back.target().unwrap().canon_eq(&expected));
+
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }
