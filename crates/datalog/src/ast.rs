@@ -142,6 +142,17 @@ impl Rule {
         }
     }
 
+    /// Splits a multi-head rule into one single-head rule per head (the
+    /// body is shared). Single-head rules yield themselves. Semantics are
+    /// preserved: `H1, H2 :- B.` derives exactly what `H1 :- B.` plus
+    /// `H2 :- B.` derive. The magic-sets rewrite normalizes through this
+    /// because adornment is a per-head-predicate notion.
+    pub fn split_heads(&self) -> impl Iterator<Item = Rule> + '_ {
+        self.heads
+            .iter()
+            .map(|h| Rule::new(h.clone(), self.body.clone()))
+    }
+
     /// All distinct head variables, in first-occurrence order.
     pub fn head_vars(&self) -> Vec<&str> {
         let mut seen = HashSet::new();

@@ -764,6 +764,19 @@ impl DurableEvaluator {
         self.inner.edb()
     }
 
+    /// The maintained program, as recovered from (or written to) the
+    /// durable directory — what a demand-driven query server rewrites.
+    pub fn program(&self) -> &Program {
+        self.inner.program()
+    }
+
+    /// The maintainer behind this durable evaluator (for the query layer,
+    /// which inherits its pool and planner mode when building a server
+    /// off recovered state).
+    pub(crate) fn inner(&self) -> &IncrementalEvaluator {
+        &self.inner
+    }
+
     /// Whether the in-memory overlay is degraded (next batch pays a full
     /// rebuild) — see [`IncrementalEvaluator::is_poisoned`].
     pub fn is_poisoned(&self) -> bool {

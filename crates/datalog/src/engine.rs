@@ -332,6 +332,33 @@ impl Evaluator {
         )
     }
 
+    /// Whether this context plans join orders (`true`) or follows body
+    /// order. The query rewriter aligns its sideways-information-passing
+    /// order with this flag so adornment and join order agree.
+    pub(crate) fn reorder(&self) -> bool {
+        self.ctx.reorder
+    }
+
+    /// Evaluates a magic-sets-rewritten program (see [`crate::query`]):
+    /// like [`Evaluator::eval`]/[`Evaluator::eval_governed`], but the
+    /// planner costs every relation in `demand` as a tiny demand guard
+    /// ([`DEMAND_ROWS`]) instead of the generic [`UNKNOWN_ROWS`], so
+    /// magic guards order outermost in delta plans. Sound to mix with
+    /// unhinted evaluations on the same context: the hint only changes
+    /// estimates of `magic_*` relations, which unhinted programs never
+    /// mention, so any rule text both paths share plans identically.
+    pub(crate) fn eval_demand(
+        &self,
+        program: &Program,
+        demand: &std::collections::HashSet<String>,
+        gov: Option<&Governor>,
+    ) -> Result<Database, EvalError> {
+        let mut run = self.run();
+        run.demand = Some(demand);
+        run.gov = gov;
+        run.eval(program)
+    }
+
     fn run(&self) -> EvalRun<'_> {
         EvalRun {
             edb: &self.ctx.edb,
@@ -344,6 +371,7 @@ impl Evaluator {
             },
             reorder: self.ctx.reorder,
             gov: None,
+            demand: None,
         }
     }
 
@@ -379,6 +407,7 @@ impl Evaluator {
             pool: PoolSource::Lazy,
             reorder: reorder_default(),
             gov,
+            demand: None,
         }
     }
 }
@@ -413,6 +442,11 @@ pub(crate) struct EvalRun<'e> {
     /// ungoverned paths (which then pay no per-tuple bookkeeping beyond a
     /// predictable `None` branch).
     pub(crate) gov: Option<&'e Governor>,
+    /// Relations the planner should cost as demand guards (the `magic_*`
+    /// seed relations of a query rewrite) rather than unknown IDB
+    /// relations — see [`CostModel::estimate`]. Absent everywhere except
+    /// the query-serving path.
+    pub(crate) demand: Option<&'e std::collections::HashSet<String>>,
 }
 
 /// The pool an evaluation fans out on. One-shot evaluations resolve the
@@ -502,7 +536,10 @@ impl EvalRun<'_> {
         program: &Program,
         strata: &std::collections::HashMap<String, usize>,
     ) -> Vec<Arc<CompiledRule>> {
-        let model = self.reorder.then_some(CostModel { edb: self.edb });
+        let model = self.reorder.then_some(CostModel {
+            edb: self.edb,
+            demand: self.demand,
+        });
         program
             .rules
             .iter()
@@ -1002,6 +1039,14 @@ const UNKNOWN_ROWS: f64 = 1024.0;
 /// column still buys a healthy selectivity factor.
 const UNKNOWN_DISTINCT: f64 = 32.0;
 
+/// Assumed size of a *demand guard* — a `magic_*` relation seeded by a
+/// point query. Demand sets start from one seed fact and stay small
+/// relative to the EDB by construction (they enumerate only the bindings
+/// the query actually reaches), and probing the demand frontier first is
+/// exactly what makes the rewrite selective, so guards are costed below
+/// every real relation.
+const DEMAND_ROWS: f64 = 1.0;
+
 /// The cost model behind join planning: a view over the EDB snapshot's
 /// per-relation row counts and per-column [`ColumnStats`] (distinct
 /// sketches and value bounds), maintained incrementally by
@@ -1010,6 +1055,9 @@ const UNKNOWN_DISTINCT: f64 = 32.0;
 /// [`ColumnStats`]: dynamite_instance::ColumnStats
 pub(crate) struct CostModel<'e> {
     pub(crate) edb: &'e Database,
+    /// Relations to cost as query demand guards ([`DEMAND_ROWS`]); see
+    /// [`EvalRun::demand`].
+    pub(crate) demand: Option<&'e std::collections::HashSet<String>>,
 }
 
 impl CostModel<'_> {
@@ -1040,7 +1088,7 @@ impl CostModel<'_> {
     ///   the round instantly and avoids registering an overlay index
     ///   that the fixpoint's eager maintenance would then pay for on
     ///   every absorbed row.
-    fn greedy(
+    pub(crate) fn greedy(
         &self,
         positives: &[&Literal],
         first: Option<usize>,
@@ -1135,6 +1183,9 @@ impl CostModel<'_> {
     /// assumption), zero when a constant provably lies outside a column's
     /// observed range.
     fn estimate(&self, lit: &Literal, bound: &[&str]) -> f64 {
+        if self.demand.is_some_and(|d| d.contains(&lit.atom.relation)) {
+            return DEMAND_ROWS;
+        }
         let rel = self.edb.relation(&lit.atom.relation);
         let mut est = match rel {
             Some(r) => r.len() as f64,

@@ -240,6 +240,7 @@ fn make_run<'e>(
         pool: PoolSource::Ready(pool),
         reorder,
         gov,
+        demand: None,
     }
 }
 
@@ -300,7 +301,10 @@ impl IncrementalEvaluator {
         // Plan against the initial statistics. The snapshot's stats drift
         // as batches land (like any warm context's would); plans stay
         // valid — only their cost estimates age.
-        let model = reorder.then_some(CostModel { edb: &edb });
+        let model = reorder.then_some(CostModel {
+            edb: &edb,
+            demand: None,
+        });
         let compiled: Vec<CompiledRule> = program
             .rules
             .iter()
@@ -420,7 +424,10 @@ impl IncrementalEvaluator {
     /// recovery from that checkpoint would compute — the root of the
     /// bit-identical-recovery guarantee under the cost-based planner.
     pub(crate) fn replan(&mut self) {
-        let model = self.reorder.then_some(CostModel { edb: &self.edb });
+        let model = self.reorder.then_some(CostModel {
+            edb: &self.edb,
+            demand: None,
+        });
         self.compiled = self
             .program
             .rules
@@ -432,9 +439,20 @@ impl IncrementalEvaluator {
             .collect();
     }
 
-    /// The maintained program (the durability layer serializes its text).
-    pub(crate) fn program(&self) -> &Program {
+    /// The maintained program (the durability layer serializes its text;
+    /// the query layer rewrites it for demand-driven serving).
+    pub fn program(&self) -> &Program {
         &self.program
+    }
+
+    /// The worker pool this maintainer fans rounds out on.
+    pub(crate) fn pool(&self) -> &Arc<WorkerPool> {
+        &self.pool
+    }
+
+    /// Whether this maintainer plans join orders.
+    pub(crate) fn reorder(&self) -> bool {
+        self.reorder
     }
 
     /// The maintained extensional database (post all applied batches).

@@ -40,6 +40,7 @@ pub mod incremental;
 pub mod legacy;
 mod parse;
 pub mod pool;
+pub mod query;
 
 pub use ast::{
     alpha_equivalent, normalize_singletons, Atom, Literal, Program, Rule, Term, WellFormedError,
@@ -53,3 +54,4 @@ pub use governor::{resolve_fact_budget, Governor, ResourceLimits};
 pub use incremental::{DriftError, IncrementalEvaluator, OutputDelta, RelationDrift};
 pub use parse::{parse_program, ParseError};
 pub use pool::WorkerPool;
+pub use query::{QueryStats, ServedEvaluator};

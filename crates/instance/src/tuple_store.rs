@@ -200,6 +200,13 @@ pub struct TupleStore {
     /// ([`TupleStore::new_untracked`]): transient buffers whose
     /// statistics nobody will ever read skip the per-insert upkeep.
     stats: Vec<ColumnStats>,
+    /// Rows removed since the statistics were last rebuilt from the
+    /// survivors (tombstones the statistics still reflect). Bounds and
+    /// KMV sketches are add-only and cannot un-observe a value, so a
+    /// removal leaves the statistics a sound over-approximation; the
+    /// O(rows) re-observation sweep is deferred until tombstones reach a
+    /// quarter of the live rows, amortizing small delete batches.
+    stale: usize,
 }
 
 impl TupleStore {
@@ -211,6 +218,7 @@ impl TupleStore {
             cols: vec![Column::default(); arity],
             dedup: FxHashMap::default(),
             stats: vec![ColumnStats::default(); arity],
+            stale: 0,
         }
     }
 
@@ -228,6 +236,7 @@ impl TupleStore {
             cols: vec![Column::default(); arity],
             dedup: FxHashMap::default(),
             stats: Vec::new(),
+            stale: 0,
         }
     }
 
@@ -239,6 +248,7 @@ impl TupleStore {
             cols: (0..arity).map(|_| Column::with_capacity(rows)).collect(),
             dedup: FxHashMap::default(),
             stats: vec![ColumnStats::default(); arity],
+            stale: 0,
         }
     }
 
@@ -590,10 +600,18 @@ impl TupleStore {
     /// from scratch, so a small batch of removals costs the structure
     /// O(its own size) pointer work instead of a full re-hash of every
     /// surviving row. The dedup table here is repaired exactly that way.
-    /// A tracked store still recomputes its per-column statistics from
-    /// the survivors — bounds and KMV sketches are add-only and cannot
-    /// "un-observe" a value, so repair is a full re-observation sweep
-    /// (O(rows), which a batch of removals amortizes).
+    ///
+    /// A tracked store's per-column statistics are **not** swept on
+    /// every call: bounds and KMV sketches are add-only and cannot
+    /// "un-observe" a value, so after a removal they remain a sound
+    /// over-approximation of the survivors — still safe for the
+    /// planner's pruning and costing, just less tight. The O(rows)
+    /// re-observation sweep is therefore deferred behind a tombstone
+    /// counter ([`TupleStore::stale_stat_rows`]) and runs only once
+    /// tombstones reach a quarter of the live rows, so a stream of
+    /// small delete batches pays amortized-constant stats upkeep
+    /// instead of O(rows) each. Batches that remove nothing return
+    /// before any stats bookkeeping.
     pub fn remove_rows_indices<I, R>(&mut self, rows: I) -> Vec<usize>
     where
         I: IntoIterator<Item = R>,
@@ -622,14 +640,34 @@ impl TupleStore {
         self.rows -= dead.len();
         self.remap_dedup(&dead);
         if !self.stats.is_empty() {
-            self.stats = vec![ColumnStats::default(); self.arity];
-            for (st, col) in self.stats.iter_mut().zip(&self.cols) {
-                for (&t, &p) in col.tags.iter().zip(&col.payloads) {
-                    st.observe(Value::from_raw(t, p));
-                }
+            self.stale += dead.len();
+            if self.stale * 4 >= self.rows {
+                self.resweep_stats();
             }
         }
         dead
+    }
+
+    /// Rebuilds the per-column statistics from the surviving rows and
+    /// clears the tombstone counter. O(rows · arity).
+    fn resweep_stats(&mut self) {
+        self.stats = vec![ColumnStats::default(); self.arity];
+        for (st, col) in self.stats.iter_mut().zip(&self.cols) {
+            for (&t, &p) in col.tags.iter().zip(&col.payloads) {
+                st.observe(Value::from_raw(t, p));
+            }
+        }
+        self.stale = 0;
+    }
+
+    /// The number of removed rows the per-column statistics still
+    /// reflect — tombstones accumulated since the last re-observation
+    /// sweep. Always `0` right after a sweep (and for untracked stores,
+    /// which keep no statistics to go stale). The statistics remain
+    /// sound over-approximations while this is non-zero; see
+    /// [`TupleStore::remove_rows_indices`].
+    pub fn stale_stat_rows(&self) -> usize {
+        self.stale
     }
 
     /// Removes one row if present; returns `true` when it was removed.
@@ -1340,6 +1378,66 @@ mod tests {
         assert_eq!(u.remove_rows([t(&[2])]), 1);
         assert!(u.column_stats(0).is_none());
         assert_eq!(u.len(), 2);
+    }
+
+    #[test]
+    fn remove_rows_defers_stats_sweep_for_small_batches() {
+        // A small delete batch must not pay the O(rows) re-observation
+        // sweep: the tombstone counter sizes the deferred work, and the
+        // stats stay a sound over-approximation until the sweep runs.
+        let mut s = TupleStore::new(1);
+        for i in 0..1000i64 {
+            s.insert(&t(&[i]));
+        }
+        // Remove the top 50 values: far under the quarter threshold.
+        let batch: Vec<Vec<Value>> = (950..1000i64).map(|i| t(&[i])).collect();
+        assert_eq!(s.remove_rows(&batch), 50);
+        assert_eq!(s.stale_stat_rows(), 50, "sweep deferred, tombstones sized");
+        let stats0 = s.column_stats(0).expect("tracked");
+        assert!(
+            !stats0.excludes(Value::Int(999)),
+            "deferred stats still over-approximate the removed range"
+        );
+        assert!(!stats0.excludes(Value::Int(0)), "live values stay included");
+
+        // Three more batches reach the threshold (200 tombstones against
+        // 800 survivors) and trigger exactly one sweep.
+        for lo in [900i64, 850, 800] {
+            let batch: Vec<Vec<Value>> = (lo..lo + 50).map(|i| t(&[i])).collect();
+            assert_eq!(s.remove_rows(&batch), 50);
+        }
+        assert_eq!(
+            s.stale_stat_rows(),
+            0,
+            "threshold crossed: stats resweep ran"
+        );
+        let stats0 = s.column_stats(0).expect("tracked");
+        assert!(
+            stats0.excludes(Value::Int(999)),
+            "after the sweep the removed range is pruned again"
+        );
+        assert!(!stats0.excludes(Value::Int(0)));
+    }
+
+    #[test]
+    fn remove_rows_empty_batch_skips_stats_bookkeeping() {
+        let mut s = TupleStore::new(1);
+        for i in 0..100i64 {
+            s.insert(&t(&[i]));
+        }
+        // Seed one tombstone so the fast path's "unchanged" is observable.
+        assert_eq!(s.remove_rows([t(&[99])]), 1);
+        assert_eq!(s.stale_stat_rows(), 1);
+        // Absent and wrong-arity rows remove nothing: no compaction, no
+        // sweep, tombstone count untouched.
+        assert_eq!(s.remove_rows([t(&[500]), t(&[1, 2])]), 0);
+        assert_eq!(s.stale_stat_rows(), 1);
+        assert_eq!(s.len(), 99);
+        // Untracked stores never accumulate tombstones.
+        let mut u = TupleStore::new_untracked(1);
+        u.extend_rows([t(&[1]), t(&[2])]);
+        u.remove_rows([t(&[1])]);
+        assert_eq!(u.stale_stat_rows(), 0);
     }
 
     #[test]

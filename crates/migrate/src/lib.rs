@@ -38,8 +38,8 @@ use std::path::Path;
 use dynamite_core::{synthesize, Example, Synthesis, SynthesisConfig, SynthesisError};
 use dynamite_datalog::{
     evaluate, pool, reorder_default, DriftError, DurableError, DurableEvaluator, DurableOptions,
-    EvalError, Evaluator, Governor, IncrementalEvaluator, OutputDelta, Program, RecoveryReport,
-    ResourceLimits, ScrubReport,
+    EvalError, Evaluator, Governor, IncrementalEvaluator, OutputDelta, Program, QueryStats,
+    RecoveryReport, ResourceLimits, ScrubReport, ServedEvaluator,
 };
 use dynamite_instance::{from_facts, to_facts, Database, FactsError, Instance};
 use dynamite_schema::Schema;
@@ -608,6 +608,124 @@ impl DurableMigration {
     }
 }
 
+/// A migration served on demand: point queries against the target
+/// relations without materializing the whole migration first.
+///
+/// Where [`migrate`] derives every target fact up front,
+/// `ServedMigration` answers `relation(bindings)` lookups lazily — a
+/// magic-sets rewrite restricts each fixpoint to the facts the bindings
+/// actually demand, and a subsumption-aware cache answers repeat and
+/// narrower queries without re-running any fixpoint at all (see
+/// `dynamite_datalog::query`). Use it when consumers read a small,
+/// query-driven slice of a large target.
+///
+/// ```
+/// use dynamite_core::test_fixtures::motivating;
+/// use dynamite_datalog::Program;
+/// use dynamite_instance::Value;
+/// use dynamite_migrate::ServedMigration;
+///
+/// let (_, target, ex) = motivating();
+/// let program = Program::parse(
+///     "Admission(grad, ug, num) :- Univ(id1, grad, v1), Admit(v1, id2, num), Univ(id2, ug, _).",
+/// )
+/// .unwrap();
+/// let served = ServedMigration::new(&program, &ex.input, target).unwrap();
+/// // Which programs admitted 20 students? Only this slice is derived.
+/// let hits = served
+///     .query("Admission", &[None, None, Some(Value::Int(20))])
+///     .unwrap();
+/// assert_eq!(hits.len(), 1);
+/// ```
+pub struct ServedMigration {
+    served: ServedEvaluator,
+    target_schema: Arc<Schema>,
+}
+
+impl ServedMigration {
+    /// Translates `source` to facts and builds a query server for
+    /// `program` over them. No fixpoint runs until the first query.
+    pub fn new(
+        program: &Program,
+        source: &Instance,
+        target_schema: Arc<Schema>,
+    ) -> Result<ServedMigration, MigrateError> {
+        let facts = to_facts(source);
+        let served = ServedEvaluator::new(program.clone(), facts)?;
+        Ok(ServedMigration {
+            served,
+            target_schema,
+        })
+    }
+
+    /// Serves point queries off a recovered [`DurableMigration`]: the
+    /// program and facts come from the durable state (newest checkpoint
+    /// plus WAL replay), and the server shares its worker pool and
+    /// planner configuration. The server holds a *snapshot* — batches
+    /// applied to `dur` afterwards are not visible until a new server
+    /// is built.
+    pub fn from_durable(
+        dur: &DurableMigration,
+        target_schema: Arc<Schema>,
+    ) -> Result<ServedMigration, MigrateError> {
+        let served = ServedEvaluator::from_durable(dur.evaluator())?;
+        Ok(ServedMigration {
+            served,
+            target_schema,
+        })
+    }
+
+    /// Answers `relation(bindings)`: the rows of the target relation
+    /// matching the bound positions (`None` = free). See
+    /// `ServedEvaluator::query` for the routing and caching contract.
+    pub fn query(
+        &self,
+        relation: &str,
+        bindings: &[Option<dynamite_instance::Value>],
+    ) -> Result<dynamite_instance::Relation, MigrateError> {
+        Ok(self.served.query(relation, bindings)?)
+    }
+
+    /// [`query`](ServedMigration::query) under resource limits; a
+    /// tripped query surfaces the typed [`EvalError`] variant and
+    /// leaves the cache untouched.
+    pub fn query_governed(
+        &self,
+        relation: &str,
+        bindings: &[Option<dynamite_instance::Value>],
+        gov: &Governor,
+    ) -> Result<dynamite_instance::Relation, MigrateError> {
+        Ok(self.served.query_governed(relation, bindings, gov)?)
+    }
+
+    /// Applies one batch of extensional fact updates (deletions first,
+    /// then insertions) and invalidates every cached answer, so later
+    /// queries reflect the mutated source.
+    pub fn apply_delta(
+        &mut self,
+        inserts: &Database,
+        deletes: &Database,
+    ) -> Result<(), MigrateError> {
+        Ok(self.served.apply_delta(inserts, deletes)?)
+    }
+
+    /// Counters for how queries were answered so far (fixpoints run,
+    /// full-evaluation fallbacks, cache hits).
+    pub fn stats(&self) -> QueryStats {
+        self.served.stats()
+    }
+
+    /// The extensional facts queries are answered against.
+    pub fn facts(&self) -> &Database {
+        self.served.edb()
+    }
+
+    /// The target schema lookups are scoped to.
+    pub fn target_schema(&self) -> &Arc<Schema> {
+        &self.target_schema
+    }
+}
+
 /// Renders a human-readable end-to-end summary: per-rule synthesis
 /// effort — including candidates skipped on resource limits, broken down
 /// by which governor limit tripped — and the migration's sizes and
@@ -902,6 +1020,94 @@ mod tests {
         assert!(back.target().unwrap().canon_eq(&shrunk));
         back.checkpoint().unwrap();
         assert_eq!(back.evaluator().generation(), 1);
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn served_migration_answers_point_queries_and_tracks_deltas() {
+        use dynamite_instance::Value;
+        let (_, target, ex) = motivating();
+        let program = Program::parse(
+            "Admission(grad, ug, num) :- Univ(id1, grad, v1), Admit(v1, id2, num), Univ(id2, ug, _).",
+        )
+        .unwrap();
+        let mut served = ServedMigration::new(&program, &ex.input, target).unwrap();
+
+        // Oracle: the fully materialized migration, filtered.
+        let full = evaluate(&program, &to_facts(&ex.input)).unwrap();
+        let want: Vec<Vec<Value>> = full
+            .relation("Admission")
+            .unwrap()
+            .iter()
+            .map(|r| r.iter().collect())
+            .filter(|row: &Vec<Value>| row[2] == Value::Int(20))
+            .collect();
+        let bindings = vec![None, None, Some(Value::Int(20))];
+        let got = served.query("Admission", &bindings).unwrap();
+        let got: Vec<Vec<Value>> = got.iter().map(|r| r.iter().collect()).collect();
+        assert_eq!(got, want);
+        assert!(!got.is_empty(), "fixture has a 20-student admission");
+
+        // A repeat is served from cache, not a fresh fixpoint.
+        served.query("Admission", &bindings).unwrap();
+        assert_eq!(served.stats().fixpoints, 1);
+        assert_eq!(served.stats().cache_hits, 1);
+
+        // Retract every Admit fact: the served answer empties.
+        let mut dels = Database::new();
+        for row in served.facts().relation("Admit").unwrap().iter() {
+            dels.insert("Admit", row.iter().collect::<Vec<_>>());
+        }
+        served.apply_delta(&Database::new(), &dels).unwrap();
+        let got = served.query("Admission", &bindings).unwrap();
+        assert!(got.is_empty(), "cache must not serve the stale answer");
+    }
+
+    #[test]
+    fn served_migration_from_durable_serves_recovered_state() {
+        use dynamite_datalog::fault;
+        use dynamite_instance::Value;
+        let _guard = fault::test_lock();
+        fault::reset();
+        let dir =
+            std::env::temp_dir().join(format!("dynamite-served-durable-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let (_, target, ex) = motivating();
+        let program = Program::parse(
+            "Admission(grad, ug, num) :- Univ(id1, grad, v1), Admit(v1, id2, num), Univ(id2, ug, _).",
+        )
+        .unwrap();
+        let mut live = DurableMigration::create(&dir, &program, &ex.input, target.clone()).unwrap();
+        // Retract one Admit fact durably, then "crash".
+        let (_, dels) = admit_churn(live.facts());
+        live.apply_delta(&Database::new(), &dels).unwrap();
+        drop(live);
+
+        // Recover and serve point queries off the recovered facts.
+        let back = DurableMigration::open(&dir, target.clone()).unwrap();
+        let served = ServedMigration::from_durable(&back, target).unwrap();
+        assert_eq!(served.facts(), back.facts(), "snapshot of recovered EDB");
+        let full = evaluate(&program, back.facts()).unwrap();
+        let want = full.relation("Admission").unwrap().len();
+        assert!(want > 0, "recovered migration still has admissions");
+        let mut nums: Vec<Value> = full
+            .relation("Admission")
+            .unwrap()
+            .iter()
+            .map(|r| r.at(2))
+            .collect();
+        nums.sort();
+        nums.dedup();
+        let mut got = 0;
+        for num in nums {
+            got += served
+                .query("Admission", &[None, None, Some(num)])
+                .unwrap()
+                .len();
+        }
+        assert_eq!(got, want, "point queries cover the recovered target");
 
         std::fs::remove_dir_all(&dir).unwrap();
     }

@@ -13,7 +13,7 @@ use dynamite::core::test_fixtures::motivating;
 use dynamite::core::{synthesize, CandidateLimits, SynthesisConfig, SynthesisError, Synthesizer};
 use dynamite::datalog::{
     fault, EvalError, Evaluator, Governor, IncrementalEvaluator, Program, ResourceLimits,
-    RuleCacheHandle, WorkerPool,
+    RuleCacheHandle, ServedEvaluator, WorkerPool,
 };
 use dynamite::instance::{Database, Value};
 
@@ -161,6 +161,62 @@ fn worker_panic_mid_maintenance_poisons_then_recovers() {
     let reference = ctx_with_threads(full, 4).eval(&prog).unwrap();
     assert_eq!(ev.output(), reference);
     fault::reset();
+}
+
+#[test]
+fn budget_fault_under_served_query_leaves_cache_unpoisoned() {
+    // A `budget` fault armed while a served query's fixpoint runs must
+    // surface as the typed resource error, cache nothing partial, and
+    // leave the server fully usable: the next query recomputes the
+    // right answer (ISSUE: PR 10).
+    let _guard = fault::test_lock();
+    fault::reset();
+    let prog = Program::parse(
+        "Path(x, y) :- Edge(x, y).
+         Path(x, z) :- Path(x, y), Edge(y, z).",
+    )
+    .unwrap();
+    let mut db = Database::new();
+    for i in 0..40i64 {
+        db.insert("Edge", vec![Value::Int(i), Value::Int(i + 1)]);
+    }
+    let reference = ctx_with_threads(db.clone(), 4).eval(&prog).unwrap();
+    let served =
+        ServedEvaluator::with_config(prog, db, Arc::new(WorkerPool::new(4)), true).unwrap();
+
+    let bindings = vec![Some(Value::Int(0)), None];
+    fault::arm(fault::BUDGET, 1);
+    let gov = Governor::unlimited();
+    let err = served.query_governed("Path", &bindings, &gov).unwrap_err();
+    assert!(
+        matches!(err, EvalError::FactBudgetExceeded { .. }),
+        "got {err:?}"
+    );
+    fault::reset();
+    assert_eq!(
+        served.stats().fixpoints,
+        0,
+        "tripped query is not a fixpoint"
+    );
+
+    // Ungoverned follow-up: recomputes (no poisoned cache entry) and
+    // matches the from-scratch reference.
+    let got = served.query("Path", &bindings).unwrap();
+    let want: Vec<Vec<Value>> = reference
+        .relation("Path")
+        .unwrap()
+        .iter()
+        .map(|r| r.iter().collect())
+        .filter(|row: &Vec<Value>| row[0] == Value::Int(0))
+        .collect();
+    let mut got_rows: Vec<Vec<Value>> = got.iter().map(|r| r.iter().collect()).collect();
+    let mut want = want;
+    got_rows.sort();
+    want.sort();
+    assert_eq!(got_rows, want);
+    let stats = served.stats();
+    assert_eq!(stats.fixpoints, 1, "post-trip query must recompute");
+    assert_eq!(stats.cache_hits, 0, "nothing cacheable survived the trip");
 }
 
 #[test]
